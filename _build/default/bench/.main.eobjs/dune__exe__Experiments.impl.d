@@ -1,0 +1,1 @@
+bench/experiments.ml: Filename Harness List Nowa Nowa_dag Nowa_kernels Nowa_util Printf String Sys

@@ -1,0 +1,1 @@
+bench/harness.ml: Hashtbl List Nowa Nowa_dag Nowa_kernels Nowa_runtime Nowa_util Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Experiments Harness List Micro Nowa_util Option Printf String Term

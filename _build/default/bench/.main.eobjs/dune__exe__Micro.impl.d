@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Nowa Nowa_dag Nowa_kernels Nowa_util Printf Staged String Test Time Toolkit

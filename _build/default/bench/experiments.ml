@@ -1,0 +1,334 @@
+(* The per-figure / per-table experiments of the paper's evaluation
+   (Section V), regenerated at two levels:
+
+   - sim: recorded DAGs replayed on 1-256 virtual workers under the
+     per-runtime cost models (the substitute for the 256-thread EPYC);
+   - real: the actual schedulers on the host's cores, speedups computed
+     with the paper's methodology against the serial elision. *)
+
+module Registry = Nowa_kernels.Registry
+module CM = Nowa_dag.Cost_model
+module Stats = Nowa_util.Stats
+open Harness
+
+let all_benchmarks = Registry.names
+
+let sim_table ~opts ~benchmarks ~models =
+  List.iter
+    (fun bench ->
+      let dag = recorded_dag ~opts bench in
+      let inst = Registry.find (sim_size_for ~opts bench) bench in
+      subsection
+        (Printf.sprintf "%s (sim, %s, T1=%.2f ms, parallelism=%.0f)" bench
+           inst.Registry.input_desc
+           (Nowa_dag.Dag.total_work dag /. 1e6)
+           (Nowa_dag.Dag.parallelism dag));
+      let header = "threads" :: List.map (fun m -> m.CM.cname) models in
+      let rows =
+        List.map
+          (fun p ->
+            string_of_int p
+            :: List.map
+                 (fun m -> fmt_f2 (sim_speedup ~opts m bench p).Nowa_dag.Wsim.speedup)
+                 models)
+          opts.sim_workers
+      in
+      Nowa_util.Table.print ~header rows)
+    benchmarks
+
+let real_table ~opts ~benchmarks ~runtimes =
+  List.iter
+    (fun bench ->
+      let ts = serial_mean ~opts bench in
+      subsection (Printf.sprintf "%s (real, Ts=%.4f s)" bench ts);
+      let header =
+        "threads"
+        :: List.map (fun (module R : Nowa.RUNTIME) -> R.name) runtimes
+      in
+      let rows =
+        List.map
+          (fun w ->
+            string_of_int w
+            :: List.map
+                 (fun (module R : Nowa.RUNTIME) ->
+                   fmt_speedup (real_speedup ~opts (module R) bench w))
+                 runtimes)
+          opts.real_workers
+      in
+      Nowa_util.Table.print ~header rows)
+    benchmarks
+
+(* Geometric-mean speedup ratio of runtime [a] over [b] across
+   benchmarks, the paper's cross-runtime summary statistic. *)
+let sim_summary ~opts ~benchmarks ~baseline ~workers models =
+  let speedup m bench = (sim_speedup ~opts m bench workers).Nowa_dag.Wsim.speedup in
+  List.map
+    (fun m ->
+      let ratios =
+        List.map (fun b -> (speedup m b, speedup baseline b)) benchmarks
+      in
+      (m.CM.cname, Stats.ratio_geomean ratios))
+    models
+
+(* ---------------------------------------------------------------- *)
+
+let figure1 ~opts () =
+  section "Figure 1: nqueens speedup, Nowa vs Fibril vs Cilk Plus vs TBB";
+  sim_table ~opts ~benchmarks:[ "nqueens" ]
+    ~models:[ CM.nowa; CM.fibril; CM.cilkplus; CM.tbb ];
+  real_table ~opts ~benchmarks:[ "nqueens" ]
+    ~runtimes:Nowa.Presets.figure7_set
+
+let table1 ~opts () =
+  section "Table I: the twelve benchmarks";
+  ignore opts;
+  let sloc name =
+    let path = Filename.concat "lib/kernels" (name ^ ".ml") in
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let n = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if String.length line > 0 && not (String.length line >= 2 && String.sub line 0 2 = "(*")
+           then incr n
+         done
+       with End_of_file -> close_in ic);
+      string_of_int !n
+    end
+    else "-"
+  in
+  let header = [ "Benchmark"; "Input (medium)"; "SLOC (ours)" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let inst = Registry.find Registry.Medium name in
+        [ name; inst.Registry.input_desc; sloc name ])
+      all_benchmarks
+  in
+  Nowa_util.Table.print ~header rows
+
+let figure7 ~opts () =
+  section "Figure 7: speedup of all 12 benchmarks (Nowa / Fibril / Cilk Plus / TBB)";
+  let models = [ CM.nowa; CM.fibril; CM.cilkplus; CM.tbb ] in
+  sim_table ~opts ~benchmarks:all_benchmarks ~models;
+  subsection "cross-benchmark summary at 256 simulated threads (geomean speedup ratio, nowa/x)";
+  let summary =
+    sim_summary ~opts ~benchmarks:all_benchmarks ~baseline:CM.nowa ~workers:256
+      [ CM.fibril; CM.cilkplus; CM.tbb ]
+  in
+  List.iter
+    (fun (name, ratio) -> Printf.printf "  nowa vs %-10s: %.2fx\n" name (1.0 /. ratio))
+    summary;
+  (* The paper excludes knapsack from averages (order-dependent work). *)
+  let no_knap = List.filter (fun b -> b <> "knapsack") all_benchmarks in
+  let summary' =
+    sim_summary ~opts ~benchmarks:no_knap ~baseline:CM.nowa ~workers:256
+      [ CM.fibril; CM.cilkplus; CM.tbb ]
+  in
+  List.iter
+    (fun (name, ratio) ->
+      Printf.printf "  nowa vs %-10s: %.2fx (excluding knapsack)\n" name (1.0 /. ratio))
+    summary';
+  real_table ~opts ~benchmarks:all_benchmarks ~runtimes:Nowa.Presets.figure7_set
+
+(* Figure 8 benchmarks: the eight the paper plots. *)
+let figure8_benchmarks =
+  [ "cholesky"; "lu"; "heat"; "fib"; "matmul"; "nqueens"; "integrate"; "rectmul" ]
+
+let figure8 ~opts () =
+  section "Figure 8: impact of madvise() on the practical cactus-stack solution";
+  Printf.printf
+    "(real runs on the Nowa preset; madvise modelled by the stack-pool \
+     substrate at %d ns per call)\n"
+    (Nowa.Config.default ()).Nowa.Config.madvise_cost_ns;
+  let workers = List.fold_left max 1 opts.real_workers in
+  let with_madvise mode c =
+    { c with Nowa.Config.madvise = true; madvise_mode = mode }
+  in
+  let header =
+    [
+      "benchmark"; "w/o madvise (s)"; "MADV_FREE (s)"; "MADV_DONTNEED (s)";
+      "free slowdown"; "dontneed slowdown";
+    ]
+  in
+  let rows =
+    List.map
+      (fun bench ->
+        let t_off =
+          Stats.mean (measure_real ~opts (module Nowa.Presets.Nowa) bench workers)
+        in
+        let t_free =
+          Stats.mean
+            (measure_real ~patch:(with_madvise Nowa.Config.Madv_free) ~opts
+               (module Nowa.Presets.Nowa) bench workers)
+        in
+        let t_dontneed =
+          Stats.mean
+            (measure_real ~patch:(with_madvise Nowa.Config.Madv_dontneed) ~opts
+               (module Nowa.Presets.Nowa) bench workers)
+        in
+        [
+          bench;
+          Printf.sprintf "%.4f" t_off;
+          Printf.sprintf "%.4f" t_free;
+          Printf.sprintf "%.4f" t_dontneed;
+          Printf.sprintf "%.2fx" (t_free /. t_off);
+          Printf.sprintf "%.2fx" (t_dontneed /. t_off);
+        ])
+      figure8_benchmarks
+  in
+  Nowa_util.Table.print ~header rows
+
+let table2 ~opts () =
+  section "Table II: max RSS of the stack pool with and without madvise()";
+  let workers = List.fold_left max 1 opts.real_workers in
+  let page_kib = 4 in
+  let rss_of bench madvise =
+    let patch c = { c with Nowa.Config.madvise } in
+    ignore (measure_real ~patch ~opts (module Nowa.Presets.Nowa) bench workers);
+    match Nowa.Presets.Nowa.last_metrics () with
+    | Some { Nowa.Metrics.stacks = Some s; _ } ->
+      (s.Nowa.Metrics.max_rss_pages, s.Nowa.Metrics.madvise_calls)
+    | _ -> (0, 0)
+  in
+  let header =
+    [ "benchmark"; "no madvise (KiB)"; "madvise (KiB)"; "delta"; "madvise calls" ]
+  in
+  let rows =
+    List.map
+      (fun bench ->
+        let off, _ = rss_of bench false in
+        let on, calls = rss_of bench true in
+        [
+          bench;
+          string_of_int (off * page_kib);
+          string_of_int (on * page_kib);
+          string_of_int ((on - off) * page_kib);
+          string_of_int calls;
+        ])
+      figure8_benchmarks
+  in
+  Nowa_util.Table.print ~header rows
+
+let figure9_benchmarks = [ "cholesky"; "fib"; "nqueens"; "matmul" ]
+
+let figure9 ~opts () =
+  section "Figure 9: the CL queue versus the THE queue inside Nowa";
+  sim_table ~opts ~benchmarks:figure9_benchmarks
+    ~models:[ CM.nowa; CM.nowa_the; CM.fibril ];
+  real_table ~opts ~benchmarks:figure9_benchmarks
+    ~runtimes:[ (module Nowa.Presets.Nowa); (module Nowa.Presets.Nowa_the); (module Nowa.Presets.Fibril) ]
+
+let figure10 ~opts () =
+  section "Figure 10: Nowa compared against the OpenMP runtime models";
+  let models = [ CM.nowa; CM.tbb; CM.gomp; CM.lomp_untied; CM.lomp_tied ] in
+  sim_table ~opts ~benchmarks:all_benchmarks ~models;
+  subsection "cross-benchmark summary at 256 simulated threads";
+  let summary =
+    sim_summary ~opts ~benchmarks:all_benchmarks ~baseline:CM.nowa ~workers:256
+      [ CM.gomp; CM.lomp_untied; CM.lomp_tied ]
+  in
+  List.iter
+    (fun (name, ratio) -> Printf.printf "  nowa vs %-12s: %.2fx\n" name (1.0 /. ratio))
+    summary;
+  real_table ~opts ~benchmarks:[ "fib"; "nqueens"; "quicksort" ]
+    ~runtimes:Nowa.Presets.figure10_set
+
+let table3 ~opts () =
+  section "Table III: execution times at 256 (simulated) threads";
+  let models = [ CM.nowa; CM.lomp_untied; CM.lomp_tied ] in
+  let header =
+    "benchmark" :: List.map (fun m -> m.CM.cname ^ " (s)") models
+  in
+  let rows =
+    List.map
+      (fun bench ->
+        bench
+        :: List.map
+             (fun m ->
+               let r = sim_speedup ~opts m bench 256 in
+               Printf.sprintf "%.5f" (r.Nowa_dag.Wsim.makespan_ns /. 1e9))
+             models)
+      all_benchmarks
+  in
+  Nowa_util.Table.print ~header rows
+
+(* Beyond the paper: isolate each design axis. *)
+let ablation ~opts () =
+  section "Ablation A: the deque inside the wait-free runtime (CL vs THE vs ABP)";
+  real_table ~opts ~benchmarks:[ "fib"; "nqueens" ]
+    ~runtimes:
+      [
+        (module Nowa.Presets.Nowa);
+        (module Nowa.Presets.Nowa_the);
+        (module Nowa.Presets.Nowa_abp);
+      ];
+  section "Ablation B: the strand counter on a fixed (THE) deque (wait-free vs lock-based)";
+  real_table ~opts ~benchmarks:[ "fib"; "nqueens" ]
+    ~runtimes:[ (module Nowa.Presets.Nowa_the); (module Nowa.Presets.Fibril) ];
+  section "Ablation C: victim-selection policy (random vs round-robin)";
+  let workers_a = List.fold_left max 1 opts.real_workers in
+  List.iter
+    (fun bench ->
+      let t_random =
+        Stats.mean (measure_real ~opts (module Nowa.Presets.Nowa) bench workers_a)
+      in
+      let t_rr =
+        Stats.mean
+          (measure_real
+             ~patch:(fun c -> { c with Nowa.Config.victim_policy = Nowa.Config.Round_robin })
+             ~opts (module Nowa.Presets.Nowa) bench workers_a)
+      in
+      Printf.printf "  %-10s random %8.3f ms, round-robin %8.3f ms (%.2fx)\n"
+        bench (t_random *. 1e3) (t_rr *. 1e3) (t_rr /. t_random))
+    [ "fib"; "nqueens" ];
+  section "Ablation D: spawn-order sensitivity of knapsack (Section V-A)";
+  let inst = Registry.find opts.real_size "knapsack" in
+  ignore inst;
+  let items = Nowa_kernels.Knapsack.make_items ~seed:11 22 in
+  let workers = List.fold_left max 1 opts.real_workers in
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let module K = Nowa_kernels.Knapsack.Make (R) in
+      let conf = Nowa.Config.with_workers workers in
+      let time flipped =
+        let t, v =
+          R.run ~conf (fun () ->
+              Nowa_util.Clock.time_it (fun () -> K.run ~flipped items))
+        in
+        (t, v)
+      in
+      let t_orig, v1 = time false in
+      let t_flip, v2 = time true in
+      assert (v1 = v2);
+      Printf.printf
+        "  %-12s original order %8.3f ms, flipped %8.3f ms (flip is %.2fx the \
+         original)\n"
+        R.name (t_orig *. 1e3) (t_flip *. 1e3) (t_flip /. t_orig))
+    [ (module Nowa.Presets.Nowa : Nowa.RUNTIME); (module Nowa.Presets.Tbb) ]
+
+let all ~opts () =
+  table1 ~opts ();
+  figure1 ~opts ();
+  figure7 ~opts ();
+  figure8 ~opts ();
+  table2 ~opts ();
+  figure9 ~opts ();
+  figure10 ~opts ();
+  table3 ~opts ();
+  ablation ~opts ()
+
+let by_name =
+  [
+    ("table1", table1);
+    ("fig1", figure1);
+    ("fig7", figure7);
+    ("fig8", figure8);
+    ("table2", table2);
+    ("fig9", figure9);
+    ("fig10", figure10);
+    ("table3", table3);
+    ("ablation", ablation);
+    ("all", all);
+  ]

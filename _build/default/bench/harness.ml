@@ -1,0 +1,145 @@
+(* Shared benchmark-harness infrastructure: real-mode measurement on the
+   host (paper methodology: times taken inside the running application,
+   serial elision as T_s, geometric-mean speedups) and sim-mode
+   measurement through the trace recorder + discrete-event scheduler
+   simulator. *)
+
+module Registry = Nowa_kernels.Registry
+
+type options = {
+  runs : int;  (** timed repetitions per real-mode cell (plus 1 warm-up) *)
+  real_workers : int list;
+  sim_workers : int list;
+  real_size : Registry.size;
+  sim_size : Registry.size option;
+      (** [None] picks the per-benchmark profile below, sized so that
+          every recorded DAG has parallelism well beyond 256 where the
+          algorithm allows it. *)
+}
+
+let host_workers () = Nowa_util.Cpu.default_workers ()
+
+let default_options () =
+  let hw = host_workers () in
+  let real = List.sort_uniq compare [ 1; max 1 (hw / 2); hw; hw * 2 ] in
+  {
+    runs = 3;
+    real_workers = real;
+    sim_workers = [ 1; 16; 64; 128; 192; 256 ];
+    real_size = Registry.Small;
+    sim_size = None;
+  }
+
+(* Recording scale per benchmark: fine-grained recursions (fib) explode
+   in DAG size and are kept smaller; blocked linear algebra needs large
+   matrices before its task count exceeds the 256 virtual workers. *)
+let sim_profile = function
+  | "fib" | "integrate" -> Registry.Small
+  | "nqueens" | "knapsack" | "quicksort" | "fft" | "heat" -> Registry.Medium
+  | "matmul" | "rectmul" | "strassen" | "lu" | "cholesky" -> Registry.Large
+  | _ -> Registry.Medium
+
+let sim_size_for ~opts bench =
+  match opts.sim_size with Some s -> s | None -> sim_profile bench
+
+let size_of_string = function
+  | "test" -> Registry.Test
+  | "small" -> Registry.Small
+  | "medium" -> Registry.Medium
+  | "large" -> Registry.Large
+  | s -> failwith ("unknown size: " ^ s)
+
+(* -- real mode --------------------------------------------------------- *)
+
+(* Mean serial-elision time (T_s), memoised per (size, benchmark). *)
+let serial_cache : (string, float) Hashtbl.t = Hashtbl.create 32
+
+let serial_mean ~opts name =
+  let key = name ^ string_of_int (Hashtbl.hash opts.real_size) in
+  match Hashtbl.find_opt serial_cache key with
+  | Some t -> t
+  | None ->
+    let inst = Registry.find opts.real_size name in
+    let module S = Nowa_runtime.Serial_runtime in
+    let thunk = inst.Registry.make_thunk (module S) in
+    ignore (S.run thunk) (* warm-up *);
+    let times =
+      List.init opts.runs (fun _ ->
+          fst (S.run (fun () -> Nowa_util.Clock.time_it thunk)))
+    in
+    let t = Nowa_util.Stats.mean times in
+    Hashtbl.add serial_cache key t;
+    t
+
+(* One real-mode cell: run [runs] times (after a warm-up), timed inside
+   [R.run]; verifies every fingerprint against the serial elision.
+   [patch] adjusts the runtime configuration (madvise modes etc.). *)
+let measure_real ?(patch = fun c -> c) ~opts (module R : Nowa.RUNTIME) name workers =
+  let inst = Registry.find opts.real_size name in
+  let reference = Registry.reference opts.real_size name in
+  let conf = patch (Nowa.Config.with_workers workers) in
+  let thunk = inst.Registry.make_thunk (module R) in
+  let once () =
+    let elapsed, fp = R.run ~conf (fun () -> Nowa_util.Clock.time_it thunk) in
+    if not (Registry.matches inst reference fp) then
+      Printf.eprintf "WARNING: %s on %s/%d: wrong fingerprint %.9g (ref %.9g)\n%!"
+        name R.name workers fp reference;
+    elapsed
+  in
+  ignore (once ()) (* warm-up *);
+  List.init opts.runs (fun _ -> once ())
+
+let real_speedup ?patch ~opts runtime name workers =
+  let ts = serial_mean ~opts name in
+  let times = measure_real ?patch ~opts runtime name workers in
+  Nowa_util.Stats.speedup_of_runs ~serial_mean:ts times
+
+(* -- sim mode ----------------------------------------------------------- *)
+
+let dag_cache : (string, Nowa_dag.Dag.t) Hashtbl.t = Hashtbl.create 32
+
+let size_tag = function
+  | Registry.Test -> "test"
+  | Registry.Small -> "small"
+  | Registry.Medium -> "medium"
+  | Registry.Large -> "large"
+
+(* Record the benchmark's fork/join DAG (serial, instrumented run),
+   memoised per (size, benchmark). *)
+let recorded_dag ~opts name =
+  let size = sim_size_for ~opts name in
+  let key = size_tag size ^ "/" ^ name in
+  match Hashtbl.find_opt dag_cache key with
+  | Some d -> d
+  | None ->
+    let inst = Registry.find size name in
+    let thunk = inst.Registry.make_thunk (module Nowa_dag.Recorder) in
+    let dag, _ = Nowa_dag.Recorder.record thunk in
+    (match Nowa_dag.Dag.validate dag with
+    | Ok () -> ()
+    | Error e -> Printf.eprintf "WARNING: %s DAG invalid: %s\n%!" name e);
+    (* Remove preemption/GC spikes from the recorded strand costs; see
+       Dag.clamp_work. *)
+    ignore (Nowa_dag.Dag.clamp_work dag);
+    Hashtbl.add dag_cache key dag;
+    dag
+
+let sim_speedup ~opts model name workers =
+  let dag = recorded_dag ~opts name in
+  let r = Nowa_dag.Wsim.simulate model ~workers dag in
+  if r.Nowa_dag.Wsim.truncated then
+    Printf.eprintf "WARNING: sim %s/%s/%d truncated\n%!" name
+      model.Nowa_dag.Cost_model.cname workers;
+  r
+
+(* -- formatting ----------------------------------------------------------- *)
+
+let fmt_f2 v = Printf.sprintf "%.2f" v
+
+let fmt_speedup (s : Nowa_util.Stats.speedup) =
+  Printf.sprintf "%.2f ±%.2f" s.Nowa_util.Stats.geo s.Nowa_util.Stats.sd
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title

@@ -1,0 +1,79 @@
+(* Bechamel micro-benchmark suite: one Test.make per reproduced table or
+   figure, each wrapping a small representative workload of that
+   experiment, so regressions in any experiment's machinery show up in a
+   single `bench/main.exe --micro` run. *)
+
+open Bechamel
+open Toolkit
+
+module Registry = Nowa_kernels.Registry
+
+let run_kernel (module R : Nowa.RUNTIME) ?(madvise = false) ~workers bench =
+  let inst = Registry.find Registry.Test bench in
+  let thunk = inst.Registry.make_thunk (module R) in
+  let conf = { (Nowa.Config.with_workers workers) with Nowa.Config.madvise } in
+  fun () -> ignore (R.run ~conf thunk)
+
+let sim_kernel model bench workers =
+  let inst = Registry.find Registry.Test bench in
+  let thunk = inst.Registry.make_thunk (module Nowa_dag.Recorder) in
+  let dag, _ = Nowa_dag.Recorder.record thunk in
+  fun () -> ignore (Nowa_dag.Wsim.simulate model ~workers dag)
+
+let tests () =
+  let w = min 2 (Nowa_util.Cpu.default_workers ()) in
+  [
+    (* Figure 1: nqueens on the wait-free runtime. *)
+    Test.make ~name:"fig1/nqueens-nowa"
+      (Staged.stage (run_kernel (module Nowa.Presets.Nowa) ~workers:w "nqueens"));
+    (* Table I / Figure 7: the runtime-bound benchmark (fib) on the two
+       continuation-stealing coordination schemes. *)
+    Test.make ~name:"fig7/fib-nowa"
+      (Staged.stage (run_kernel (module Nowa.Presets.Nowa) ~workers:w "fib"));
+    Test.make ~name:"fig7/fib-fibril"
+      (Staged.stage (run_kernel (module Nowa.Presets.Fibril) ~workers:w "fib"));
+    (* Figure 8 / Table II: the madvise() stack-pool path. *)
+    Test.make ~name:"fig8/heat-madvise"
+      (Staged.stage
+         (run_kernel (module Nowa.Presets.Nowa) ~madvise:true ~workers:w "heat"));
+    (* Figure 9: the THE-queue variant of Nowa. *)
+    Test.make ~name:"fig9/fib-nowa-the"
+      (Staged.stage (run_kernel (module Nowa.Presets.Nowa_the) ~workers:w "fib"));
+    (* Figure 10 / Table III: the OpenMP runtime models. *)
+    Test.make ~name:"fig10/fib-gomp"
+      (Staged.stage (run_kernel (module Nowa.Presets.Gomp) ~workers:w "fib"));
+    Test.make ~name:"table3/fib-lomp-tied"
+      (Staged.stage (run_kernel (module Nowa.Presets.Lomp_tied) ~workers:w "fib"));
+    (* The simulator itself (all sim-mode figures depend on it). *)
+    Test.make ~name:"sim/fib-nowa-64w" (Staged.stage (sim_kernel Nowa_dag.Cost_model.nowa "fib" 64));
+  ]
+
+let run () =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"nowa" (tests ())) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "micro suite (Bechamel, monotonic clock per run):";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name res ->
+      let est =
+        match Analyze.OLS.estimates res with
+        | Some [ e ] -> Printf.sprintf "%.0f ns" e
+        | Some es ->
+          String.concat ", " (List.map (fun e -> Printf.sprintf "%.0f" e) es)
+        | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square res with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := [ name; est; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Nowa_util.Table.print ~header:[ "test"; "time/run"; "r^2" ] rows

@@ -1,0 +1,120 @@
+(* nowa-run: run any Table I benchmark on any runtime preset (or its
+   serial elision), with repetition, timing and scheduler metrics —
+   the equivalent of the paper artifact's benchmark driver.
+
+     dune exec bin/nowa_run.exe -- --bench fib --runtime nowa -w 4 --runs 5
+     dune exec bin/nowa_run.exe -- --list *)
+
+open Cmdliner
+
+let sizes =
+  [
+    ("test", Nowa_kernels.Registry.Test);
+    ("small", Nowa_kernels.Registry.Small);
+    ("medium", Nowa_kernels.Registry.Medium);
+    ("large", Nowa_kernels.Registry.Large);
+  ]
+
+let list_benchmarks () =
+  print_endline "benchmarks (Table I):";
+  List.iter
+    (fun name ->
+      let inst = Nowa_kernels.Registry.find Nowa_kernels.Registry.Medium name in
+      Printf.printf "  %-10s default input (medium): %s\n" name
+        inst.Nowa_kernels.Registry.input_desc)
+    Nowa_kernels.Registry.names;
+  print_endline "";
+  print_endline "runtimes:";
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      Printf.printf "  %-12s %s\n" R.name R.description)
+    Nowa.Presets.all;
+  Printf.printf "  %-12s %s\n" "serial" "serial elision (the T_s baseline)"
+
+let resolve_runtime name : (module Nowa.RUNTIME) =
+  if String.equal name "serial" then (module Nowa_runtime.Serial_runtime)
+  else
+    match Nowa.Presets.find name with
+    | r -> r
+    | exception Not_found ->
+      Printf.eprintf "unknown runtime %S (try --list)\n" name;
+      exit 1
+
+let main list bench runtime workers runs size madvise verbose =
+  if list then list_benchmarks ()
+  else begin
+    let size =
+      match List.assoc_opt size sizes with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "unknown size %S (test|small|medium|large)\n" size;
+        exit 1
+    in
+    let inst =
+      match Nowa_kernels.Registry.find size bench with
+      | i -> i
+      | exception Not_found ->
+        Printf.eprintf "unknown benchmark %S (try --list)\n" bench;
+        exit 1
+    in
+    let (module R : Nowa.RUNTIME) = resolve_runtime runtime in
+    let conf =
+      { (Nowa.Config.with_workers workers) with Nowa.Config.madvise }
+    in
+    let reference = Nowa_kernels.Registry.reference size bench in
+    let thunk = inst.Nowa_kernels.Registry.make_thunk (module R) in
+    Printf.printf "%s (%s) on %s, %d workers, %d runs%s\n" bench
+      inst.Nowa_kernels.Registry.input_desc R.name workers runs
+      (if madvise then ", madvise on" else "");
+    let times = ref [] in
+    for run = 1 to runs do
+      (* Time inside [run] so that worker start-up is excluded, as the
+         paper does ("measurements performed from within the
+         applications"). *)
+      let elapsed, fp =
+        R.run ~conf (fun () -> Nowa_util.Clock.time_it thunk)
+      in
+      let ok = Nowa_kernels.Registry.matches inst reference fp in
+      if not ok then begin
+        Printf.eprintf "run %d: WRONG RESULT (%.9g vs %.9g)\n" run fp reference;
+        exit 1
+      end;
+      times := elapsed :: !times;
+      if verbose then Printf.printf "  run %d: %.4f s\n" run elapsed
+    done;
+    let open Nowa_util.Stats in
+    Printf.printf "time: mean %.4f s, median %.4f s, sd %.4f s, min %.4f s\n"
+      (mean !times) (median !times) (stddev !times) (minimum !times);
+    match R.last_metrics () with
+    | Some m when verbose ->
+      Format.printf "%a@." Nowa.Metrics.pp m
+    | _ -> ()
+  end
+
+let cmd =
+  let list = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List benchmarks and runtimes.") in
+  let bench =
+    Arg.(value & opt string "fib" & info [ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let runtime =
+    Arg.(value & opt string "nowa" & info [ "runtime"; "r" ] ~docv:"NAME" ~doc:"Runtime preset or 'serial'.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int (Nowa_util.Cpu.default_workers ())
+      & info [ "workers"; "w" ] ~docv:"W" ~doc:"Worker count.")
+  in
+  let runs = Arg.(value & opt int 3 & info [ "runs"; "n" ] ~docv:"N" ~doc:"Repetitions.") in
+  let size =
+    Arg.(value & opt string "small" & info [ "size"; "s" ] ~docv:"SIZE" ~doc:"Input scale: test|small|medium|large.")
+  in
+  let madvise =
+    Arg.(value & flag & info [ "madvise" ] ~doc:"Enable the simulated madvise() stack-page release.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run times and metrics.") in
+  Cmd.v
+    (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ verbose)
+
+let () = exit (Cmd.eval cmd)

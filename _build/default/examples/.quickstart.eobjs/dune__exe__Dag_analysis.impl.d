@@ -1,0 +1,1 @@
+examples/dag_analysis.ml: Array Cost_model Dag List Nowa_dag Nowa_kernels Nowa_util Printf String Sys Wsim

@@ -1,0 +1,1 @@
+examples/nqueens_app.ml: Arg Cmd Cmdliner List Nowa Nowa_kernels Nowa_runtime Nowa_util Printf String Term Unix

@@ -1,0 +1,1 @@
+examples/nqueens_app.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Nowa Nowa_kernels Printf

@@ -1,0 +1,1 @@
+examples/sorter.ml: Array Nowa Nowa_kernels Nowa_runtime Nowa_util Printf Sys

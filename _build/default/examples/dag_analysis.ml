@@ -1,0 +1,48 @@
+(* Record the fork/join DAG of a benchmark (Section III-A of the paper),
+   print its work/span analysis, and replay it through the discrete-event
+   scheduler simulator at increasing worker counts — the pipeline behind
+   the reproduced figures.
+
+     dune exec examples/dag_analysis.exe -- fib *)
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "fib" in
+  let size = Nowa_kernels.Registry.Small in
+  let inst =
+    match Nowa_kernels.Registry.find size bench with
+    | i -> i
+    | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; one of: %s\n" bench
+        (String.concat ", " Nowa_kernels.Registry.names);
+      exit 1
+  in
+  let thunk = inst.Nowa_kernels.Registry.make_thunk (module Nowa_dag.Recorder) in
+  let dag, _ = Nowa_dag.Recorder.record thunk in
+  let open Nowa_dag in
+  Printf.printf "benchmark %s (%s)\n" bench inst.Nowa_kernels.Registry.input_desc;
+  Printf.printf "  vertices: %d (%d strands, %d spawns, %d syncs)\n"
+    (Dag.size dag) (Dag.count dag Dag.Strand) (Dag.count dag Dag.Spawn)
+    (Dag.count dag Dag.Sync);
+  (match Dag.validate dag with
+  | Ok () -> print_endline "  structure: valid fully-strict fork/join DAG"
+  | Error e -> Printf.printf "  structure: INVALID (%s)\n" e);
+  let t1 = Dag.total_work dag and tinf = Dag.span dag in
+  Printf.printf "  work T1 = %.3f ms, span Tinf = %.3f ms, parallelism = %.1f\n"
+    (t1 /. 1e6) (tinf /. 1e6) (t1 /. tinf);
+  print_endline "";
+  print_endline "simulated speedup (discrete-event replay):";
+  let header =
+    "P" :: List.map (fun m -> m.Cost_model.cname) [ Cost_model.nowa; Cost_model.fibril; Cost_model.tbb; Cost_model.gomp ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        string_of_int p
+        :: List.map
+             (fun m ->
+               let r = Wsim.simulate m ~workers:p dag in
+               Printf.sprintf "%.2f" r.Wsim.speedup)
+             [ Cost_model.nowa; Cost_model.fibril; Cost_model.tbb; Cost_model.gomp ])
+      [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+  in
+  Nowa_util.Table.print ~header rows

@@ -1,0 +1,70 @@
+module Config = Nowa_runtime.Config
+module Metrics = Nowa_runtime.Metrics
+
+module type RUNTIME = Nowa_runtime.Runtime_intf.S
+
+module Presets = Nowa_runtime.Presets
+
+include Presets.Nowa
+
+module Ops (R : RUNTIME) = struct
+  let both f g =
+    R.scope (fun sc ->
+        let a = R.spawn sc f in
+        let b = g () in
+        R.sync sc;
+        (R.get a, b))
+
+  let parallel_for ?(grain = 1) lo hi f =
+    let grain = max 1 grain in
+    let rec go lo hi =
+      if hi - lo <= grain then
+        for i = lo to hi - 1 do
+          f i
+        done
+      else
+        R.scope (fun sc ->
+            let mid = lo + ((hi - lo) / 2) in
+            let left = R.spawn sc (fun () -> go lo mid) in
+            go mid hi;
+            R.sync sc;
+            R.get left)
+    in
+    if hi > lo then go lo hi
+
+  let parallel_reduce ?(grain = 1) lo hi ~map ~combine ~init =
+    let grain = max 1 grain in
+    let rec go lo hi =
+      if hi - lo <= grain then begin
+        let acc = ref init in
+        for i = lo to hi - 1 do
+          acc := combine !acc (map i)
+        done;
+        !acc
+      end
+      else
+        R.scope (fun sc ->
+            let mid = lo + ((hi - lo) / 2) in
+            let left = R.spawn sc (fun () -> go lo mid) in
+            let right = go mid hi in
+            R.sync sc;
+            combine (R.get left) right)
+    in
+    if hi > lo then go lo hi else init
+
+  let map_array ?grain f a =
+    let n = Array.length a in
+    if n = 0 then [||]
+    else begin
+      let out = Array.make n (f a.(0)) in
+      parallel_for ?grain 0 n (fun i -> out.(i) <- f a.(i));
+      out
+    end
+end
+
+module Default_ops = Ops (Presets.Nowa)
+
+let both = Default_ops.both
+let parallel_for = Default_ops.parallel_for
+let parallel_reduce = Default_ops.parallel_reduce
+let map_array = Default_ops.map_array

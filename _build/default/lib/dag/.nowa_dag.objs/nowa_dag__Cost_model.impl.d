@@ -1,0 +1,1 @@
+lib/dag/cost_model.ml: List String

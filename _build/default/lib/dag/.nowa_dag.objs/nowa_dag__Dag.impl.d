@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Bytes Char Printf Queue

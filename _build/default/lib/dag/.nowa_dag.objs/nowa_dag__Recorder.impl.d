@@ -1,0 +1,1 @@
+lib/dag/recorder.ml: Dag Float Fun Gc Nowa_runtime Unix

@@ -1,0 +1,1 @@
+lib/dag/recorder.mli: Dag Nowa_runtime

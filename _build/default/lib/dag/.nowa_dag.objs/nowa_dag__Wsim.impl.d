@@ -1,0 +1,1 @@
+lib/dag/wsim.ml: Array Cost_model Dag Float Hashtbl Intq List Nowa_util Option

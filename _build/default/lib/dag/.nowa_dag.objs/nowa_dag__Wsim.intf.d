@@ -1,0 +1,1 @@
+lib/dag/wsim.mli: Cost_model Dag

@@ -1,0 +1,129 @@
+type scheme =
+  | Continuation_stealing
+  | Child_stealing of { tied : bool }
+  | Central_queue
+
+type t = {
+  cname : string;
+  scheme : scheme;
+  spawn_ns : float;
+  push_lock_ns : float;
+  steal_ns : float;
+  steal_lock_ns : float;
+  note_steal_lock_ns : float;
+  atomic_ns : float;
+  join_lock_ns : float;
+  task_alloc_ns : float;
+  alloc_arenas : int;
+  alloc_lock_ns : float;
+  resume_ns : float;
+  steal_retry_ns : float;
+  lock_contention_penalty : float;
+  atomic_contention_penalty : float;
+}
+
+(* Magnitudes follow published microbenchmarks of the modelled systems: a
+   Cilk-style spawn is a few tens of nanoseconds, an uncontended atomic
+   RMW ~15-20 ns, a short spinlock critical section 60-120 ns, a stack
+   switch ~100 ns, a task allocation ~100 ns.  The *relative* pricing is
+   what the reproduced figures depend on. *)
+
+let base =
+  {
+    cname = "";
+    scheme = Continuation_stealing;
+    spawn_ns = 25.0;
+    push_lock_ns = 0.0;
+    steal_ns = 40.0;
+    steal_lock_ns = 0.0;
+    note_steal_lock_ns = 0.0;
+    atomic_ns = 18.0;
+    join_lock_ns = 0.0;
+    task_alloc_ns = 0.0;
+    alloc_arenas = 0;
+    alloc_lock_ns = 0.0;
+    resume_ns = 150.0;
+    steal_retry_ns = 150.0;
+    lock_contention_penalty = 4.0;
+    atomic_contention_penalty = 1.5;
+  }
+
+let nowa = { base with cname = "nowa" }
+let nowa_the = { base with cname = "nowa-the"; steal_lock_ns = 70.0 }
+
+(* Fibril's Listing-2 coupling holds the victim's deque lock across the
+   frame-counter update, so its effective deque critical section is much
+   longer than the THE steal alone (nowa-the keeps the short one: its
+   counter needs no lock). *)
+let fibril =
+  {
+    base with
+    cname = "fibril";
+    steal_lock_ns = 180.0;
+    note_steal_lock_ns = 80.0;
+    join_lock_ns = 110.0;
+  }
+
+let cilkplus =
+  {
+    base with
+    cname = "cilkplus";
+    spawn_ns = 30.0;
+    push_lock_ns = 45.0;
+    steal_lock_ns = 200.0;
+    note_steal_lock_ns = 80.0;
+    join_lock_ns = 110.0;
+  }
+
+let tbb =
+  {
+    base with
+    cname = "tbb";
+    scheme = Child_stealing { tied = false };
+    spawn_ns = 30.0;
+    push_lock_ns = 40.0;
+    steal_lock_ns = 90.0;
+    task_alloc_ns = 90.0;
+    alloc_arenas = 16;
+    alloc_lock_ns = 50.0;
+    resume_ns = 120.0;
+  }
+
+let lomp_untied =
+  {
+    tbb with
+    cname = "lomp-untied";
+    task_alloc_ns = 160.0;
+    alloc_arenas = 8;
+    alloc_lock_ns = 70.0;
+    push_lock_ns = 55.0;
+    steal_lock_ns = 110.0;
+  }
+
+let lomp_tied =
+  {
+    lomp_untied with
+    cname = "lomp-tied";
+    scheme = Child_stealing { tied = true };
+  }
+
+let gomp =
+  {
+    base with
+    cname = "gomp";
+    scheme = Central_queue;
+    spawn_ns = 40.0;
+    (* Every queue operation crosses the one global mutex, whose hold
+       time under contention includes the futex round trips libgomp
+       suffers with fine-grained tasks. *)
+    push_lock_ns = 450.0;
+    steal_lock_ns = 450.0;
+    task_alloc_ns = 200.0;
+    alloc_arenas = 1;
+    alloc_lock_ns = 80.0;
+    steal_retry_ns = 300.0;
+  }
+
+let all = [ nowa; nowa_the; fibril; cilkplus; tbb; lomp_untied; lomp_tied; gomp ]
+
+let find name = List.find (fun m -> String.equal m.cname name) all

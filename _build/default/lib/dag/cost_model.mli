@@ -1,0 +1,66 @@
+(** Scheduler cost models for the discrete-event simulator.
+
+    Each model prices the runtime-system operations of one of the
+    platforms compared in the paper.  Shared mutable structures (a deque,
+    a strand counter, the global task queue) are modelled as FIFO
+    resources in virtual time: an operation holding a resource for [h] ns
+    that arrives at time [t] completes at [max(t, free) + h] — which is
+    exactly how a lock convoys and how contended cache lines serialise,
+    and is what separates the wait-free from the lock-based curves at
+    high worker counts. *)
+
+type scheme =
+  | Continuation_stealing
+  | Child_stealing of { tied : bool }
+  | Central_queue
+
+type t = {
+  cname : string;
+  scheme : scheme;
+  spawn_ns : float;  (** local bookkeeping at a spawn point *)
+  push_lock_ns : float;
+      (** > 0: the owner's own push/pop goes through its deque resource
+          for this long (fully locked deques — the Cilk Plus model) *)
+  steal_ns : float;  (** thief-local cost per steal attempt *)
+  steal_lock_ns : float;
+      (** > 0: a steal attempt holds the victim's deque resource this
+          long, {e also when the deque turns out empty} (THE-protocol
+          steals); 0 models a CAS-based steal, priced at [atomic_ns] on
+          success only *)
+  note_steal_lock_ns : float;
+      (** > 0: extra hold on the frame resource inside the steal critical
+          section (Fibril's Listing-2 coupling) *)
+  atomic_ns : float;  (** one atomic RMW on a shared line *)
+  join_lock_ns : float;
+      (** > 0: joins take the frame lock this long; 0 = wait-free joins
+          priced at [atomic_ns] *)
+  task_alloc_ns : float;  (** child stealing: per-spawn task allocation *)
+  alloc_arenas : int;
+      (** > 0: task allocation/freeing goes through one of this many
+          shared allocator arenas (the paper's Section II-B point that
+          child stealing inherits the dynamic memory allocator's
+          behaviour, which often employs locks) *)
+  alloc_lock_ns : float;  (** arena critical-section length *)
+  resume_ns : float;  (** per successful steal: stack switch / resume *)
+  steal_retry_ns : float;  (** idle thief retry interval *)
+  lock_contention_penalty : float;
+      (** multiplier on a lock's hold time when the lock is found busy —
+          models the cache-line ping-pong and backoff of a contended
+          lock handoff, which is what makes lock-based coordination
+          degrade superlinearly at hundreds of workers *)
+  atomic_contention_penalty : float;
+      (** same for contended atomic RMWs (smaller: a CAS retries but
+          never convoys) *)
+}
+
+val nowa : t
+val nowa_the : t
+val fibril : t
+val cilkplus : t
+val tbb : t
+val lomp_untied : t
+val lomp_tied : t
+val gomp : t
+
+val all : t list
+val find : string -> t

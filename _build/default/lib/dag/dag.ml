@@ -1,0 +1,215 @@
+type kind = Strand | Spawn | Sync
+
+(* Kinds are packed as ints in a flat array to keep vertices unboxed. *)
+let kind_strand = 0
+let kind_spawn = 1
+let kind_sync = 2
+
+type t = {
+  mutable n : int;
+  mutable kinds : Bytes.t;
+  mutable works : float array;
+  mutable s1 : int array;
+  mutable s2 : int array;
+  mutable frames : int array;
+  mutable preds : int array;
+  mutable root : int;
+  mutable final : int;
+}
+
+let initial_capacity = 1024
+
+let create () =
+  {
+    n = 0;
+    kinds = Bytes.create initial_capacity;
+    works = Array.make initial_capacity 0.0;
+    s1 = Array.make initial_capacity (-1);
+    s2 = Array.make initial_capacity (-1);
+    frames = Array.make initial_capacity (-1);
+    preds = Array.make initial_capacity 0;
+    root = -1;
+    final = -1;
+  }
+
+let grow t =
+  let cap = Array.length t.works in
+  let ncap = cap * 2 in
+  let kinds = Bytes.create ncap in
+  Bytes.blit t.kinds 0 kinds 0 cap;
+  t.kinds <- kinds;
+  let extend_int a = Array.append a (Array.make cap (-1)) in
+  t.works <- Array.append t.works (Array.make cap 0.0);
+  t.s1 <- extend_int t.s1;
+  t.s2 <- extend_int t.s2;
+  t.frames <- extend_int t.frames;
+  t.preds <- Array.append t.preds (Array.make cap 0)
+
+let add_vertex t k ~work ~frame =
+  if t.n >= Array.length t.works then grow t;
+  let id = t.n in
+  t.n <- id + 1;
+  Bytes.unsafe_set t.kinds id (Char.chr k);
+  t.works.(id) <- work;
+  t.s1.(id) <- -1;
+  t.s2.(id) <- -1;
+  t.frames.(id) <- frame;
+  t.preds.(id) <- 0;
+  id
+
+let add_strand t ~work = add_vertex t kind_strand ~work ~frame:(-1)
+let add_spawn t ~frame = add_vertex t kind_spawn ~work:0.0 ~frame
+let add_sync t = add_vertex t kind_sync ~work:0.0 ~frame:(-1)
+
+let add_edge t u v =
+  if t.s1.(u) = -1 then t.s1.(u) <- v
+  else if t.s2.(u) = -1 then t.s2.(u) <- v
+  else invalid_arg "Dag.add_edge: vertex already has two successors";
+  t.preds.(v) <- t.preds.(v) + 1
+
+let set_root t v = t.root <- v
+let set_final t v = t.final <- v
+
+(* The frames slot is unused for strand vertices; -2 marks a main-path
+   arrival there. *)
+let mark_main_arrival t v = t.frames.(v) <- -2
+let is_main_arrival t v = t.frames.(v) = -2
+
+let size t = t.n
+
+let kind t v =
+  match Char.code (Bytes.unsafe_get t.kinds v) with
+  | 0 -> Strand
+  | 1 -> Spawn
+  | _ -> Sync
+
+let work t v = t.works.(v)
+let succ1 t v = t.s1.(v)
+let succ2 t v = t.s2.(v)
+let frame_of t v = t.frames.(v)
+let pred_count t v = t.preds.(v)
+let root t = t.root
+let final t = t.final
+
+let count t k =
+  let c = ref 0 in
+  for v = 0 to t.n - 1 do
+    if kind t v = k then incr c
+  done;
+  !c
+
+let total_work t =
+  let acc = ref 0.0 in
+  for v = 0 to t.n - 1 do
+    acc := !acc +. t.works.(v)
+  done;
+  !acc
+
+(* Kahn topological traversal shared by [span] and [validate]. Calls
+   [visit] for every vertex in topological order and returns the number
+   of vertices visited (< n implies a cycle or unreachable vertices). *)
+let topo_fold t visit =
+  let remaining = Array.sub t.preds 0 t.n in
+  let queue = Queue.create () in
+  if t.root >= 0 then Queue.push t.root queue;
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr visited;
+    visit v;
+    let relax s =
+      if s >= 0 then begin
+        remaining.(s) <- remaining.(s) - 1;
+        if remaining.(s) = 0 then Queue.push s queue
+      end
+    in
+    relax t.s1.(v);
+    relax t.s2.(v)
+  done;
+  !visited
+
+let span t =
+  if t.n = 0 then 0.0
+  else begin
+    let dist = Array.make t.n 0.0 in
+    let longest = ref 0.0 in
+    let visit v =
+      let d = dist.(v) +. t.works.(v) in
+      if d > !longest then longest := d;
+      let relax s = if s >= 0 && d > dist.(s) then dist.(s) <- d in
+      relax t.s1.(v);
+      relax t.s2.(v)
+    in
+    ignore (topo_fold t visit);
+    !longest
+  end
+
+let parallelism t =
+  let sp = span t in
+  if sp = 0.0 then 1.0 else total_work t /. sp
+
+let clamp_work ?(quantile = 0.999) ?(factor = 2.0) t =
+  let works = ref [] in
+  let count = ref 0 in
+  for v = 0 to t.n - 1 do
+    if kind t v = Strand then begin
+      works := t.works.(v) :: !works;
+      incr count
+    end
+  done;
+  if !count = 0 then 0
+  else begin
+    let a = Array.of_list !works in
+    Array.sort compare a;
+    let idx =
+      min (Array.length a - 1)
+        (int_of_float (quantile *. float_of_int (Array.length a)))
+    in
+    let cap = a.(idx) *. factor in
+    let clamped = ref 0 in
+    for v = 0 to t.n - 1 do
+      if kind t v = Strand && t.works.(v) > cap then begin
+        t.works.(v) <- cap;
+        incr clamped
+      end
+    done;
+    !clamped
+  end
+
+let validate t =
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.n = 0 then error "empty DAG"
+  else if t.root < 0 || t.root >= t.n then error "missing root"
+  else if t.final < 0 || t.final >= t.n then error "missing final vertex"
+  else if t.preds.(t.root) <> 0 then error "root has predecessors"
+  else begin
+    let problem = ref None in
+    let note p = if !problem = None then problem := Some p in
+    let sinks = ref 0 in
+    for v = 0 to t.n - 1 do
+      let out = (if t.s1.(v) >= 0 then 1 else 0) + if t.s2.(v) >= 0 then 1 else 0 in
+      (match kind t v with
+      | Strand -> if out > 1 then note (Printf.sprintf "strand %d has out-degree %d" v out)
+      | Spawn ->
+        if out <> 2 then note (Printf.sprintf "spawn %d has out-degree %d" v out);
+        if t.preds.(v) <> 1 then
+          note (Printf.sprintf "spawn %d has in-degree %d" v t.preds.(v));
+        if t.frames.(v) < 0 || t.frames.(v) >= t.n || kind t t.frames.(v) <> Sync
+        then note (Printf.sprintf "spawn %d has an invalid frame" v)
+      | Sync ->
+        if out <> 1 then note (Printf.sprintf "sync %d has out-degree %d" v out);
+        if t.preds.(v) < 1 then note (Printf.sprintf "sync %d has in-degree 0" v));
+      if out = 0 then incr sinks
+    done;
+    let visited = topo_fold t (fun _ -> ()) in
+    if visited <> t.n then
+      note
+        (Printf.sprintf "only %d of %d vertices reachable acyclically" visited t.n);
+    if !sinks <> 1 then note (Printf.sprintf "%d sinks (expected 1)" !sinks);
+    let fout =
+      (if t.s1.(t.final) >= 0 then 1 else 0)
+      + if t.s2.(t.final) >= 0 then 1 else 0
+    in
+    if fout <> 0 then note "final vertex has successors";
+    match !problem with None -> Ok () | Some p -> Error p
+  end

@@ -1,0 +1,92 @@
+(** The DAG model of fully-strict fork/join computations (Section III-A
+    of the paper).
+
+    Three vertex kinds: {e strand} vertices carry a cost (nanoseconds of
+    serial execution and never fork); {e spawn} vertices have exactly two
+    successors — the child edge first and the continuation edge second;
+    {e sync} vertices have in-degree ≥ 1 and out-degree 1.  Every spawn
+    vertex is tagged with the sync vertex of its frame, which is what a
+    scheduler needs to know to perform joins.
+
+    The structure is append-only and id-indexed, sized for DAGs of
+    millions of vertices (flat arrays, no per-vertex boxing). *)
+
+type kind = Strand | Spawn | Sync
+
+type t
+
+val create : unit -> t
+
+(** {1 Construction} *)
+
+val add_strand : t -> work:float -> int
+val add_spawn : t -> frame:int -> int
+(** [frame] is the id of the frame's sync vertex (created beforehand). *)
+
+val add_sync : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge d u v] appends [v] to [u]'s successors ({b order matters}
+    for spawn vertices: child first, continuation second) and bumps [v]'s
+    predecessor count. *)
+
+val set_root : t -> int -> unit
+val set_final : t -> int -> unit
+
+val mark_main_arrival : t -> int -> unit
+(** Tag a strand whose successor edge into a sync vertex is the {e main
+    path} reaching an explicit sync point (as opposed to a child strand
+    performing an implicit sync).  Schedulers treat the two arrivals
+    differently (Figure 5 of the paper). *)
+
+val is_main_arrival : t -> int -> bool
+
+(** {1 Access} *)
+
+val size : t -> int
+val kind : t -> int -> kind
+val work : t -> int -> float
+val succ1 : t -> int -> int
+(** -1 if none *)
+
+val succ2 : t -> int -> int
+(** -1 if none; only spawn vertices have a second successor *)
+
+val frame_of : t -> int -> int
+(** spawn vertices only *)
+
+val pred_count : t -> int -> int
+val root : t -> int
+val final : t -> int
+
+val count : t -> kind -> int
+
+(** {1 Analysis} *)
+
+val total_work : t -> float
+(** T₁: the sum of all strand costs. *)
+
+val span : t -> float
+(** T∞: the critical-path cost (longest path by strand work). *)
+
+val parallelism : t -> float
+(** T₁ / T∞. *)
+
+val validate : t -> (unit, string) result
+(** Check the structural invariants of Section III-A: out-degrees by
+    kind, spawn in-degree 1, sync out-degree 1, reachability of every
+    vertex from the root, acyclicity, and that the final vertex is the
+    unique sink. *)
+
+val clamp_work : ?quantile:float -> ?factor:float -> t -> int
+(** [clamp_work dag] caps every strand cost at [factor] (default 2.0)
+    times the [quantile] (default 0.999) of all strand costs and
+    returns the number of strands clamped.
+
+    Recorded strand costs are wall-clock measurements; an OS timer tick,
+    hypervisor preemption or GC slice that interrupts a recording gets
+    charged to whichever strand it lands in, and because the critical
+    path takes a maximum over paths, a handful of such spikes can
+    dominate the span of a fine-grained DAG.  Clamping the extreme 0.1%%
+    removes the spikes while leaving genuinely heavy strands (top-level
+    partitions, matrix base cases) intact. *)

@@ -1,0 +1,43 @@
+type t = { mutable buf : int array; mutable head : int; mutable tail : int }
+(* head = index of front element; tail = index one past the back;
+   both monotone mod capacity via masking (capacity is a power of two). *)
+
+let create () = { buf = Array.make 16 (-1); head = 0; tail = 0 }
+
+let length t = t.tail - t.head
+let is_empty t = t.head = t.tail
+
+let grow t =
+  let cap = Array.length t.buf in
+  let nbuf = Array.make (cap * 2) (-1) in
+  let n = length t in
+  for i = 0 to n - 1 do
+    nbuf.(i) <- t.buf.((t.head + i) land (cap - 1))
+  done;
+  t.buf <- nbuf;
+  t.head <- 0;
+  t.tail <- n
+
+let push_back t v =
+  if length t >= Array.length t.buf then grow t;
+  t.buf.(t.tail land (Array.length t.buf - 1)) <- v;
+  t.tail <- t.tail + 1
+
+let pop_back t =
+  if is_empty t then -1
+  else begin
+    t.tail <- t.tail - 1;
+    t.buf.(t.tail land (Array.length t.buf - 1))
+  end
+
+let pop_front t =
+  if is_empty t then -1
+  else begin
+    let v = t.buf.(t.head land (Array.length t.buf - 1)) in
+    t.head <- t.head + 1;
+    v
+  end
+
+let clear t =
+  t.head <- 0;
+  t.tail <- 0

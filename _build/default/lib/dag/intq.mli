@@ -1,0 +1,17 @@
+(** Growable ring-buffer deque of ints (no boxing), used for the virtual
+    worker deques and the virtual central queue of the simulator.
+    [-1] is reserved (returned for "empty"). *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push_back : t -> int -> unit
+val pop_back : t -> int
+(** LIFO end; -1 if empty *)
+
+val pop_front : t -> int
+(** FIFO end; -1 if empty *)
+
+val clear : t -> unit

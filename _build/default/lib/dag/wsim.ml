@@ -1,0 +1,384 @@
+type result = {
+  workers : int;
+  makespan_ns : float;
+  t1_ns : float;
+  span_ns : float;
+  speedup : float;
+  steals : int;
+  steal_attempts : int;
+  events : int;
+  truncated : bool;
+}
+
+(* Binary min-heap of events keyed by virtual time.  An event is either
+   "strand v finishes on worker w" (v >= 0) or "idle worker w retries
+   stealing" (v = -1). *)
+module Heap = struct
+  type t = {
+    mutable times : float array;
+    mutable ws : int array;
+    mutable vs : int array;
+    mutable n : int;
+  }
+
+  let create () =
+    { times = Array.make 256 0.0; ws = Array.make 256 0; vs = Array.make 256 0; n = 0 }
+
+  let swap h i j =
+    let t = h.times.(i) in
+    h.times.(i) <- h.times.(j);
+    h.times.(j) <- t;
+    let w = h.ws.(i) in
+    h.ws.(i) <- h.ws.(j);
+    h.ws.(j) <- w;
+    let v = h.vs.(i) in
+    h.vs.(i) <- h.vs.(j);
+    h.vs.(j) <- v
+
+  let push h time w v =
+    if h.n >= Array.length h.times then begin
+      let cap = Array.length h.times in
+      h.times <- Array.append h.times (Array.make cap 0.0);
+      h.ws <- Array.append h.ws (Array.make cap 0);
+      h.vs <- Array.append h.vs (Array.make cap 0)
+    end;
+    let i = ref h.n in
+    h.times.(!i) <- time;
+    h.ws.(!i) <- w;
+    h.vs.(!i) <- v;
+    h.n <- h.n + 1;
+    while !i > 0 && h.times.((!i - 1) / 2) > h.times.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let time = h.times.(0) and w = h.ws.(0) and v = h.vs.(0) in
+      h.n <- h.n - 1;
+      if h.n > 0 then begin
+        h.times.(0) <- h.times.(h.n);
+        h.ws.(0) <- h.ws.(h.n);
+        h.vs.(0) <- h.vs.(h.n);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.n && h.times.(l) < h.times.(!smallest) then smallest := l;
+          if r < h.n && h.times.(r) < h.times.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            swap h !i !smallest;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some (time, w, v)
+    end
+end
+
+let pop_local_ns = 6.0
+(* an uncontended pop_bottom on a lock-free deque *)
+
+let simulate ?(seed = 1) ?(max_events = 200_000_000) (cm : Cost_model.t) ~workers dag =
+  let open Cost_model in
+  let n = Dag.size dag in
+  let rng = Nowa_util.Xoshiro.make ~seed in
+  let deques = Array.init workers (fun _ -> Intq.create ()) in
+  let central = Intq.create () in
+  (* FIFO resources in virtual time: free_at per worker deque, per frame
+     (sync vertex), and one for the central queue. *)
+  let deque_free = Array.make workers 0.0 in
+  let central_free = ref 0.0 in
+  let frame_free = Array.make n 0.0 in
+  let arena_free = Array.make (max 1 cm.alloc_arenas) 0.0 in
+  let pending = Array.init n (fun v -> Dag.pred_count dag v) in
+  (* Continuations actually stolen per frame (the wait-free counter's α):
+     frames where this stays 0 have a free explicit sync. *)
+  let stolen = Array.make n 0 in
+  (* Which frame a stealable vertex belongs to (for the note_steal lock). *)
+  let frame_hint = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if Dag.kind dag v = Dag.Spawn then begin
+      let fr = Dag.frame_of dag v in
+      let c = Dag.succ1 dag v and k = Dag.succ2 dag v in
+      if c >= 0 then frame_hint.(c) <- fr;
+      if k >= 0 then frame_hint.(k) <- fr
+    end
+  done;
+  let retry_interval = Array.make workers cm.steal_retry_ns in
+  let blocked : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let heap = Heap.create () in
+  let events = ref 0 in
+  let steals = ref 0 in
+  let steal_attempts = ref 0 in
+  let finish_time = ref nan in
+  (* A busy resource costs [penalty × hold]: contended lock handoffs and
+     contended cache lines are much slower than uncontended ones. *)
+  let acquire ~penalty free_at i t hold =
+    let busy = free_at.(i) > t in
+    let hold = if busy then hold *. penalty else hold in
+    let g = if busy then free_at.(i) else t in
+    free_at.(i) <- g +. hold;
+    g +. hold
+  in
+  let acquire_central t hold =
+    let busy = !central_free > t in
+    let hold = if busy then hold *. cm.lock_contention_penalty else hold in
+    let g = if busy then !central_free else t in
+    central_free := g +. hold;
+    g +. hold
+  in
+  let lockp = cm.lock_contention_penalty and atomicp = cm.atomic_contention_penalty in
+  (* Task allocation through a shared allocator arena (child stealing /
+     central queue only). *)
+  let allocate w t =
+    let t = t +. cm.task_alloc_ns in
+    if cm.alloc_arenas > 0 then
+      acquire ~penalty:lockp arena_free (w mod cm.alloc_arenas) t cm.alloc_lock_ns
+    else t
+  in
+  let join_hold = if cm.join_lock_ns > 0.0 then cm.join_lock_ns else cm.atomic_ns in
+  let schedule_retry w t =
+    (* Exponential idle backoff keeps long serial tails from flooding the
+       event queue with fruitless steal attempts. *)
+    Heap.push heap (t +. retry_interval.(w)) w (-1);
+    (* Thieves keep polling at a few-microsecond cadence, as the real
+       runtimes do; the cap balances fidelity of steal-lock contention
+       against simulation event count. *)
+    retry_interval.(w) <- Float.min (retry_interval.(w) *. 2.0) 1_000.0
+  in
+  let note_progress w = retry_interval.(w) <- cm.steal_retry_ns in
+  (* [exec w t v]: worker [w] starts vertex [v] (a strand or spawn; sync
+     vertices are entered through [arrive]) at time [t]. *)
+  let rec exec w t v =
+    match Dag.kind dag v with
+    | Dag.Strand -> Heap.push heap (t +. Dag.work dag v) w v
+    | Dag.Sync ->
+      (* Only reached as the successor of a completed sync (proceeding
+         past a join directly into the next phase's sync cannot happen:
+         the recorder always interposes a strand). *)
+      assert false
+    | Dag.Spawn -> begin
+      let t = t +. cm.spawn_ns in
+      match cm.scheme with
+      | Continuation_stealing ->
+        let t =
+          if cm.push_lock_ns > 0.0 then
+            acquire ~penalty:lockp deque_free w t cm.push_lock_ns
+          else t
+        in
+        Intq.push_back deques.(w) (Dag.succ2 dag v);
+        exec w t (Dag.succ1 dag v)
+      | Child_stealing _ ->
+        let t = allocate w t in
+        let t =
+          if cm.push_lock_ns > 0.0 then
+            acquire ~penalty:lockp deque_free w t cm.push_lock_ns
+          else t
+        in
+        Intq.push_back deques.(w) (Dag.succ1 dag v);
+        exec w t (Dag.succ2 dag v)
+      | Central_queue ->
+        let t = allocate w t in
+        let t = acquire_central t cm.push_lock_ns in
+        Intq.push_back central (Dag.succ1 dag v);
+        exec w t (Dag.succ2 dag v)
+    end
+  (* Strand [prev] on worker [w] ran into sync vertex [s]. *)
+  and arrive w t ~prev s =
+    match cm.scheme with
+    | Continuation_stealing ->
+      if Dag.is_main_arrival dag prev then begin
+        (* Explicit sync on the main path. *)
+        pending.(s) <- pending.(s) - 1;
+        let join_penalty = if cm.join_lock_ns > 0.0 then lockp else atomicp in
+        if pending.(s) = 0 then begin
+          (* Restore N_r (one frame-resource op) unless nothing was ever
+             stolen, in which case the sync is entirely free. *)
+          let t =
+            if stolen.(s) > 0 then
+              acquire ~penalty:join_penalty frame_free s t join_hold
+            else t
+          in
+          exec w t (Dag.succ1 dag s)
+        end
+        else begin
+          (* Publish the continuation and restore N_r; then suspend. *)
+          let t = acquire ~penalty:join_penalty frame_free s t join_hold in
+          steal_round w t
+        end
+      end
+      else begin
+        (* A child returned: pop the own deque bottom (Figure 5 line 4). *)
+        match Intq.pop_back deques.(w) with
+        | -1 ->
+          (* Continuation stolen: implicit sync (one frame op). *)
+          let join_penalty = if cm.join_lock_ns > 0.0 then lockp else atomicp in
+          let t = acquire ~penalty:join_penalty frame_free s t join_hold in
+          pending.(s) <- pending.(s) - 1;
+          if pending.(s) = 0 then
+            (* Last joiner resumes the suspended frame. *)
+            exec w (t +. cm.resume_ns) (Dag.succ1 dag s)
+          else steal_round w t
+        | k ->
+          (* Not stolen: by the top-down stealing invariant [k] is this
+             very frame's continuation; discard-and-proceed, no counter
+             operation at all. *)
+          pending.(s) <- pending.(s) - 1;
+          let t =
+            if cm.push_lock_ns > 0.0 then
+              acquire ~penalty:lockp deque_free w t cm.push_lock_ns
+            else t +. pop_local_ns
+          in
+          exec w t k
+      end
+    | Child_stealing _ | Central_queue ->
+      let tied =
+        match cm.scheme with Child_stealing { tied } -> tied | _ -> false
+      in
+      let main = Dag.is_main_arrival dag prev in
+      (* Child tasks pay a join decrement; the parent's taskwait token is
+         free until it has to wait. *)
+      let t =
+        if main then t
+        else acquire ~penalty:atomicp frame_free s t cm.atomic_ns
+      in
+      pending.(s) <- pending.(s) - 1;
+      if pending.(s) = 0 then begin
+        (match Hashtbl.find_opt blocked s with
+        | Some ws ->
+          Hashtbl.remove blocked s;
+          List.iter
+            (fun bw ->
+              note_progress bw;
+              Heap.push heap t bw (-1))
+            ws
+        | None -> ());
+        exec w t (Dag.succ1 dag s)
+      end
+      else begin
+        (* Help: own tasks first (taskwait / task end alike). *)
+        match pop_own w t with
+        | Some (t', v) -> exec w t' v
+        | None ->
+          if main && tied && pending.(s) > 0 then
+            (* Tied tasks: a waiting thread may not steal. *)
+            Hashtbl.replace blocked s
+              (w :: Option.value ~default:[] (Hashtbl.find_opt blocked s))
+          else steal_round w t
+      end
+  and pop_own w t =
+    match Intq.pop_back deques.(w) with
+    | -1 -> None
+    | v ->
+      let t =
+        if cm.push_lock_ns > 0.0 then
+          acquire ~penalty:lockp deque_free w t cm.push_lock_ns
+        else t +. pop_local_ns
+      in
+      Some (t +. cm.resume_ns, v)
+  and steal_round w t =
+    incr steal_attempts;
+    match cm.scheme with
+    | Central_queue -> begin
+      let t = acquire_central t cm.steal_lock_ns in
+      match Intq.pop_front central with
+      | -1 -> schedule_retry w t
+      | v ->
+        incr steals;
+        note_progress w;
+        exec w (t +. cm.resume_ns) v
+    end
+    | Continuation_stealing | Child_stealing _ -> begin
+      (* Own deque top first (the engine's self-steal), then one random
+         victim per round. *)
+      let try_victim victim t =
+        if cm.steal_lock_ns > 0.0 then begin
+          (* THE-style: the lock is taken before the emptiness check, so
+             even failed attempts occupy the victim's deque. *)
+          let t = acquire ~penalty:lockp deque_free victim t cm.steal_lock_ns in
+          match Intq.pop_front deques.(victim) with
+          | -1 -> (t, -1)
+          | v ->
+            let t =
+              if cm.note_steal_lock_ns > 0.0 && frame_hint.(v) >= 0 then
+                acquire ~penalty:lockp frame_free frame_hint.(v) t
+                  cm.note_steal_lock_ns
+              else t
+            in
+            (t, v)
+        end
+        else begin
+          match Intq.pop_front deques.(victim) with
+          | -1 -> (t, -1)
+          | v ->
+            (* CAS commit on the victim's top pointer. *)
+            let t = acquire ~penalty:atomicp deque_free victim t cm.atomic_ns in
+            (t, v)
+        end
+      in
+      let t = t +. cm.steal_ns in
+      let t, v = try_victim w t in
+      let t, v =
+        if v >= 0 || workers = 1 then (t, v)
+        else begin
+          let victim = Nowa_util.Xoshiro.int rng workers in
+          let victim = if victim = w then (victim + 1) mod workers else victim in
+          try_victim victim (t +. cm.steal_ns)
+        end
+      in
+      if v >= 0 then begin
+        incr steals;
+        if frame_hint.(v) >= 0 then stolen.(frame_hint.(v)) <- stolen.(frame_hint.(v)) + 1;
+        note_progress w;
+        exec w (t +. cm.resume_ns) v
+      end
+      else schedule_retry w t
+    end
+  in
+  (* Launch: worker 0 starts at the root; the rest go thieving. *)
+  exec 0 0.0 (Dag.root dag);
+  for w = 1 to workers - 1 do
+    Heap.push heap (float_of_int w *. 60.0) w (-1)
+  done;
+  let truncated = ref false in
+  let running = ref true in
+  while !running do
+    match Heap.pop heap with
+    | None -> running := false
+    | Some (t, w, v) ->
+      incr events;
+      if !events > max_events then begin
+        truncated := true;
+        running := false
+      end
+      else if v = -1 then steal_round w t
+      else begin
+        (* Strand [v] finished on [w]. *)
+        let s = Dag.succ1 dag v in
+        if s = -1 then begin
+          finish_time := t;
+          running := false
+        end
+        else
+          match Dag.kind dag s with
+          | Dag.Sync -> arrive w t ~prev:v s
+          | Dag.Strand | Dag.Spawn -> exec w t s
+      end
+  done;
+  let t1 = Dag.total_work dag in
+  let makespan = if Float.is_nan !finish_time then infinity else !finish_time in
+  {
+    workers;
+    makespan_ns = makespan;
+    t1_ns = t1;
+    span_ns = Dag.span dag;
+    speedup = t1 /. makespan;
+    steals = !steals;
+    steal_attempts = !steal_attempts;
+    events = !events;
+    truncated = !truncated;
+  }

@@ -1,0 +1,41 @@
+(** Discrete-event simulation of work-stealing schedulers over recorded
+    fork/join DAGs.
+
+    This is the substitute for the paper's 256-hardware-thread EPYC
+    testbed: a recorded computation ({!Recorder}) is replayed on [P]
+    virtual workers under a runtime cost model ({!Cost_model}).  The
+    simulator executes the continuation-stealing protocol faithfully —
+    continuations are offered at spawn vertices, a strand arriving at an
+    unsatisfied sync tries its own deque top first and then steals from
+    random victims, the last strand into a sync proceeds past it — and it
+    models every shared structure (deques, strand counters, the central
+    queue) as a FIFO resource in virtual time, so lock convoys and
+    cache-line serialisation emerge at scale exactly as they do on real
+    hardware.
+
+    Known divergences from a real machine, by design: memory locality is
+    not modelled, and the DAG (hence total work) is fixed by the
+    recording, so order-dependent-work benchmarks (knapsack's
+    branch-and-bound pruning) do not reproduce their order sensitivity
+    here — the real runtime does.  Child-stealing joins resume the
+    continuation on the last-arriving strand rather than on the blocked
+    parent; tied-task waiters are modelled by blocking the worker until
+    its sync resolves. *)
+
+type result = {
+  workers : int;
+  makespan_ns : float;
+  t1_ns : float;  (** Σ strand work — the serial-elision time *)
+  span_ns : float;  (** critical path (work only) *)
+  speedup : float;  (** t1 / makespan, the paper's speedup statistic *)
+  steals : int;
+  steal_attempts : int;
+  events : int;
+  truncated : bool;  (** hit the event cap before completing *)
+}
+
+val simulate :
+  ?seed:int -> ?max_events:int -> Cost_model.t -> workers:int -> Dag.t -> result
+(** [simulate model ~workers dag] replays [dag].  [max_events] (default
+    [200_000_000]) bounds runaway simulations; the result is flagged
+    [truncated] when hit. *)

@@ -1,0 +1,1 @@
+lib/deque/abp.ml: Array Atomic Nowa_util Ws_deque_intf

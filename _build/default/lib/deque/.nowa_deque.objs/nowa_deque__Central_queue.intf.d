@@ -1,0 +1,1 @@
+lib/deque/central_queue.mli:

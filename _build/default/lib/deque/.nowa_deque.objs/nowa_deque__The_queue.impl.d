@@ -1,0 +1,1 @@
+lib/deque/the_queue.ml: Array Atomic Mutex Nowa_util Ws_deque_intf

@@ -1,0 +1,1 @@
+lib/deque/ws_deque_intf.ml:

@@ -1,0 +1,20 @@
+type 'a t = { lock : Mutex.t; q : 'a Queue.t }
+
+let create () = { lock = Mutex.create (); q = Queue.create () }
+
+let push t v =
+  Mutex.lock t.lock;
+  Queue.push v t.q;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  let r = Queue.take_opt t.q in
+  Mutex.unlock t.lock;
+  r
+
+let size t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.q in
+  Mutex.unlock t.lock;
+  n

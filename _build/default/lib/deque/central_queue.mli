@@ -1,0 +1,18 @@
+(** Single global mutex-protected FIFO task queue.
+
+    This is the structural model of GCC libgomp's task handling: every
+    worker pushes to and pops from one shared queue, so all scheduling
+    traffic serialises on one lock — the pathology behind libgomp's curve
+    in Figure 10 of the paper. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue at the back (FIFO order, like libgomp's task list). *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the front; [None] if empty. *)
+
+val size : 'a t -> int

@@ -1,0 +1,54 @@
+(** Signatures shared by all work-stealing deque implementations.
+
+    A work-stealing deque (Section II-A of the paper) is a double-ended
+    queue with asymmetric ends: the owning worker pushes and pops at the
+    {e bottom} in LIFO order; thieves remove from the {e top} in FIFO
+    order.  Implementations only need to be partially multithread-safe:
+    [steal] may run concurrently with itself and with at most one bottom
+    operation, while the two bottom operations are never concurrent with
+    each other. *)
+
+(** Element type with an inhabitant used to blank freed slots. *)
+module type ELT = sig
+  type t
+
+  val dummy : t
+end
+
+exception Full
+(** Raised by bounded deques ([Abp]) when [push_bottom] finds no space.
+    The ABP queue can raise this even when its logical size is small —
+    the effective-capacity pathology described in Section II-D. *)
+
+module type S = sig
+  type elt
+  type t
+
+  val name : string
+  (** Short identifier used in benchmark output ("cl", "the", ...). *)
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] is the initial (CL) or fixed (THE/ABP) slot count. *)
+
+  val push_bottom : t -> elt -> unit
+  (** Owner only.  May raise {!Full} on bounded implementations. *)
+
+  val pop_bottom : t -> elt option
+  (** Owner only.  LIFO: returns the most recently pushed element that has
+      not been stolen. *)
+
+  val steal : t -> on_commit:(elt -> unit) -> elt option
+  (** Thief operation; FIFO from the top.  [on_commit] runs exactly once if
+      and only if the steal succeeds, at a point where the transfer can no
+      longer fail.  For lock-based deques it runs {e inside} the critical
+      section — this is the hook Fibril-style runtimes use to couple the
+      steal with their strand-counter update (paper Listing 2); wait-free
+      runtimes pass a no-op.  Returns [None] both when the deque is empty
+      and when the attempt aborted due to a race; callers retry. *)
+
+  val size : t -> int
+  (** Approximate number of elements; exact when quiescent. *)
+end
+
+(** A deque implementation, abstracted over its element type. *)
+module type MAKER = functor (E : ELT) -> S with type elt = E.t

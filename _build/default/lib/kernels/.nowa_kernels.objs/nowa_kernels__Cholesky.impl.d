@@ -1,0 +1,1 @@
+lib/kernels/cholesky.ml: Kernel_intf Linalg Rectmul

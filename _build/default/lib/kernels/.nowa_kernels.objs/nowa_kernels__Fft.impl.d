@@ -1,0 +1,1 @@
+lib/kernels/fft.ml: Array Float Kernel_intf Nowa_util

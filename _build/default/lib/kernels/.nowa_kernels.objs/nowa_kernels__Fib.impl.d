@@ -1,0 +1,1 @@
+lib/kernels/fib.ml: Kernel_intf

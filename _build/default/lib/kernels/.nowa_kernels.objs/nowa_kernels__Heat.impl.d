@@ -1,0 +1,1 @@
+lib/kernels/heat.ml: Array Kernel_intf

@@ -1,0 +1,1 @@
+lib/kernels/integrate.ml: Float Kernel_intf

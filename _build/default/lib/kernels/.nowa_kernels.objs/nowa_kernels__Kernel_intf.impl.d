@@ -1,0 +1,1 @@
+lib/kernels/kernel_intf.ml: Nowa_runtime

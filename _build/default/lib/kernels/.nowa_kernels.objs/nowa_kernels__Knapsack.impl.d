@@ -1,0 +1,1 @@
+lib/kernels/knapsack.ml: Array Atomic Kernel_intf Nowa_util

@@ -1,0 +1,1 @@
+lib/kernels/linalg.ml: Array Float Nowa_util

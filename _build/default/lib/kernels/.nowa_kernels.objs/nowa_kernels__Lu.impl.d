@@ -1,0 +1,1 @@
+lib/kernels/lu.ml: Kernel_intf Linalg Rectmul

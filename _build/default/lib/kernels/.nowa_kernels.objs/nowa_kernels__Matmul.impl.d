@@ -1,0 +1,1 @@
+lib/kernels/matmul.ml: Kernel_intf Linalg

@@ -1,0 +1,1 @@
+lib/kernels/nqueens.ml: Array Kernel_intf List

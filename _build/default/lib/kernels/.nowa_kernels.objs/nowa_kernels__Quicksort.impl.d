@@ -1,0 +1,1 @@
+lib/kernels/quicksort.ml: Array Kernel_intf Nowa_util

@@ -1,0 +1,1 @@
+lib/kernels/rectmul.ml: Kernel_intf Linalg

@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Array Cholesky Fft Fib Float Hashtbl Heat Integrate Kernel_intf Knapsack Linalg List Lu Matmul Nowa_runtime Nqueens Printf Quicksort Rectmul Strassen String

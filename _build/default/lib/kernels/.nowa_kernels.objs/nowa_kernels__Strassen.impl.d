@@ -1,0 +1,1 @@
+lib/kernels/strassen.ml: Kernel_intf Linalg List

@@ -1,0 +1,112 @@
+(** Recursive blocked Cholesky factorisation (the paper's [cholesky]
+    benchmark, dense variant): an SPD matrix A is factored in place into
+    the lower-triangular L with A = L·Lᵀ.
+
+    Quadrant recursion:  L11 = chol(A11);  L21 = A21·L11⁻ᵀ;
+    A22 ← A22 − L21·L21ᵀ (SYRK);  L22 = chol(A22).  The SYRK update and
+    the triangular solve use the parallel rectangular-multiply core.
+    The paper notes this benchmark stresses stack allocation and the
+    global stack pool; in this platform that pressure shows up through
+    the {!Nowa_runtime.Stack_pool} substrate. *)
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let base = 32
+
+  module Rect = Rectmul.Make (R)
+
+  let chol_base a =
+    let n = a.Linalg.rows in
+    for j = 0 to n - 1 do
+      let diag = ref (Linalg.get a j j) in
+      for k = 0 to j - 1 do
+        let v = Linalg.get a j k in
+        diag := !diag -. (v *. v)
+      done;
+      let ljj = sqrt !diag in
+      Linalg.set a j j ljj;
+      for i = j + 1 to n - 1 do
+        let acc = ref (Linalg.get a i j) in
+        for k = 0 to j - 1 do
+          acc := !acc -. (Linalg.get a i k *. Linalg.get a j k)
+        done;
+        Linalg.set a i j (!acc /. ljj)
+      done
+    done
+
+  (* Solve X·Lᵀ = B in place in [b] ([l] lower triangular).  Row blocks
+     of [b] are independent and split in parallel; the triangular
+     dimension is blocked recursively (Lᵀ has upper-triangular quadrant
+     structure [l11ᵀ l21ᵀ; 0 l22ᵀ]):
+       x_left = b_left·l11⁻ᵀ;  b_right −= x_left·l21ᵀ;
+       x_right = b_right·l22⁻ᵀ. *)
+  let rec trsm_right_transposed b l =
+    let n = l.Linalg.rows and rows = b.Linalg.rows in
+    if rows > base then begin
+      let h = rows / 2 in
+      let b_top = Linalg.sub b ~row:0 ~col:0 ~rows:h ~cols:n
+      and b_bot = Linalg.sub b ~row:h ~col:0 ~rows:(rows - h) ~cols:n in
+      R.scope (fun sc ->
+          let top = R.spawn sc (fun () -> trsm_right_transposed b_top l) in
+          trsm_right_transposed b_bot l;
+          R.sync sc;
+          R.get top)
+    end
+    else if n > base then begin
+      let h = n / 2 in
+      let l11 = Linalg.sub l ~row:0 ~col:0 ~rows:h ~cols:h
+      and l21 = Linalg.sub l ~row:h ~col:0 ~rows:(n - h) ~cols:h
+      and l22 = Linalg.sub l ~row:h ~col:h ~rows:(n - h) ~cols:(n - h) in
+      let b_left = Linalg.sub b ~row:0 ~col:0 ~rows ~cols:h
+      and b_right = Linalg.sub b ~row:0 ~col:h ~rows ~cols:(n - h) in
+      trsm_right_transposed b_left l11;
+      let l21t = Linalg.transpose l21 in
+      Rect.mult_sub b_left l21t b_right;
+      trsm_right_transposed b_right l22
+    end
+    else
+      (* X·Lᵀ = B column-by-column: x_ij = (b_ij − Σ_{k<j} x_ik·l_jk)/l_jj *)
+      for i = 0 to rows - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref (Linalg.get b i j) in
+          for k = 0 to j - 1 do
+            acc := !acc -. (Linalg.get b i k *. Linalg.get l j k)
+          done;
+          Linalg.set b i j (!acc /. Linalg.get l j j)
+        done
+      done
+
+  (* a22 ← a22 − l21·l21ᵀ.  The transpose is materialised once; the
+     multiply itself is the parallel rectangular core.  Only the lower
+     triangle of a22 is meaningful afterwards, but computing the full
+     update keeps the code regular. *)
+  let syrk_sub a22 l21 =
+    let l21t = Linalg.transpose l21 in
+    Rect.mult_sub l21 l21t a22
+
+  let rec factor a =
+    let n = a.Linalg.rows in
+    if n <= base then chol_base a
+    else begin
+      let h = n / 2 in
+      let a11 = Linalg.sub a ~row:0 ~col:0 ~rows:h ~cols:h
+      and a21 = Linalg.sub a ~row:h ~col:0 ~rows:(n - h) ~cols:h
+      and a22 = Linalg.sub a ~row:h ~col:h ~rows:(n - h) ~cols:(n - h) in
+      factor a11;
+      trsm_right_transposed a21 a11;
+      syrk_sub a22 a21;
+      factor a22
+    end
+
+  let run a = factor a
+end
+
+(** Reconstruct L·Lᵀ from the in-place result (upper garbage ignored). *)
+let reconstruct packed =
+  let n = packed.Linalg.rows in
+  let l = Linalg.init n n (fun i j ->
+      if i >= j then Linalg.get packed i j else 0.0)
+  in
+  let lt = Linalg.transpose l in
+  let prod = Linalg.create n n in
+  Linalg.matmul_add_naive l lt prod;
+  prod

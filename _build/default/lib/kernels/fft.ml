@@ -1,0 +1,117 @@
+(** Fast Fourier transformation: recursive radix-2 Cooley-Tukey on
+    complex data stored as an interleaved [re, im] float array.  The two
+    half-size transforms are spawned in parallel; butterfly combination
+    loops of large blocks are split recursively as well. *)
+
+type signal = float array
+(** Interleaved complex: element k is (a.(2k), a.(2k+1)); length 2·n. *)
+
+let make_signal n = Array.make (2 * n) 0.0
+
+let signal_of_fun n f =
+  let s = make_signal n in
+  for k = 0 to n - 1 do
+    let re, im = f k in
+    s.(2 * k) <- re;
+    s.((2 * k) + 1) <- im
+  done;
+  s
+
+let random_signal ?(seed = 3) n =
+  let rng = Nowa_util.Xoshiro.make ~seed in
+  signal_of_fun n (fun _ ->
+      ( (2.0 *. Nowa_util.Xoshiro.float rng) -. 1.0,
+        (2.0 *. Nowa_util.Xoshiro.float rng) -. 1.0 ))
+
+(** O(n²) reference DFT, for validation at small sizes. *)
+let dft_naive (x : signal) =
+  let n = Array.length x / 2 in
+  let out = make_signal n in
+  for k = 0 to n - 1 do
+    let sum_re = ref 0.0 and sum_im = ref 0.0 in
+    for t = 0 to n - 1 do
+      let angle = -2.0 *. Float.pi *. float_of_int (k * t) /. float_of_int n in
+      let c = cos angle and s = sin angle in
+      let re = x.(2 * t) and im = x.((2 * t) + 1) in
+      sum_re := !sum_re +. (re *. c) -. (im *. s);
+      sum_im := !sum_im +. (re *. s) +. (im *. c)
+    done;
+    out.(2 * k) <- !sum_re;
+    out.((2 * k) + 1) <- !sum_im
+  done;
+  out
+
+let max_abs_diff a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. b.(i)))) a;
+  !m
+
+let checksum (s : signal) =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. (v *. float_of_int ((i mod 89) + 1))) s;
+  !acc
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let spawn_cutoff = 256
+
+  (* Butterfly combine over k ∈ [lo, hi):
+     X[k] = E[k] + w·O[k]; X[k+h] = E[k] − w·O[k]. *)
+  let butterflies dst doff h n lo hi =
+    let step = -2.0 *. Float.pi /. float_of_int n in
+    for k = lo to hi - 1 do
+      let angle = step *. float_of_int k in
+      let wr = cos angle and wi = sin angle in
+      let er = dst.(2 * (doff + k)) and ei = dst.((2 * (doff + k)) + 1) in
+      let or_ = dst.(2 * (doff + h + k)) and oi = dst.((2 * (doff + h + k)) + 1) in
+      let tr = (wr *. or_) -. (wi *. oi) and ti = (wr *. oi) +. (wi *. or_) in
+      dst.(2 * (doff + k)) <- er +. tr;
+      dst.((2 * (doff + k)) + 1) <- ei +. ti;
+      dst.(2 * (doff + h + k)) <- er -. tr;
+      dst.((2 * (doff + h + k)) + 1) <- ei -. ti
+    done
+
+  (* Disjoint k-ranges are independent: split the combine loop too, or
+     the top-level butterflies would serialise the critical path. *)
+  let rec parallel_butterflies dst doff h n lo hi =
+    if hi - lo <= spawn_cutoff then butterflies dst doff h n lo hi
+    else
+      R.scope (fun sc ->
+          let mid = lo + ((hi - lo) / 2) in
+          let left =
+            R.spawn sc (fun () -> parallel_butterflies dst doff h n lo mid)
+          in
+          parallel_butterflies dst doff h n mid hi;
+          R.sync sc;
+          R.get left)
+
+  (* Transform the n points of [src] at offset [soff] (complex elements)
+     with stride [sstride] into [dst] at [doff..doff+n-1] contiguously. *)
+  let rec transform src soff sstride dst doff n =
+    if n = 1 then begin
+      dst.(2 * doff) <- src.(2 * soff);
+      dst.((2 * doff) + 1) <- src.((2 * soff) + 1)
+    end
+    else begin
+      let h = n / 2 in
+      if n >= spawn_cutoff then
+        R.scope (fun sc ->
+            let even =
+              R.spawn sc (fun () -> transform src soff (2 * sstride) dst doff h)
+            in
+            transform src (soff + sstride) (2 * sstride) dst (doff + h) h;
+            R.sync sc;
+            R.get even)
+      else begin
+        transform src soff (2 * sstride) dst doff h;
+        transform src (soff + sstride) (2 * sstride) dst (doff + h) h
+      end;
+      parallel_butterflies dst doff h n 0 h
+    end
+
+  let run (x : signal) =
+    let n = Array.length x / 2 in
+    if n land (n - 1) <> 0 then invalid_arg "Fft.run: length must be a power of 2";
+    let out = make_signal n in
+    transform x 0 1 out 0 n;
+    out
+end

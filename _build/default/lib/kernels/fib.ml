@@ -1,0 +1,22 @@
+(** Recursive Fibonacci (Listing 1 of the paper).  The work per task is a
+    single addition, making this the purest stress test of the runtime
+    system itself — the paper calls it "a useful tool for measuring the
+    performance of the runtime system". *)
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let rec fib n =
+    if n < 2 then n
+    else
+      R.scope (fun sc ->
+          let a = R.spawn sc (fun () -> fib (n - 1)) in
+          let b = fib (n - 2) in
+          R.sync sc;
+          R.get a + b)
+
+  let run n = fib n
+end
+
+let rec serial n = if n < 2 then n else serial (n - 1) + serial (n - 2)
+
+(** Number of spawn points [fib n] executes: one per internal call. *)
+let rec spawn_count n = if n < 2 then 0 else 1 + spawn_count (n - 1) + spawn_count (n - 2)

@@ -1,0 +1,29 @@
+(** Quadrature adaptive integration, after the Cilk/Fibril benchmark:
+    integrate f(x) = (x² + 1)·x over [0, n] by recursive interval halving
+    until the trapezoid estimate stabilises within the tolerance. *)
+
+let f x = ((x *. x) +. 1.0) *. x
+
+(** Closed form of the integral of [f] over [0, b], for validation. *)
+let exact b = ((b ** 4.0) /. 4.0) +. ((b *. b) /. 2.0)
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let rec area ~epsilon x1 y1 x2 y2 estimate =
+    let half = (x2 -. x1) /. 2.0 in
+    let x0 = x1 +. half in
+    let y0 = f x0 in
+    let a1 = (y1 +. y0) /. 2.0 *. half in
+    let a2 = (y0 +. y2) /. 2.0 *. half in
+    let refined = a1 +. a2 in
+    if Float.abs (refined -. estimate) < epsilon then refined
+    else
+      R.scope (fun sc ->
+          let left = R.spawn sc (fun () -> area ~epsilon x1 y1 x0 y0 a1) in
+          let right = area ~epsilon x0 y0 x2 y2 a2 in
+          R.sync sc;
+          R.get left +. right)
+
+  let run ?(epsilon = 1e-9) n =
+    let b = float_of_int n in
+    area ~epsilon 0.0 (f 0.0) b (f b) 0.0
+end

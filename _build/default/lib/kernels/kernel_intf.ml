@@ -1,0 +1,11 @@
+(** Common definitions for the benchmark kernels (Table I of the paper).
+
+    Every kernel is a functor over the runtime interface, so the same
+    source runs unchanged on the Nowa runtime, every baseline preset, and
+    the serial elision (which doubles as the correctness reference). *)
+
+module type RUNTIME = Nowa_runtime.Runtime_intf.S
+
+(** Serial elision of each kernel = the kernel instantiated with
+    {!Nowa_runtime.Serial_runtime}. *)
+module Serial = Nowa_runtime.Serial_runtime

@@ -1,0 +1,79 @@
+(** 0/1 knapsack by branch-and-bound, after the Cilk/Fibril benchmark.
+
+    A task is spawned per branch of the search tree; branches are pruned
+    against the best value found so far (a shared atomic), using the
+    fractional-relaxation upper bound.  As the paper discusses at length
+    (Section V-A), the amount of work — though not the result — depends
+    on task execution order, which makes this benchmark highly sensitive
+    to the stealing scheme.  [run] takes both branches in the paper's
+    original spawn order; [run ~flipped:true] applies the source-order
+    flip the authors describe, which favours continuation stealing. *)
+
+type item = { value : int; weight : int }
+
+(* Deterministic instance generation; items sorted by value density, as
+   branch-and-bound requires for the fractional bound to prune well. *)
+let make_items ~seed n =
+  let rng = Nowa_util.Xoshiro.make ~seed in
+  let items =
+    Array.init n (fun _ ->
+        {
+          value = 1 + Nowa_util.Xoshiro.int rng 100;
+          weight = 1 + Nowa_util.Xoshiro.int rng 100;
+        })
+  in
+  Array.sort
+    (fun a b ->
+      compare (float_of_int b.value /. float_of_int b.weight)
+        (float_of_int a.value /. float_of_int a.weight))
+    items;
+  items
+
+let default_capacity items =
+  Array.fold_left (fun acc it -> acc + it.weight) 0 items / 2
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let update_best best v =
+    let rec loop () =
+      let cur = Atomic.get best in
+      if v > cur && not (Atomic.compare_and_set best cur v) then loop ()
+    in
+    loop ()
+
+  let rec branch ~flipped items best i capacity value =
+    let n = Array.length items in
+    if capacity < 0 then min_int
+    else if i = n || capacity = 0 then begin
+      update_best best value;
+      value
+    end
+    else begin
+      let it = items.(i) in
+      let upper_bound =
+        value
+        + int_of_float
+            (float_of_int capacity *. float_of_int it.value /. float_of_int it.weight)
+      in
+      if upper_bound < Atomic.get best then min_int
+      else
+        R.scope (fun sc ->
+            let first, second =
+              let take () =
+                branch ~flipped items best (i + 1) (capacity - it.weight)
+                  (value + it.value)
+              and skip () = branch ~flipped items best (i + 1) capacity value in
+              if flipped then (skip, take) else (take, skip)
+            in
+            let a = R.spawn sc first in
+            let b = second () in
+            R.sync sc;
+            max (R.get a) b)
+    end
+
+  let run ?(flipped = false) ?capacity items =
+    let capacity =
+      match capacity with Some c -> c | None -> default_capacity items
+    in
+    let best = Atomic.make 0 in
+    max (branch ~flipped items best 0 capacity 0) (Atomic.get best)
+end

@@ -1,0 +1,133 @@
+type t = { data : float array; off : int; ld : int; rows : int; cols : int }
+
+let create rows cols =
+  { data = Array.make (rows * cols) 0.0; off = 0; ld = cols; rows; cols }
+
+let get m i j = m.data.(m.off + (i * m.ld) + j)
+let set m i j v = m.data.(m.off + (i * m.ld) + j) <- v
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let copy m = init m.rows m.cols (fun i j -> get m i j)
+
+let sub m ~row ~col ~rows ~cols =
+  if row < 0 || col < 0 || row + rows > m.rows || col + cols > m.cols then
+    invalid_arg "Linalg.sub: window out of bounds";
+  { m with off = m.off + (row * m.ld) + col; rows; cols }
+
+let quadrants m =
+  if m.rows mod 2 <> 0 || m.cols mod 2 <> 0 then
+    invalid_arg "Linalg.quadrants: odd dimension";
+  let hr = m.rows / 2 and hc = m.cols / 2 in
+  ( sub m ~row:0 ~col:0 ~rows:hr ~cols:hc,
+    sub m ~row:0 ~col:hc ~rows:hr ~cols:hc,
+    sub m ~row:hr ~col:0 ~rows:hr ~cols:hc,
+    sub m ~row:hr ~col:hc ~rows:hr ~cols:hc )
+
+let fill m v =
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      set m i j v
+    done
+  done
+
+let binop_into ~dst op x y =
+  assert (dst.rows = x.rows && dst.cols = x.cols);
+  assert (x.rows = y.rows && x.cols = y.cols);
+  for i = 0 to dst.rows - 1 do
+    for j = 0 to dst.cols - 1 do
+      set dst i j (op (get x i j) (get y i j))
+    done
+  done
+
+let add_into ~dst x y = binop_into ~dst ( +. ) x y
+let sub_into ~dst x y = binop_into ~dst ( -. ) x y
+
+let accumulate ~dst x =
+  assert (dst.rows = x.rows && dst.cols = x.cols);
+  for i = 0 to dst.rows - 1 do
+    for j = 0 to dst.cols - 1 do
+      set dst i j (get dst i j +. get x i j)
+    done
+  done
+
+let matmul_add_naive a b c =
+  assert (a.cols = b.rows && c.rows = a.rows && c.cols = b.cols);
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          set c i j (get c i j +. (aik *. get b k j))
+        done
+    done
+  done
+
+let matmul_sub_naive a b c =
+  assert (a.cols = b.rows && c.rows = a.rows && c.cols = b.cols);
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          set c i j (get c i j -. (aik *. get b k j))
+        done
+    done
+  done
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let random ?(seed = 42) rows cols =
+  let rng = Nowa_util.Xoshiro.make ~seed in
+  init rows cols (fun _ _ -> (2.0 *. Nowa_util.Xoshiro.float rng) -. 1.0)
+
+let random_spd ?(seed = 42) n =
+  let a = random ~seed n n in
+  let s = create n n in
+  (* s = aᵀ·a / n + n·I *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (get a k i *. get a k j)
+      done;
+      set s i j ((!acc /. float_of_int n) +. if i = j then float_of_int n else 0.0)
+    done
+  done;
+  s
+
+let max_abs_diff x y =
+  assert (x.rows = y.rows && x.cols = y.cols);
+  let m = ref 0.0 in
+  for i = 0 to x.rows - 1 do
+    for j = 0 to x.cols - 1 do
+      m := Float.max !m (Float.abs (get x i j -. get y i j))
+    done
+  done;
+  !m
+
+let frobenius x =
+  let s = ref 0.0 in
+  for i = 0 to x.rows - 1 do
+    for j = 0 to x.cols - 1 do
+      let v = get x i j in
+      s := !s +. (v *. v)
+    done
+  done;
+  sqrt !s
+
+let checksum x =
+  let s = ref 0.0 in
+  for i = 0 to x.rows - 1 do
+    for j = 0 to x.cols - 1 do
+      s := !s +. (get x i j *. float_of_int (((i * 31) + j) mod 97))
+    done
+  done;
+  !s

@@ -1,0 +1,62 @@
+(** Dense matrix views for the divide-and-conquer linear-algebra kernels
+    (matmul, rectmul, strassen, lu, cholesky).
+
+    A view is a window into a shared row-major backing array with an
+    explicit leading dimension, so quadrant decomposition never copies.
+    All kernels operate on views; concurrent strands only ever write
+    disjoint windows. *)
+
+type t = private {
+  data : float array;
+  off : int;  (** index of element (0,0) in [data] *)
+  ld : int;  (** leading dimension (row stride) *)
+  rows : int;
+  cols : int;
+}
+
+val create : int -> int -> t
+(** Zero-initialised [rows × cols] matrix with a fresh backing array. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val copy : t -> t
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val sub : t -> row:int -> col:int -> rows:int -> cols:int -> t
+(** A window sharing the backing array; bounds-checked. *)
+
+val quadrants : t -> t * t * t * t
+(** [(a11, a12, a21, a22)] of an even-dimensioned matrix. *)
+
+val fill : t -> float -> unit
+
+val add_into : dst:t -> t -> t -> unit
+(** dst ← x + y *)
+
+val sub_into : dst:t -> t -> t -> unit
+(** dst ← x − y *)
+
+val accumulate : dst:t -> t -> unit
+(** dst ← dst + x *)
+
+val matmul_add_naive : t -> t -> t -> unit
+(** [matmul_add_naive a b c]: c ← c + a·b, triple loop (ikj order). *)
+
+val matmul_sub_naive : t -> t -> t -> unit
+(** c ← c − a·b. *)
+
+val transpose : t -> t
+(** Fresh transposed copy. *)
+
+val random : ?seed:int -> int -> int -> t
+(** Entries uniform in [(-1, 1)], deterministic from [seed]. *)
+
+val random_spd : ?seed:int -> int -> t
+(** Symmetric positive-definite: Aᵀ·A/n + n·I on a random A — safe for
+    unpivoted LU and Cholesky. *)
+
+val max_abs_diff : t -> t -> float
+val frobenius : t -> float
+val checksum : t -> float
+(** Position-weighted sum usable as an order-insensitive fingerprint. *)

@@ -1,0 +1,135 @@
+(** Recursive blocked LU decomposition without pivoting (the Cilk [lu]
+    benchmark): A is factored in place into a unit-lower L and upper U.
+    Inputs must be factorisable unpivoted (the registry feeds it
+    diagonally dominant SPD matrices).
+
+    Recursion on quadrants:  A11 = L11·U11;  U12 = L11⁻¹·A12;
+    L21 = A21·U11⁻¹;  A22 ← A22 − L21·U12;  recurse on A22.
+    The two triangular solves run in parallel; the Schur update uses the
+    parallel rectangular multiply. *)
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let base = 32
+
+  module Rect = Rectmul.Make (R)
+
+  let lu_base a =
+    let n = a.Linalg.rows in
+    for k = 0 to n - 1 do
+      let pivot = Linalg.get a k k in
+      for i = k + 1 to n - 1 do
+        let lik = Linalg.get a i k /. pivot in
+        Linalg.set a i k lik;
+        for j = k + 1 to n - 1 do
+          Linalg.set a i j (Linalg.get a i j -. (lik *. Linalg.get a k j))
+        done
+      done
+    done
+
+  (* Solve L·X = B in place in [b]; [l] unit lower triangular.  Column
+     blocks of [b] are independent and split in parallel; the row
+     recursion is the dependent direction. *)
+  let rec lower_solve l b =
+    let n = l.Linalg.rows and cols = b.Linalg.cols in
+    if cols > base then begin
+      let h = cols / 2 in
+      let b_left = Linalg.sub b ~row:0 ~col:0 ~rows:n ~cols:h
+      and b_right = Linalg.sub b ~row:0 ~col:h ~rows:n ~cols:(cols - h) in
+      R.scope (fun sc ->
+          let left = R.spawn sc (fun () -> lower_solve l b_left) in
+          lower_solve l b_right;
+          R.sync sc;
+          R.get left)
+    end
+    else if n <= base then
+      (* Forward substitution with the unit diagonal. *)
+      for j = 0 to cols - 1 do
+        for i = 0 to n - 1 do
+          let acc = ref (Linalg.get b i j) in
+          for k = 0 to i - 1 do
+            acc := !acc -. (Linalg.get l i k *. Linalg.get b k j)
+          done;
+          Linalg.set b i j !acc
+        done
+      done
+    else begin
+      let h = n / 2 in
+      let l11 = Linalg.sub l ~row:0 ~col:0 ~rows:h ~cols:h
+      and l21 = Linalg.sub l ~row:h ~col:0 ~rows:(n - h) ~cols:h
+      and l22 = Linalg.sub l ~row:h ~col:h ~rows:(n - h) ~cols:(n - h) in
+      let b_top = Linalg.sub b ~row:0 ~col:0 ~rows:h ~cols:cols
+      and b_bot = Linalg.sub b ~row:h ~col:0 ~rows:(n - h) ~cols:cols in
+      lower_solve l11 b_top;
+      Rect.mult_sub l21 b_top b_bot;
+      lower_solve l22 b_bot
+    end
+
+  (* Solve X·U = B in place in [b]; [u] upper triangular.  Row blocks of
+     [b] are the independent direction. *)
+  let rec upper_solve b u =
+    let n = u.Linalg.rows and rows = b.Linalg.rows in
+    if rows > base then begin
+      let h = rows / 2 in
+      let b_top = Linalg.sub b ~row:0 ~col:0 ~rows:h ~cols:n
+      and b_bot = Linalg.sub b ~row:h ~col:0 ~rows:(rows - h) ~cols:n in
+      R.scope (fun sc ->
+          let top = R.spawn sc (fun () -> upper_solve b_top u) in
+          upper_solve b_bot u;
+          R.sync sc;
+          R.get top)
+    end
+    else if n <= base then
+      for i = 0 to rows - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref (Linalg.get b i j) in
+          for k = 0 to j - 1 do
+            acc := !acc -. (Linalg.get b i k *. Linalg.get u k j)
+          done;
+          Linalg.set b i j (!acc /. Linalg.get u j j)
+        done
+      done
+    else begin
+      let h = n / 2 in
+      let u11 = Linalg.sub u ~row:0 ~col:0 ~rows:h ~cols:h
+      and u12 = Linalg.sub u ~row:0 ~col:h ~rows:h ~cols:(n - h)
+      and u22 = Linalg.sub u ~row:h ~col:h ~rows:(n - h) ~cols:(n - h) in
+      let b_left = Linalg.sub b ~row:0 ~col:0 ~rows ~cols:h
+      and b_right = Linalg.sub b ~row:0 ~col:h ~rows ~cols:(n - h) in
+      upper_solve b_left u11;
+      Rect.mult_sub b_left u12 b_right;
+      upper_solve b_right u22
+    end
+
+  let rec factor a =
+    let n = a.Linalg.rows in
+    if n <= base then lu_base a
+    else begin
+      let h = n / 2 in
+      let a11 = Linalg.sub a ~row:0 ~col:0 ~rows:h ~cols:h
+      and a12 = Linalg.sub a ~row:0 ~col:h ~rows:h ~cols:(n - h)
+      and a21 = Linalg.sub a ~row:h ~col:0 ~rows:(n - h) ~cols:h
+      and a22 = Linalg.sub a ~row:h ~col:h ~rows:(n - h) ~cols:(n - h) in
+      factor a11;
+      R.scope (fun sc ->
+          let solves = R.spawn sc (fun () -> lower_solve a11 a12) in
+          upper_solve a21 a11;
+          R.sync sc;
+          R.get solves);
+      Rect.mult_sub a21 a12 a22;
+      factor a22
+    end
+
+  let run a = factor a
+end
+
+(** Reconstruct L·U from the packed in-place result, for validation. *)
+let reconstruct packed =
+  let n = packed.Linalg.rows in
+  let l = Linalg.init n n (fun i j ->
+      if i > j then Linalg.get packed i j else if i = j then 1.0 else 0.0)
+  and u = Linalg.init n n (fun i j ->
+      if i <= j then Linalg.get packed i j else 0.0)
+  in
+  let prod = Linalg.create n n in
+  Linalg.matmul_add_naive l u prod;
+  prod

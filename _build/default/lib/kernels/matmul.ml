@@ -1,0 +1,41 @@
+(** Square matrix multiply with the classic Cilk 8-way quadrant recursion:
+    the four products of the first half are spawned together, synced, and
+    then the four of the second half — two fork/join phases per level. *)
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let base = 32
+
+  let rec mult_add a b c =
+    let n = c.Linalg.rows in
+    if n <= base || n mod 2 <> 0 then Linalg.matmul_add_naive a b c
+    else begin
+      let a11, a12, a21, a22 = Linalg.quadrants a in
+      let b11, b12, b21, b22 = Linalg.quadrants b in
+      let c11, c12, c21, c22 = Linalg.quadrants c in
+      R.scope (fun sc ->
+          let p1 = R.spawn sc (fun () -> mult_add a11 b11 c11) in
+          let p2 = R.spawn sc (fun () -> mult_add a11 b12 c12) in
+          let p3 = R.spawn sc (fun () -> mult_add a21 b11 c21) in
+          mult_add a21 b12 c22;
+          R.sync sc;
+          R.get p1;
+          R.get p2;
+          R.get p3);
+      R.scope (fun sc ->
+          let p1 = R.spawn sc (fun () -> mult_add a12 b21 c11) in
+          let p2 = R.spawn sc (fun () -> mult_add a12 b22 c12) in
+          let p3 = R.spawn sc (fun () -> mult_add a22 b21 c21) in
+          mult_add a22 b22 c22;
+          R.sync sc;
+          R.get p1;
+          R.get p2;
+          R.get p3)
+    end
+
+  (** The benchmark entry: c ← a·b on fresh n×n inputs. *)
+  let run a b =
+    assert (a.Linalg.rows = a.Linalg.cols && b.Linalg.rows = b.Linalg.cols);
+    let c = Linalg.create a.Linalg.rows b.Linalg.cols in
+    mult_add a b c;
+    c
+end

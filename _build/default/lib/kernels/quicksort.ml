@@ -1,0 +1,74 @@
+(** Parallel quicksort on an int array: Hoare partition, the smaller side
+    spawned, insertion sort below a cutoff. *)
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let insertion a lo hi =
+    for i = lo + 1 to hi do
+      let key = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > key do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- key
+    done
+
+  (* Median-of-three pivot keeps the recursion balanced on the adversarial
+     patterns the test-suite throws at it. *)
+  let partition a lo hi =
+    let mid = lo + ((hi - lo) / 2) in
+    let swap i j =
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi) < a.(lo) then swap hi lo;
+    if a.(hi) < a.(mid) then swap hi mid;
+    let pivot = a.(mid) in
+    let i = ref (lo - 1) and j = ref (hi + 1) in
+    let continue = ref true in
+    let result = ref 0 in
+    while !continue do
+      incr i;
+      while a.(!i) < pivot do
+        incr i
+      done;
+      decr j;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i >= !j then begin
+        result := !j;
+        continue := false
+      end
+      else swap !i !j
+    done;
+    !result
+
+  let rec sort ?(cutoff = 512) a lo hi =
+    if hi - lo < cutoff then insertion a lo hi
+    else begin
+      let p = partition a lo hi in
+      R.scope (fun sc ->
+          let left = R.spawn sc (fun () -> sort ~cutoff a lo p) in
+          sort ~cutoff a (p + 1) hi;
+          R.sync sc;
+          R.get left)
+    end
+
+  let run ?cutoff a =
+    let n = Array.length a in
+    if n > 1 then sort ?cutoff a 0 (n - 1)
+end
+
+let random_array ?(seed = 7) n =
+  let rng = Nowa_util.Xoshiro.make ~seed in
+  Array.init n (fun _ -> Nowa_util.Xoshiro.int rng 1_000_000_000)
+
+let is_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) > a.(i + 1) then ok := false
+  done;
+  !ok

@@ -1,0 +1,61 @@
+(** Rectangular matrix multiply by recursive splitting of the largest
+    dimension, after the Cilk benchmark.  Splits of the result dimensions
+    (rows/columns) run in parallel; a split of the shared inner dimension
+    creates two accumulations into the same result and runs sequentially.
+
+    This module is also the matrix-multiply core reused by the LU and
+    Cholesky kernels for their Schur-complement updates. *)
+
+module Make (R : Kernel_intf.RUNTIME) = struct
+  let base = 32
+
+  let rec mult ~negate a b c =
+    let m = c.Linalg.rows and n = c.Linalg.cols and k = a.Linalg.cols in
+    if m <= base && n <= base && k <= base then
+      if negate then Linalg.matmul_sub_naive a b c
+      else Linalg.matmul_add_naive a b c
+    else if m >= n && m >= k then begin
+      let h = m / 2 in
+      let a_top = Linalg.sub a ~row:0 ~col:0 ~rows:h ~cols:k
+      and a_bot = Linalg.sub a ~row:h ~col:0 ~rows:(m - h) ~cols:k
+      and c_top = Linalg.sub c ~row:0 ~col:0 ~rows:h ~cols:n
+      and c_bot = Linalg.sub c ~row:h ~col:0 ~rows:(m - h) ~cols:n in
+      R.scope (fun sc ->
+          let top = R.spawn sc (fun () -> mult ~negate a_top b c_top) in
+          mult ~negate a_bot b c_bot;
+          R.sync sc;
+          R.get top)
+    end
+    else if n >= k then begin
+      let h = n / 2 in
+      let b_left = Linalg.sub b ~row:0 ~col:0 ~rows:k ~cols:h
+      and b_right = Linalg.sub b ~row:0 ~col:h ~rows:k ~cols:(n - h)
+      and c_left = Linalg.sub c ~row:0 ~col:0 ~rows:m ~cols:h
+      and c_right = Linalg.sub c ~row:0 ~col:h ~rows:m ~cols:(n - h) in
+      R.scope (fun sc ->
+          let left = R.spawn sc (fun () -> mult ~negate a b_left c_left) in
+          mult ~negate a b_right c_right;
+          R.sync sc;
+          R.get left)
+    end
+    else begin
+      (* Inner dimension: both halves accumulate into all of [c], so they
+         are serialised — the only dependency in the recursion. *)
+      let h = k / 2 in
+      let a_left = Linalg.sub a ~row:0 ~col:0 ~rows:m ~cols:h
+      and a_right = Linalg.sub a ~row:0 ~col:h ~rows:m ~cols:(k - h)
+      and b_top = Linalg.sub b ~row:0 ~col:0 ~rows:h ~cols:n
+      and b_bot = Linalg.sub b ~row:h ~col:0 ~rows:(k - h) ~cols:n in
+      mult ~negate a_left b_top c;
+      mult ~negate a_right b_bot c
+    end
+
+  let mult_add a b c = mult ~negate:false a b c
+  let mult_sub a b c = mult ~negate:true a b c
+
+  (** The benchmark entry: c ← a·b on fresh rectangular inputs. *)
+  let run a b =
+    let c = Linalg.create a.Linalg.rows b.Linalg.cols in
+    mult_add a b c;
+    c
+end

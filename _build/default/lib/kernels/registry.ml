@@ -1,0 +1,268 @@
+type size = Test | Small | Medium | Large
+
+type instance = {
+  bench_name : string;
+  input_desc : string;
+  tolerance : float;
+  make_thunk : (module Kernel_intf.RUNTIME) -> unit -> float;
+}
+
+(* Fingerprint helper for sorted int arrays: position-weighted sum is
+   deterministic once sorted. *)
+let int_array_fingerprint a =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i v -> acc := !acc +. (float_of_int v *. float_of_int ((i mod 97) + 1) /. 1e6))
+    a;
+  !acc
+
+let fib_instance n =
+  {
+    bench_name = "fib";
+    input_desc = Printf.sprintf "n=%d" n;
+    tolerance = 0.0;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Fib.Make (R) in
+        fun () -> float_of_int (K.run n));
+  }
+
+let integrate_instance n epsilon =
+  {
+    bench_name = "integrate";
+    input_desc = Printf.sprintf "n=%d eps=%g" n epsilon;
+    tolerance = 1e-9;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Integrate.Make (R) in
+        fun () -> K.run ~epsilon n);
+  }
+
+let nqueens_instance n =
+  {
+    bench_name = "nqueens";
+    input_desc = Printf.sprintf "n=%d" n;
+    tolerance = 0.0;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Nqueens.Make (R) in
+        fun () -> float_of_int (K.run n));
+  }
+
+let knapsack_instance items =
+  {
+    bench_name = "knapsack";
+    input_desc = Printf.sprintf "items=%d" items;
+    tolerance = 0.0;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Knapsack.Make (R) in
+        let instance = Knapsack.make_items ~seed:11 items in
+        fun () -> float_of_int (K.run instance));
+  }
+
+let quicksort_instance n =
+  {
+    bench_name = "quicksort";
+    input_desc = Printf.sprintf "n=%d" n;
+    tolerance = 0.0;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Quicksort.Make (R) in
+        fun () ->
+          let a = Quicksort.random_array ~seed:7 n in
+          K.run a;
+          if not (Quicksort.is_sorted a) then nan else int_array_fingerprint a);
+  }
+
+let cholesky_instance n =
+  {
+    bench_name = "cholesky";
+    input_desc = Printf.sprintf "n=%d" n;
+    tolerance = 1e-8;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Cholesky.Make (R) in
+        let pristine = Linalg.random_spd ~seed:5 n in
+        fun () ->
+          let a = Linalg.copy pristine in
+          K.run a;
+          Linalg.checksum a);
+  }
+
+let fft_instance n =
+  {
+    bench_name = "fft";
+    input_desc = Printf.sprintf "n=2^%d" (int_of_float (Float.round (log (float_of_int n) /. log 2.0)));
+    tolerance = 1e-9;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Fft.Make (R) in
+        let x = Fft.random_signal ~seed:3 n in
+        fun () -> Fft.checksum (K.run x));
+  }
+
+let heat_instance nx ny steps =
+  {
+    bench_name = "heat";
+    input_desc = Printf.sprintf "%dx%d steps=%d" nx ny steps;
+    tolerance = 1e-9;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Heat.Make (R) in
+        let g0 = Heat.default ~nx ~ny in
+        fun () -> Heat.checksum (K.run ~steps g0));
+  }
+
+let lu_instance n =
+  {
+    bench_name = "lu";
+    input_desc = Printf.sprintf "n=%d" n;
+    tolerance = 1e-8;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Lu.Make (R) in
+        let pristine = Linalg.random_spd ~seed:9 n in
+        fun () ->
+          let a = Linalg.copy pristine in
+          K.run a;
+          Linalg.checksum a);
+  }
+
+let matmul_instance n =
+  {
+    bench_name = "matmul";
+    input_desc = Printf.sprintf "n=%d" n;
+    tolerance = 1e-9;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Matmul.Make (R) in
+        let a = Linalg.random ~seed:21 n n and b = Linalg.random ~seed:22 n n in
+        fun () -> Linalg.checksum (K.run a b));
+  }
+
+let rectmul_instance m k n =
+  {
+    bench_name = "rectmul";
+    input_desc = Printf.sprintf "%dx%dx%d" m k n;
+    tolerance = 1e-9;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Rectmul.Make (R) in
+        let a = Linalg.random ~seed:31 m k and b = Linalg.random ~seed:32 k n in
+        fun () -> Linalg.checksum (K.run a b));
+  }
+
+let strassen_instance n =
+  {
+    bench_name = "strassen";
+    input_desc = Printf.sprintf "n=%d" n;
+    tolerance = 1e-7;
+    make_thunk =
+      (fun (module R : Kernel_intf.RUNTIME) ->
+        let module K = Strassen.Make (R) in
+        let a = Linalg.random ~seed:41 n n and b = Linalg.random ~seed:42 n n in
+        fun () -> Linalg.checksum (K.run a b));
+  }
+
+(* Inputs per scale; Table I order.  The paper's inputs correspond to a
+   256-thread EPYC; [Large] is the closest laptop-scale analogue. *)
+let table size =
+  match size with
+  | Test ->
+    [
+      cholesky_instance 64;
+      fft_instance 256;
+      fib_instance 15;
+      heat_instance 32 32 4;
+      integrate_instance 100 1e-4;
+      knapsack_instance 16;
+      lu_instance 64;
+      matmul_instance 64;
+      nqueens_instance 7;
+      quicksort_instance 10_000;
+      rectmul_instance 48 96 24;
+      strassen_instance 64;
+    ]
+  | Small ->
+    [
+      cholesky_instance 128;
+      fft_instance 4096;
+      fib_instance 24;
+      heat_instance 128 128 8;
+      integrate_instance 1_000 1e-5;
+      knapsack_instance 22;
+      lu_instance 128;
+      matmul_instance 128;
+      nqueens_instance 9;
+      quicksort_instance 100_000;
+      rectmul_instance 96 192 64;
+      strassen_instance 128;
+    ]
+  | Medium ->
+    [
+      cholesky_instance 256;
+      fft_instance 65_536;
+      fib_instance 29;
+      heat_instance 256 256 20;
+      integrate_instance 10_000 1e-5;
+      knapsack_instance 26;
+      lu_instance 256;
+      matmul_instance 256;
+      nqueens_instance 11;
+      quicksort_instance 1_000_000;
+      rectmul_instance 256 512 128;
+      strassen_instance 256;
+    ]
+  | Large ->
+    [
+      cholesky_instance 512;
+      fft_instance 1_048_576;
+      fib_instance 34;
+      heat_instance 1024 512 50;
+      integrate_instance 10_000 1e-7;
+      knapsack_instance 30;
+      lu_instance 512;
+      matmul_instance 512;
+      nqueens_instance 13;
+      quicksort_instance 10_000_000;
+      rectmul_instance 512 1024 256;
+      strassen_instance 512;
+    ]
+
+let names =
+  [
+    "cholesky"; "fft"; "fib"; "heat"; "integrate"; "knapsack"; "lu"; "matmul";
+    "nqueens"; "quicksort"; "rectmul"; "strassen";
+  ]
+
+let instances size = table size
+
+let find size name =
+  List.find (fun i -> String.equal i.bench_name name) (table size)
+
+let reference_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+
+let size_tag = function
+  | Test -> "test"
+  | Small -> "small"
+  | Medium -> "medium"
+  | Large -> "large"
+
+let reference size name =
+  let key = size_tag size ^ "/" ^ name in
+  match Hashtbl.find_opt reference_cache key with
+  | Some v -> v
+  | None ->
+    let inst = find size name in
+    let module S = Nowa_runtime.Serial_runtime in
+    let thunk = inst.make_thunk (module S) in
+    let v = S.run thunk in
+    Hashtbl.add reference_cache key v;
+    v
+
+let matches inst reference fingerprint =
+  if inst.tolerance = 0.0 then reference = fingerprint
+  else
+    let scale = Float.max 1.0 (Float.abs reference) in
+    Float.abs (reference -. fingerprint) /. scale <= inst.tolerance

@@ -1,0 +1,34 @@
+(** Uniform access to the twelve benchmarks of Table I, at several input
+    scales, for the test-suite and the benchmark harness.
+
+    Each instance builds a fresh working set per invocation (the kernels
+    mutate their inputs) and reduces its result to a float fingerprint;
+    the fingerprint of the serial elision is the correctness reference. *)
+
+type size = Test | Small | Medium | Large
+
+type instance = {
+  bench_name : string;
+  input_desc : string;  (** e.g. "n=30" — the Table I "Input" column *)
+  tolerance : float;  (** relative fingerprint tolerance (0 = exact) *)
+  make_thunk : (module Kernel_intf.RUNTIME) -> unit -> float;
+      (** [make_thunk (module R)] instantiates the kernel for runtime [R];
+          the resulting thunk must be executed inside [R.run] and returns
+          the fingerprint. *)
+}
+
+val names : string list
+(** The twelve benchmark names, Table I order. *)
+
+val find : size -> string -> instance
+(** Raises [Not_found] for unknown names. *)
+
+val instances : size -> instance list
+
+val reference : size -> string -> float
+(** Fingerprint of the serial elision (memoised).  Must not be called
+    while a runtime is active. *)
+
+val matches : instance -> float -> float -> bool
+(** [matches inst reference fingerprint] applies the instance's
+    tolerance. *)

@@ -1,0 +1,1 @@
+lib/mcheck/mcheck.ml: Array Effect List Printexc

@@ -1,0 +1,1 @@
+lib/mcheck/specs.ml: Array List Mcheck

@@ -1,0 +1,124 @@
+type _ Effect.t += Yield : unit Effect.t
+
+exception Check_failed of string
+
+module Cell = struct
+  type 'a t = 'a ref
+
+  let make v = ref v
+
+  let read c =
+    Effect.perform Yield;
+    !c
+
+  let write c v =
+    Effect.perform Yield;
+    c := v
+
+  let cas c expected desired =
+    Effect.perform Yield;
+    if !c = expected then begin
+      c := desired;
+      true
+    end
+    else false
+
+  let fetch_add c d =
+    Effect.perform Yield;
+    let v = !c in
+    c := v + d;
+    v
+
+  let peek c = !c
+end
+
+let check cond msg = if not cond then raise (Check_failed msg)
+
+type outcome = { executions : int; truncated : int; complete : bool }
+
+type result =
+  | Ok of outcome
+  | Violation of { schedule : int list; message : string }
+
+type thread_state =
+  | Not_started of (unit -> unit)
+  | Paused of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+(* Advance thread [i] by one atomic action: resume it and run until the
+   next scheduling point (or completion / a failed check). *)
+let advance states violation i =
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> states.(i) <- Finished);
+      exnc =
+        (fun e ->
+          states.(i) <- Finished;
+          let msg =
+            match e with Check_failed m -> m | e -> Printexc.to_string e
+          in
+          if !violation = None then violation := Some msg);
+      effc =
+        (fun (type a) (e : a Effect.t) ->
+          match e with
+          | Yield ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                states.(i) <- Paused k)
+          | _ -> None);
+    }
+  in
+  match states.(i) with
+  | Not_started f -> Effect.Deep.match_with f () handler
+  | Paused k ->
+    states.(i) <- Finished (* overwritten at the next pause *);
+    Effect.Deep.continue k ()
+  | Finished -> invalid_arg "Mcheck: scheduled a finished thread"
+
+exception Found of int list * string
+exception Budget
+
+let explore ?(max_executions = 200_000) ?(max_steps = 400) spec =
+  let executions = ref 0 in
+  let truncated = ref 0 in
+  (* Stateless search: re-execute the system from scratch along [prefix],
+     then return the thread states (or a violation seen on the way). *)
+  let replay prefix =
+    let threads, invariant = spec () in
+    let states = Array.of_list (List.map (fun f -> Not_started f) threads) in
+    let violation = ref None in
+    List.iter
+      (fun i ->
+        if !violation = None then advance states violation i)
+      prefix;
+    (states, invariant, !violation)
+  in
+  (* [prefix] is kept newest-first; replays run it chronologically. *)
+  let rec dfs prefix depth =
+    let states, invariant, violation = replay (List.rev prefix) in
+    match violation with
+    | Some msg -> raise (Found (List.rev prefix, msg))
+    | None ->
+      let enabled = ref [] in
+      Array.iteri
+        (fun i s -> match s with Finished -> () | _ -> enabled := i :: !enabled)
+        states;
+      (match !enabled with
+      | [] ->
+        incr executions;
+        if not (invariant ()) then
+          raise (Found (List.rev prefix, "final invariant violated"));
+        if !executions >= max_executions then raise Budget
+      | enabled ->
+        if depth >= max_steps then incr truncated
+        else
+          List.iter
+            (fun i -> dfs (i :: prefix) (depth + 1))
+            (List.rev enabled))
+  in
+  match dfs [] 0 with
+  | () ->
+    Ok { executions = !executions; truncated = !truncated; complete = true }
+  | exception Budget ->
+    Ok { executions = !executions; truncated = !truncated; complete = false }
+  | exception Found (schedule, message) -> Violation { schedule; message }

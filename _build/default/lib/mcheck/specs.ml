@@ -1,0 +1,270 @@
+module Cell = Mcheck.Cell
+
+let check = Mcheck.check
+
+(* -- work-stealing deques --------------------------------------------- *)
+
+(* Consumption log shared by a spec's threads: plain refs are fine
+   because each slot has a single writer. *)
+type consumption = { mutable taken : int list }
+
+let conservation ~pushes ~logs ~size_at_end () =
+  let all = List.concat_map (fun l -> l.taken) logs in
+  let sorted = List.sort compare all in
+  let distinct = List.sort_uniq compare all in
+  List.length sorted = List.length distinct
+  && List.for_all (fun v -> v >= 1 && v <= pushes) all
+  && List.length all + size_at_end () = pushes
+
+let chase_lev_spec ~pushes ~pops ~thieves () =
+  let top = Cell.make 0 in
+  let bottom = Cell.make 0 in
+  let slots = Array.init (max 1 pushes) (fun _ -> Cell.make 0) in
+  let owner_log = { taken = [] } in
+  let thief_logs = List.init thieves (fun _ -> { taken = [] }) in
+  let push v =
+    let b = Cell.read bottom in
+    Cell.write slots.(b) v;
+    Cell.write bottom (b + 1)
+  in
+  let pop () =
+    let b = Cell.read bottom - 1 in
+    Cell.write bottom b;
+    let t = Cell.read top in
+    if b < t then Cell.write bottom t (* empty *)
+    else begin
+      let v = Cell.read slots.(b) in
+      if b > t then owner_log.taken <- v :: owner_log.taken
+      else begin
+        (* Last element: race thieves for it. *)
+        if Cell.cas top t (t + 1) then owner_log.taken <- v :: owner_log.taken;
+        Cell.write bottom (t + 1)
+      end
+    end
+  in
+  let steal log () =
+    let t = Cell.read top in
+    let b = Cell.read bottom in
+    if t < b then begin
+      let v = Cell.read slots.(t) in
+      if Cell.cas top t (t + 1) then log.taken <- v :: log.taken
+    end
+  in
+  let owner () =
+    for v = 1 to pushes do
+      push v
+    done;
+    for _ = 1 to pops do
+      pop ()
+    done
+  in
+  let threads = owner :: List.map (fun l -> steal l) thief_logs in
+  let invariant =
+    conservation ~pushes ~logs:(owner_log :: thief_logs) ~size_at_end:(fun () ->
+        max 0 (Cell.peek bottom - Cell.peek top))
+  in
+  (threads, invariant)
+
+let the_queue_spec ~pushes ~pops ~thieves () =
+  let head = Cell.make 0 in
+  let tail = Cell.make 0 in
+  let lock = Cell.make false in
+  let slots = Array.init (max 1 pushes) (fun _ -> Cell.make 0) in
+  let owner_log = { taken = [] } in
+  let thief_logs = List.init thieves (fun _ -> { taken = [] }) in
+  let rec acquire () = if not (Cell.cas lock false true) then acquire () in
+  let release () = Cell.write lock false in
+  let push v =
+    let t = Cell.read tail in
+    Cell.write slots.(t) v;
+    Cell.write tail (t + 1)
+  in
+  let pop () =
+    let t = Cell.read tail - 1 in
+    Cell.write tail t;
+    let h = Cell.read head in
+    if h > t then begin
+      (* Conflict with a thief: arbitrate under the lock. *)
+      Cell.write tail (t + 1);
+      acquire ();
+      let t = Cell.read tail - 1 in
+      Cell.write tail t;
+      let h = Cell.read head in
+      if h > t then Cell.write tail h
+      else begin
+        let v = Cell.read slots.(t) in
+        owner_log.taken <- v :: owner_log.taken
+      end;
+      release ()
+    end
+    else begin
+      let v = Cell.read slots.(t) in
+      owner_log.taken <- v :: owner_log.taken
+    end
+  in
+  let steal log () =
+    acquire ();
+    let h = Cell.read head in
+    Cell.write head (h + 1);
+    let t = Cell.read tail in
+    if h + 1 > t then Cell.write head h
+    else begin
+      let v = Cell.read slots.(h) in
+      log.taken <- v :: log.taken
+    end;
+    release ()
+  in
+  let owner () =
+    for v = 1 to pushes do
+      push v
+    done;
+    for _ = 1 to pops do
+      pop ()
+    done
+  in
+  let threads = owner :: List.map (fun l -> steal l) thief_logs in
+  let invariant =
+    conservation ~pushes ~logs:(owner_log :: thief_logs) ~size_at_end:(fun () ->
+        max 0 (Cell.peek tail - Cell.peek head))
+  in
+  (threads, invariant)
+
+(* -- strand counters ---------------------------------------------------
+   One frame, one spawn: the worker pushes the continuation, runs the
+   child inline and pops; a thief races for the continuation.  Whichever
+   control flow ends up holding the continuation is the main path and
+   reaches the explicit sync; the other performs the implicit sync
+   (Figure 5 of the paper).  [passes] counts executions of the code past
+   the sync point; correctness = the sync is passed exactly once, and
+   never while the child is still running. *)
+
+type frame_obs = { mutable passes : int }
+
+let counter_scenario ~note_steal ~note_resume ~main_sync ~joiner () =
+  let avail = Cell.make false in
+  let child_done = Cell.make false in
+  let obs = { passes = 0 } in
+  let pass () =
+    check (Cell.peek child_done) "passed the sync point while the child runs";
+    obs.passes <- obs.passes + 1
+  in
+  let worker () =
+    Cell.write avail true (* pushBottom of the continuation *);
+    Cell.write child_done true (* the spawned child runs and returns *);
+    if Cell.cas avail true false then main_sync ~pass () (* not stolen *)
+    else joiner ~pass () (* stolen: implicit sync *)
+  in
+  let thief () =
+    if Cell.cas avail true false then begin
+      note_steal ();
+      note_resume ();
+      main_sync ~pass ()
+    end
+  in
+  ([ worker; thief ], fun () -> obs.passes = 1)
+
+(* The hazardous protocol of Figure 6: counting is per-operation atomic,
+   but the sync point checks the counter BEFORE publishing the
+   suspension, so a joiner can decrement to zero in between and the
+   wake-up is lost (the sync point is never passed — the "outcome of the
+   program execution is undefined" of Section III-C). *)
+let naive_counter_spec ~children () =
+  assert (children = 1);
+  let count = Cell.make 0 in
+  let suspended = Cell.make false in
+  counter_scenario
+    ~note_steal:(fun () -> ignore (Cell.fetch_add count 1))
+    ~note_resume:(fun () -> ())
+    ~main_sync:(fun ~pass () ->
+      if Cell.read count = 0 then pass ()
+      else
+        (* Racy: the check above and this publication are not atomic. *)
+        Cell.write suspended true)
+    ~joiner:(fun ~pass () ->
+      let v = Cell.fetch_add count (-1) in
+      if v = 1 && Cell.read suspended then pass ())
+    ()
+
+(* The wait-free Nowa protocol (Section IV): the counter starts at Imax
+   (scaled down for the model), α is only written on the main path, the
+   continuation is published BEFORE the Equation-5 restore, and the
+   unique zero observer takes the continuation back with a CAS. *)
+let wait_free_counter_spec ~children () =
+  assert (children = 1);
+  let i_max = 1000 in
+  let counter = Cell.make i_max in
+  let alpha = Cell.make 0 in
+  let suspended = Cell.make false in
+  counter_scenario
+    ~note_steal:(fun () -> ())
+    ~note_resume:(fun () ->
+      let a = Cell.read alpha in
+      Cell.write alpha (a + 1))
+    ~main_sync:(fun ~pass () ->
+      let a = Cell.read alpha in
+      if a = 0 then pass () (* nothing was ever stolen: free fast path *)
+      else begin
+        Cell.write suspended true;
+        let delta = a - i_max in
+        let old = Cell.fetch_add counter delta in
+        if old + delta = 0 then begin
+          check (Cell.cas suspended true false)
+            "restore observed zero but the continuation was gone";
+          pass ()
+        end
+      end)
+    ~joiner:(fun ~pass () ->
+      let v = Cell.fetch_add counter (-1) in
+      if v = 1 then begin
+        check (Cell.cas suspended true false)
+          "join observed zero but the continuation was gone";
+        pass ()
+      end)
+    ()
+
+(* The lock-based Fibril protocol (Listing 2): the count update is
+   coupled with the steal under the lock, and the suspension publication
+   happens in the same critical section as the count check. *)
+let lock_counter_spec ~children () =
+  assert (children = 1);
+  let count = Cell.make 0 in
+  let lock = Cell.make false in
+  let suspended = Cell.make false in
+  let rec acquire () = if not (Cell.cas lock false true) then acquire () in
+  let release () = Cell.write lock false in
+  counter_scenario
+    ~note_steal:(fun () ->
+      acquire ();
+      let c = Cell.read count in
+      Cell.write count (if c = 0 then 2 else c + 1);
+      release ())
+    ~note_resume:(fun () -> ())
+    ~main_sync:(fun ~pass () ->
+      acquire ();
+      let c = Cell.read count in
+      if c = 0 then begin
+        release ();
+        pass ()
+      end
+      else begin
+        Cell.write count (c - 1);
+        if Cell.read count = 0 then begin
+          release ();
+          pass ()
+        end
+        else begin
+          Cell.write suspended true;
+          release ()
+        end
+      end)
+    ~joiner:(fun ~pass () ->
+      acquire ();
+      let c = Cell.read count in
+      Cell.write count (c - 1);
+      let zero = c - 1 = 0 in
+      release ();
+      if zero then begin
+        check (Cell.peek suspended) "join hit zero before the frame suspended";
+        pass ()
+      end)
+    ()

@@ -1,0 +1,38 @@
+(** Model-checkable specifications of the platform's coordination
+    algorithms, written against {!Mcheck.Cell} so every shared access is
+    a scheduling point.
+
+    Each spec builds a small closed scenario whose interleavings
+    {!Mcheck.explore} can enumerate exhaustively.  Three strand-counter
+    protocols are modelled:
+
+    - {!naive_counter_spec} — the {e hazardous} protocol of the paper's
+      Figure 6: a plain active-strand counter where the thief increments
+      {e after} stealing and the worker decrements after a failed pop.
+      The checker finds the race (a worker passes the sync point while a
+      strand is still active).
+    - {!wait_free_counter_spec} — the Nowa scheme (Imax initialisation,
+      α on the main path, Equation 5 restore): no interleaving violates.
+    - {!lock_counter_spec} — the Fibril scheme with the Listing-2
+      lock coupling: no interleaving violates.
+
+    Plus deque scenarios for the Chase-Lev and THE queues: an owner
+    pushing/popping races thieves stealing; every element must be
+    consumed exactly once and LIFO/FIFO order respected. *)
+
+val chase_lev_spec :
+  pushes:int -> pops:int -> thieves:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+
+val the_queue_spec :
+  pushes:int -> pops:int -> thieves:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+
+val naive_counter_spec :
+  children:int -> unit -> (unit -> unit) list * (unit -> bool)
+
+val wait_free_counter_spec :
+  children:int -> unit -> (unit -> unit) list * (unit -> bool)
+
+val lock_counter_spec :
+  children:int -> unit -> (unit -> unit) list * (unit -> bool)

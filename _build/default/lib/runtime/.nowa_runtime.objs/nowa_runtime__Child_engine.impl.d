@@ -1,0 +1,1 @@
+lib/runtime/child_engine.ml: Array Atomic Config Domain Fun List Metrics Nowa_deque Nowa_util Promise Runtime_guard Runtime_intf Runtime_log Unix

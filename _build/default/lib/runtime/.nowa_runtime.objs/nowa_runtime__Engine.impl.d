@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Atomic Config Domain Effect Fun List Metrics Nowa_deque Nowa_sync Nowa_util Promise Runtime_guard Runtime_intf Runtime_log Stack_pool Unix

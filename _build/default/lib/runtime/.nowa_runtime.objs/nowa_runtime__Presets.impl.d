@@ -1,0 +1,1 @@
+lib/runtime/presets.ml: Central_engine Child_engine Engine List Nowa_deque Nowa_sync Runtime_intf String

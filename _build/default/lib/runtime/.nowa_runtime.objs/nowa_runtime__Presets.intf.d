@@ -1,0 +1,1 @@
+lib/runtime/presets.mli: Runtime_intf

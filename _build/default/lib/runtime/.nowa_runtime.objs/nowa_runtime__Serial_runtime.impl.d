@@ -1,0 +1,1 @@
+lib/runtime/serial_runtime.ml: Fun Metrics Promise Runtime_guard Unix

@@ -1,0 +1,1 @@
+lib/runtime/serial_runtime.mli: Runtime_intf

@@ -1,0 +1,1 @@
+lib/runtime/stack_pool.ml: Array Atomic Config Domain List Nowa_sync Nowa_util Unix

@@ -1,0 +1,176 @@
+(** Central-queue scheduler engine: the structural model of GCC libgomp's
+    task support.
+
+    Every spawned task goes through one global mutex-protected FIFO; every
+    idle worker and every strand waiting at a [sync] polls the same queue.
+    With fine-grained tasks all scheduling traffic serialises on the one
+    lock — which is why libgomp's speedup collapses in Figure 10 of the
+    paper, and why this engine's does too. *)
+
+module Make (Id : sig
+  val name : string
+  val description : string
+end) : Runtime_intf.S = struct
+  let name = Id.name
+  let description = Id.description
+
+  type 'a promise = 'a Promise.t
+
+  type frame = { pending : int Atomic.t; exn_slot : exn option Atomic.t }
+  type scope = frame
+
+  type task = Task of (unit -> unit)
+
+  type worker = { id : int; m : Metrics.worker }
+
+  type pool = {
+    conf : Config.t;
+    queue : task Nowa_deque.Central_queue.t;
+    workers : worker array;
+    finished : bool Atomic.t;
+  }
+
+  let current : (pool * worker) option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let get_current () =
+    match Domain.DLS.get current with
+    | Some pw -> pw
+    | None -> failwith (name ^ ": spawn/sync/scope used outside of run")
+
+  let note_exn fr e =
+    ignore (Atomic.compare_and_set fr.exn_slot None (Some e))
+
+  let run_task w (Task f) =
+    w.m.tasks <- w.m.tasks + 1;
+    f ()
+
+  let poll pool w =
+    w.m.steal_attempts <- w.m.steal_attempts + 1;
+    Nowa_deque.Central_queue.pop pool.queue
+
+  let wait_for pool w fr =
+    w.m.suspensions <- w.m.suspensions + 1;
+    let bo = Nowa_util.Backoff.make () in
+    while Atomic.get fr.pending > 0 do
+      match poll pool w with
+      | Some t ->
+        Nowa_util.Backoff.reset bo;
+        run_task w t
+      | None -> Nowa_util.Backoff.once bo
+    done
+
+  let worker_loop pool w =
+    let bo = Nowa_util.Backoff.make () in
+    let rec go () =
+      if Atomic.get pool.finished then ()
+      else
+        match poll pool w with
+        | Some t ->
+          Nowa_util.Backoff.reset bo;
+          run_task w t;
+          go ()
+        | None ->
+          Nowa_util.Backoff.once bo;
+          go ()
+    in
+    go ()
+
+  let last_metrics_ref = ref None
+  let last_metrics () = !last_metrics_ref
+
+  let run ?conf main =
+    let conf = match conf with Some c -> c | None -> Config.default () in
+    let nw = max 1 conf.Config.workers in
+    let conf = { conf with Config.workers = nw } in
+    Runtime_guard.enter name;
+    Runtime_log.Log.debug (fun m -> m "%s: starting %d workers" name nw);
+    let pool =
+      {
+        conf;
+        queue = Nowa_deque.Central_queue.create ();
+        finished = Atomic.make false;
+        workers = Array.init nw (fun i -> { id = i; m = Metrics.make_worker i });
+      }
+    in
+    let result = ref None in
+    let root =
+      Task
+        (fun () ->
+          (match main () with
+          | v -> result := Some (Ok v)
+          | exception e -> result := Some (Error e));
+          Atomic.set pool.finished true)
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init (nw - 1) (fun i ->
+          let w = pool.workers.(i + 1) in
+          Domain.spawn (fun () ->
+              Domain.DLS.set current (Some (pool, w));
+              Fun.protect
+                ~finally:(fun () -> Domain.DLS.set current None)
+                (fun () -> worker_loop pool w)))
+    in
+    let w0 = pool.workers.(0) in
+    Domain.DLS.set current (Some (pool, w0));
+    let teardown () =
+      Domain.DLS.set current None;
+      Atomic.set pool.finished true;
+      List.iter Domain.join domains;
+      Runtime_guard.exit ()
+    in
+    Fun.protect ~finally:teardown (fun () ->
+        run_task w0 root;
+        worker_loop pool w0;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if conf.Config.collect_metrics then
+          last_metrics_ref :=
+            Some
+              (Metrics.make
+                 (Array.map (fun w -> w.m) pool.workers)
+                 ~elapsed_s:elapsed));
+    match !result with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> assert false
+
+  let scope_finish fr =
+    let pool, w = get_current () in
+    if Atomic.get fr.pending > 0 then wait_for pool w fr
+    else w.m.fast_syncs <- w.m.fast_syncs + 1;
+    match Atomic.exchange fr.exn_slot None with
+    | Some e -> raise e
+    | None -> ()
+
+  let scope f =
+    ignore (get_current ());
+    let fr = { pending = Atomic.make 0; exn_slot = Atomic.make None } in
+    match f fr with
+    | v ->
+      scope_finish fr;
+      v
+    | exception e ->
+      (try scope_finish fr with _ -> ());
+      raise e
+
+  let sync = scope_finish
+
+  let spawn fr thunk =
+    let pool, w = get_current () in
+    w.m.spawns <- w.m.spawns + 1;
+    let p = Promise.make () in
+    ignore (Atomic.fetch_and_add fr.pending 1);
+    let body () =
+      (match thunk () with
+      | v -> Promise.fill p v
+      | exception e ->
+        Promise.fill_exn p e;
+        note_exn fr e);
+      ignore (Atomic.fetch_and_add fr.pending (-1))
+    in
+    Nowa_deque.Central_queue.push pool.queue (Task body);
+    p
+
+  let get p = Promise.get ~runtime:name p
+end

@@ -1,0 +1,253 @@
+(** Child-stealing scheduler engine (Section II-B's alternative scheme),
+    the structural model for TBB and for LLVM libomp's task scheduler.
+
+    At a fork point the {e child task} is pushed to the worker's deque and
+    the parent continues immediately (help-first).  Because the parent
+    increments its frame's pending count {e before} publishing the child,
+    the worker/thief race of Figure 6 does not arise here — the price is
+    paid elsewhere: every child is a heap-allocated task, and joins are
+    blocking-with-helping rather than suspending.
+
+    [sync] is modelled on OpenMP's [taskwait]: the waiting strand loops,
+    executing tasks until its children have all finished.
+
+    - [Waiting.Steal_anywhere] (TBB, libomp untied tasks): the waiter
+      helps from its own deque first and steals from victims otherwise.
+    - [Waiting.Local_only] (libomp tied tasks): the task-scheduling
+      constraint pins the waiter to tasks from its own deque; when that
+      runs dry it can only spin.  This is the structural reason tied
+      tasks over- or under-perform untied ones per benchmark in
+      Figure 10/Table III. *)
+
+module Waiting = struct
+  type t = Steal_anywhere | Local_only
+end
+
+module Make
+    (QM : Nowa_deque.Ws_deque_intf.MAKER)
+    (Id : sig
+      val name : string
+      val description : string
+      val waiting : Waiting.t
+    end) : Runtime_intf.S = struct
+  let name = Id.name
+  let description = Id.description
+
+  type 'a promise = 'a Promise.t
+
+  type frame = { pending : int Atomic.t; exn_slot : exn option Atomic.t }
+  type scope = frame
+
+  type task = Task of (unit -> unit)
+
+  module Q = QM (struct
+    type t = task
+
+    let dummy = Task ignore
+  end)
+
+  type worker = {
+    id : int;
+    deque : Q.t;
+    rng : Nowa_util.Xoshiro.t;
+    m : Metrics.worker;
+  }
+
+  type pool = {
+    conf : Config.t;
+    workers : worker array;
+    finished : bool Atomic.t;
+  }
+
+  let current : (pool * worker) option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let get_current () =
+    match Domain.DLS.get current with
+    | Some pw -> pw
+    | None -> failwith (name ^ ": spawn/sync/scope used outside of run")
+
+  let note_exn fr e =
+    ignore (Atomic.compare_and_set fr.exn_slot None (Some e))
+
+  let run_task w (Task f) =
+    w.m.tasks <- w.m.tasks + 1;
+    f ()
+
+  let no_commit _ = ()
+
+  let try_steal pool w =
+    let n = Array.length pool.workers in
+    if n = 1 then None
+    else begin
+      w.m.steal_attempts <- w.m.steal_attempts + 1;
+      let v = Nowa_util.Xoshiro.int w.rng n in
+      let v = if v = w.id then (v + 1) mod n else v in
+      match Q.steal pool.workers.(v).deque ~on_commit:no_commit with
+      | Some t ->
+        w.m.steals <- w.m.steals + 1;
+        Some t
+      | None -> None
+    end
+
+  (* OpenMP taskwait / TBB wait_for_all: execute tasks until the frame's
+     children are gone.  LIFO from the own deque keeps the helper on its
+     own subtree most of the time. *)
+  let wait_for pool w fr =
+    w.m.suspensions <- w.m.suspensions + 1;
+    let bo = Nowa_util.Backoff.make () in
+    while Atomic.get fr.pending > 0 do
+      match Q.pop_bottom w.deque with
+      | Some t ->
+        Nowa_util.Backoff.reset bo;
+        run_task w t
+      | None -> (
+        match Id.waiting with
+        | Waiting.Local_only -> Nowa_util.Backoff.once bo
+        | Waiting.Steal_anywhere -> (
+          match try_steal pool w with
+          | Some t ->
+            Nowa_util.Backoff.reset bo;
+            run_task w t
+          | None -> Nowa_util.Backoff.once bo))
+    done
+
+  let worker_loop pool w =
+    let bo = Nowa_util.Backoff.make () in
+    let failures = ref 0 in
+    let rec go () =
+      if Atomic.get pool.finished then ()
+      else
+        match Q.pop_bottom w.deque with
+        | Some t ->
+          Nowa_util.Backoff.reset bo;
+          run_task w t;
+          go ()
+        | None -> (
+          match try_steal pool w with
+          | Some t ->
+            Nowa_util.Backoff.reset bo;
+            failures := 0;
+            run_task w t;
+            go ()
+          | None ->
+            incr failures;
+            if !failures mod pool.conf.Config.steal_attempts = 0 then
+              Nowa_util.Backoff.once bo;
+            go ())
+    in
+    go ()
+
+  let last_metrics_ref = ref None
+  let last_metrics () = !last_metrics_ref
+
+  let run ?conf main =
+    let conf = match conf with Some c -> c | None -> Config.default () in
+    let nw = max 1 conf.Config.workers in
+    let conf = { conf with Config.workers = nw } in
+    Runtime_guard.enter name;
+    Runtime_log.Log.debug (fun m -> m "%s: starting %d workers" name nw);
+    let pool =
+      {
+        conf;
+        finished = Atomic.make false;
+        workers =
+          Array.init nw (fun i ->
+              {
+                id = i;
+                deque = Q.create ~capacity:conf.Config.deque_capacity ();
+                rng = Nowa_util.Xoshiro.make ~seed:(conf.Config.seed + (i * 7919) + 1);
+                m = Metrics.make_worker i;
+              });
+      }
+    in
+    let result = ref None in
+    let root =
+      Task
+        (fun () ->
+          (match main () with
+          | v -> result := Some (Ok v)
+          | exception e -> result := Some (Error e));
+          Atomic.set pool.finished true)
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init (nw - 1) (fun i ->
+          let w = pool.workers.(i + 1) in
+          Domain.spawn (fun () ->
+              Domain.DLS.set current (Some (pool, w));
+              Fun.protect
+                ~finally:(fun () -> Domain.DLS.set current None)
+                (fun () -> worker_loop pool w)))
+    in
+    let w0 = pool.workers.(0) in
+    Domain.DLS.set current (Some (pool, w0));
+    let teardown () =
+      Domain.DLS.set current None;
+      Atomic.set pool.finished true;
+      List.iter Domain.join domains;
+      Runtime_guard.exit ()
+    in
+    Fun.protect ~finally:teardown (fun () ->
+        run_task w0 root;
+        worker_loop pool w0;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if conf.Config.collect_metrics then
+          last_metrics_ref :=
+            Some
+              (Metrics.make
+                 (Array.map (fun w -> w.m) pool.workers)
+                 ~elapsed_s:elapsed));
+    match !result with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> assert false
+
+  let scope f =
+    ignore (get_current ());
+    let fr = { pending = Atomic.make 0; exn_slot = Atomic.make None } in
+    let finish () =
+      let pool, w = get_current () in
+      if Atomic.get fr.pending > 0 then wait_for pool w fr
+      else w.m.fast_syncs <- w.m.fast_syncs + 1;
+      match Atomic.exchange fr.exn_slot None with
+      | Some e -> raise e
+      | None -> ()
+    in
+    match f fr with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      (try finish () with _ -> ());
+      raise e
+
+  let sync fr =
+    let pool, w = get_current () in
+    if Atomic.get fr.pending > 0 then wait_for pool w fr
+    else w.m.fast_syncs <- w.m.fast_syncs + 1;
+    match Atomic.exchange fr.exn_slot None with
+    | Some e -> raise e
+    | None -> ()
+
+  let spawn fr thunk =
+    let _, w = get_current () in
+    w.m.spawns <- w.m.spawns + 1;
+    let p = Promise.make () in
+    (* Pending is raised before the task is visible to thieves, so the
+       join counter never needs the lock-or-wait-free machinery of the
+       continuation-stealing engines. *)
+    ignore (Atomic.fetch_and_add fr.pending 1);
+    let body () =
+      (match thunk () with
+      | v -> Promise.fill p v
+      | exception e ->
+        Promise.fill_exn p e;
+        note_exn fr e);
+      ignore (Atomic.fetch_and_add fr.pending (-1))
+    in
+    Q.push_bottom w.deque (Task body);
+    p
+
+  let get p = Promise.get ~runtime:name p
+end

@@ -1,0 +1,37 @@
+type victim_policy = Random | Round_robin
+type madvise_mode = Madv_free | Madv_dontneed
+
+type t = {
+  workers : int;
+  deque_capacity : int;
+  steal_attempts : int;
+  victim_policy : victim_policy;
+  seed : int;
+  madvise : bool;
+  madvise_cost_ns : int;
+  madvise_mode : madvise_mode;
+  refault_ns : int;
+  stack_pages : int;
+  local_stack_cache : int;
+  stack_limit : int option;
+  collect_metrics : bool;
+}
+
+let default () =
+  {
+    workers = Nowa_util.Cpu.default_workers ();
+    deque_capacity = 256;
+    steal_attempts = 4;
+    victim_policy = Random;
+    seed = 0x5eed;
+    madvise = false;
+    madvise_cost_ns = 2_000;
+    madvise_mode = Madv_free;
+    refault_ns = 1_000;
+    stack_pages = 256;
+    local_stack_cache = 4;
+    stack_limit = None;
+    collect_metrics = true;
+  }
+
+let with_workers n = { (default ()) with workers = max 1 n }

@@ -1,0 +1,50 @@
+(** Runtime-system configuration shared by all scheduler engines. *)
+
+type victim_policy =
+  | Random  (** randomised work stealing (the default, Blumofe-Leiserson) *)
+  | Round_robin  (** cyclic victim scan — an ablation knob *)
+
+type madvise_mode =
+  | Madv_free
+      (** lazy page reclamation: pages are freed at the modelled syscall
+          cost, reuse is cheap *)
+  | Madv_dontneed
+      (** eager reclamation: additionally pay a refault cost when a
+          shrunk stack is next used — the variant Yang & Mellor-Crummey
+          evaluated *)
+
+type t = {
+  workers : int;
+      (** Number of workers (the calling domain is worker 0; [workers − 1]
+          further domains are spawned). *)
+  deque_capacity : int;  (** Initial per-worker deque capacity. *)
+  steal_attempts : int;
+      (** Failed steal attempts before one backoff step is taken. *)
+  victim_policy : victim_policy;
+  seed : int;  (** Seed for the per-worker victim-selection PRNGs. *)
+  madvise : bool;
+      (** Simulate the practical cactus-stack solution of Yang &
+          Mellor-Crummey: on stack suspension, release the physical pages
+          of the unused stack portion at a modelled syscall cost
+          (Section V-B of the paper). *)
+  madvise_cost_ns : int;
+      (** Modelled cost of one madvise() call (syscall + page-table work;
+          the paper's Figure 8 penalty comes from this). *)
+  madvise_mode : madvise_mode;
+  refault_ns : int;
+      (** With [Madv_dontneed], the modelled page-fault cost paid when a
+          previously shrunk stack is reused. *)
+  stack_pages : int;  (** Pages per simulated stack (1 MiB / 4 KiB = 256). *)
+  local_stack_cache : int;
+      (** Per-worker buffer of free stacks in front of the global pool. *)
+  stack_limit : int option;
+      (** Maximum number of live stacks; [Some n] models Cilk Plus's
+          bounded-stacks behaviour where stealing stalls once exhausted. *)
+  collect_metrics : bool;
+}
+
+val default : unit -> t
+(** One worker per available core, madvise off, metrics on. *)
+
+val with_workers : int -> t
+(** [default ()] with the given worker count. *)

@@ -1,0 +1,396 @@
+(** The continuation-stealing scheduler engine (Sections III and IV of the
+    paper), generic over the work-stealing deque and the strand-
+    coordination counter.  Instantiations (see {!Presets}):
+
+    - Chase-Lev deque × wait-free counter  — Nowa
+    - THE deque       × wait-free counter  — the Figure 9 "Nowa (THE)" variant
+    - THE deque       × lock-based counter — Fibril
+    - locked deque    × lock-based counter — the Cilk Plus model
+
+    Mechanics on OCaml 5 effects: [spawn] performs an effect whose handler
+    captures the continuation after the spawn, pushes it to the bottom of
+    the worker's deque (Figure 5, line 2) and runs the child on a fresh
+    fiber under the same handler.  When the child returns, the handler
+    pops the deque: a hit must be the very continuation just pushed
+    (LIFO), so it is resumed directly — the common, steal-free path; a
+    miss means the continuation was stolen, turning the rest of this
+    control flow into a joining strand (the implicit sync of Figure 5,
+    lines 4-5).  Suspension is simply the effect handler returning to the
+    scheduler loop without resuming anything. *)
+
+module Make
+    (QM : Nowa_deque.Ws_deque_intf.MAKER)
+    (C : Nowa_sync.Counter_intf.JOIN_COUNTER)
+    (Id : sig
+      val name : string
+      val description : string
+    end) : Runtime_intf.S = struct
+  let name = Id.name
+  let description = Id.description
+
+  type 'a promise = 'a Promise.t
+
+  type cont = (unit, unit) Effect.Deep.continuation
+
+  type frame = {
+    counter : C.t;
+    suspended : (cont * Stack_pool.stack option) option Atomic.t;
+    exn_slot : exn option Atomic.t;
+  }
+
+  type scope = frame
+
+  type task = Root of (unit -> unit) | Stolen of cont * frame
+
+  module Q = QM (struct
+    type t = task
+
+    let dummy = Root ignore
+  end)
+
+  type worker = {
+    id : int;
+    deque : Q.t;
+    rng : Nowa_util.Xoshiro.t;
+    m : Metrics.worker;
+    mutable stack : Stack_pool.stack option;
+    mutable next_victim : int;  (* Round_robin victim scan position *)
+  }
+
+  type pool = {
+    conf : Config.t;
+    workers : worker array;
+    stacks : Stack_pool.t;
+    finished : bool Atomic.t;
+  }
+
+  type _ Effect.t +=
+    | Spawn : frame * (unit -> unit) -> unit Effect.t
+    | Sync : frame -> unit Effect.t
+
+  let current : (pool * worker) option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let get_current () =
+    match Domain.DLS.get current with
+    | Some pw -> pw
+    | None ->
+      failwith (name ^ ": spawn/sync/scope used outside of run")
+
+  let note_exn fr e =
+    ignore (Atomic.compare_and_set fr.exn_slot None (Some e))
+
+  let ensure_stack pool w =
+    match w.stack with
+    | Some s -> s
+    | None ->
+      let s = Stack_pool.acquire pool.stacks ~worker:w.id in
+      w.m.stack_acquires <- w.m.stack_acquires + 1;
+      w.stack <- Some s;
+      s
+
+  let drop_stack pool w =
+    match w.stack with
+    | None -> ()
+    | Some s ->
+      Stack_pool.release pool.stacks ~worker:w.id s;
+      w.m.stack_releases <- w.m.stack_releases + 1;
+      w.stack <- None
+
+  (* Resume a frame whose sync condition this caller observed: take the
+     stored continuation (exactly one strand ever gets here per sync),
+     re-arm the counter for a possible next spawn phase, adopt the
+     suspended stack if one travelled with the frame. *)
+  let rec resume_frame pool w fr =
+    match Atomic.exchange fr.suspended None with
+    | None ->
+      (* Unreachable: the counter designates a unique zero-observer, and
+         the continuation is published before the counter can reach 0. *)
+      assert false
+    | Some (k, stk) ->
+      w.m.resumes <- w.m.resumes + 1;
+      C.reset fr.counter;
+      (match stk with
+      | None -> ()
+      | Some s ->
+        drop_stack pool w;
+        Stack_pool.reactivate pool.stacks s;
+        w.stack <- Some s);
+      Effect.Deep.continue k ()
+
+  (* Figure 5, lines 4-5: runs after a spawned child returned. *)
+  and after_child fr =
+    let pool, w = get_current () in
+    match Q.pop_bottom w.deque with
+    | Some (Stolen (k, _)) ->
+      (* Not stolen: this is necessarily the continuation pushed for this
+         very child (LIFO and balanced nesting); proceed with it. *)
+      Effect.Deep.continue k ()
+    | Some (Root _) -> assert false
+    | None ->
+      (* The continuation was stolen: implicit sync. *)
+      w.m.lost_continuations <- w.m.lost_continuations + 1;
+      if C.child_joined fr.counter then resume_frame pool w fr
+
+  and exec_child fr thunk =
+    Effect.Deep.match_with thunk ()
+      {
+        retc = (fun () -> after_child fr);
+        exnc =
+          (fun e ->
+            note_exn fr e;
+            after_child fr);
+        effc;
+      }
+
+  and handle_spawn : frame -> (unit -> unit) -> cont -> unit =
+   fun fr thunk k ->
+    let pool, w = get_current () in
+    w.m.spawns <- w.m.spawns + 1;
+    (match w.stack with
+    | Some s -> Stack_pool.touch s ~pages:1 ~max_pages:pool.conf.Config.stack_pages
+    | None -> ());
+    Q.push_bottom w.deque (Stolen (k, fr));
+    exec_child fr thunk
+
+  and handle_sync : frame -> cont -> unit =
+   fun fr k ->
+    let pool, w = get_current () in
+    (* If strands are still outstanding we will very likely suspend: the
+       frame's stack is handed over now (paying the modelled madvise cost
+       when configured), because after [reach_sync] returns [false] this
+       strand no longer owns the frame. *)
+    let stk =
+      if C.pending_hint fr.counter > 0 then (
+        match w.stack with
+        | Some s ->
+          Stack_pool.suspend pool.stacks s;
+          w.stack <- None;
+          Some s
+        | None -> None)
+      else None
+    in
+    Atomic.set fr.suspended (Some (k, stk));
+    if C.reach_sync fr.counter then resume_frame pool w fr
+    else w.m.suspensions <- w.m.suspensions + 1
+  (* returning without resuming = this strand is suspended; control goes
+     back to the scheduler loop, which hunts for work. *)
+
+  and effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
+      = function
+    | Spawn (fr, thunk) -> Some (fun k -> handle_spawn fr thunk k)
+    | Sync fr -> Some (fun k -> handle_sync fr k)
+    | _ -> None
+
+  let on_commit t =
+    match t with
+    | Stolen (_, fr) -> C.note_steal fr.counter
+    | Root _ -> ()
+
+  let try_steal pool w =
+    let n = Array.length pool.workers in
+    let attempt victim =
+      w.m.steal_attempts <- w.m.steal_attempts + 1;
+      Q.steal victim.deque ~on_commit
+    in
+    (* Own deque first: it may hold continuations sitting under a frame
+       that suspended; converting one into a parallel strand (with the
+       full steal protocol) is both legal and necessary for progress. *)
+    match attempt w with
+    | Some t -> Some t
+    | None ->
+      if n = 1 then None
+      else begin
+        let v =
+          match pool.conf.Config.victim_policy with
+          | Config.Random ->
+            let v = Nowa_util.Xoshiro.int w.rng n in
+            if v = w.id then (v + 1) mod n else v
+          | Config.Round_robin ->
+            let v = w.next_victim mod n in
+            let v = if v = w.id then (v + 1) mod n else v in
+            w.next_victim <- v + 1;
+            v
+        in
+        attempt pool.workers.(v)
+      end
+
+  let execute pool w task =
+    w.m.tasks <- w.m.tasks + 1;
+    ignore (ensure_stack pool w);
+    match task with
+    | Root f -> f ()
+    | Stolen (k, fr) ->
+      w.m.steals <- w.m.steals + 1;
+      (* Invariant II: α is bumped by the (unique) main-path control flow,
+         here, just before the stolen continuation resumes. *)
+      C.note_resume fr.counter;
+      Effect.Deep.continue k ()
+
+  let worker_loop pool w =
+    let bo = Nowa_util.Backoff.make () in
+    let failures = ref 0 in
+    let rec go () =
+      if Atomic.get pool.finished then ()
+      else
+        match try_steal pool w with
+        | Some t ->
+          Nowa_util.Backoff.reset bo;
+          failures := 0;
+          execute pool w t;
+          go ()
+        | None ->
+          incr failures;
+          if !failures mod pool.conf.Config.steal_attempts = 0 then
+            Nowa_util.Backoff.once bo;
+          go ()
+    in
+    go ()
+
+  let last_metrics_ref = ref None
+  let last_metrics () = !last_metrics_ref
+
+  let run ?conf main =
+    let conf = match conf with Some c -> c | None -> Config.default () in
+    let nw = max 1 conf.Config.workers in
+    let conf = { conf with Config.workers = nw } in
+    Runtime_guard.enter name;
+    Runtime_log.Log.debug (fun m -> m "%s: starting %d workers" name nw);
+    let pool =
+      {
+        conf;
+        stacks = Stack_pool.create conf;
+        finished = Atomic.make false;
+        workers =
+          Array.init nw (fun i ->
+              {
+                id = i;
+                deque = Q.create ~capacity:conf.Config.deque_capacity ();
+                rng = Nowa_util.Xoshiro.make ~seed:(conf.Config.seed + (i * 7919) + 1);
+                m = Metrics.make_worker i;
+                stack = None;
+                next_victim = i + 1;
+              });
+      }
+    in
+    let result = ref None in
+    let root =
+      Root
+        (fun () ->
+          Effect.Deep.match_with main ()
+            {
+              retc =
+                (fun v ->
+                  result := Some (Ok v);
+                  Atomic.set pool.finished true);
+              exnc =
+                (fun e ->
+                  result := Some (Error e);
+                  Atomic.set pool.finished true);
+              effc;
+            })
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init (nw - 1) (fun i ->
+          let w = pool.workers.(i + 1) in
+          Domain.spawn (fun () ->
+              Domain.DLS.set current (Some (pool, w));
+              Fun.protect
+                ~finally:(fun () -> Domain.DLS.set current None)
+                (fun () -> worker_loop pool w)))
+    in
+    let w0 = pool.workers.(0) in
+    Domain.DLS.set current (Some (pool, w0));
+    let joined = ref false in
+    let join_all () =
+      if not !joined then begin
+        joined := true;
+        (* Make sure helper domains can terminate even if worker 0 died
+           on a scheduler bug. *)
+        Atomic.set pool.finished true;
+        List.iter Domain.join domains
+      end
+    in
+    let teardown () =
+      Domain.DLS.set current None;
+      join_all ();
+      Runtime_guard.exit ()
+    in
+    Fun.protect ~finally:teardown (fun () ->
+        execute pool w0 root;
+        worker_loop pool w0;
+        join_all ();
+        (* Fold the pages still held by quiescent workers into the RSS
+           watermark before reporting it. *)
+        Array.iter
+          (fun w ->
+            match w.stack with
+            | Some s -> Stack_pool.sync_rss pool.stacks s
+            | None -> ())
+          pool.workers;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Runtime_log.Log.debug (fun m ->
+            m "%s: computation finished in %.6f s" name elapsed);
+        if conf.Config.collect_metrics then begin
+          let stacks =
+            {
+              Metrics.live_stacks = Stack_pool.live_stacks pool.stacks;
+              max_rss_pages = Stack_pool.max_rss_pages pool.stacks;
+              madvise_calls = Stack_pool.madvise_calls pool.stacks;
+              pool_hits = Stack_pool.global_pool_hits pool.stacks;
+            }
+          in
+          last_metrics_ref :=
+            Some
+              (Metrics.make ~stacks
+                 (Array.map (fun w -> w.m) pool.workers)
+                 ~elapsed_s:elapsed)
+        end);
+    match !result with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> assert false
+
+  let make_frame () =
+    {
+      counter = C.create ();
+      suspended = Atomic.make None;
+      exn_slot = Atomic.make None;
+    }
+
+  let sync fr =
+    let _, w = get_current () in
+    if C.forked fr.counter then Effect.perform (Sync fr)
+    else w.m.fast_syncs <- w.m.fast_syncs + 1;
+    match Atomic.exchange fr.exn_slot None with
+    | Some e -> raise e
+    | None -> ()
+
+  let scope f =
+    ignore (get_current ());
+    let fr = make_frame () in
+    match f fr with
+    | v ->
+      sync fr;
+      v
+    | exception e ->
+      (* Fully strict: join the children even on the exceptional path;
+         the original exception wins over any child exception. *)
+      (try sync fr with _ -> ());
+      raise e
+
+  let spawn fr thunk =
+    let p = Promise.make () in
+    let wrapped () =
+      match thunk () with
+      | v -> Promise.fill p v
+      | exception e ->
+        Promise.fill_exn p e;
+        note_exn fr e
+    in
+    Effect.perform (Spawn (fr, wrapped));
+    p
+
+  let get p = Promise.get ~runtime:name p
+end

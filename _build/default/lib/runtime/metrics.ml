@@ -1,0 +1,61 @@
+type worker = {
+  id : int;
+  mutable spawns : int;
+  mutable steals : int;
+  mutable steal_attempts : int;
+  mutable lost_continuations : int;
+  mutable suspensions : int;
+  mutable fast_syncs : int;
+  mutable resumes : int;
+  mutable tasks : int;
+  mutable stack_acquires : int;
+  mutable stack_releases : int;
+}
+
+type stack_stats = {
+  live_stacks : int;
+  max_rss_pages : int;
+  madvise_calls : int;
+  pool_hits : int;
+}
+
+type t = {
+  workers : worker array;
+  elapsed_s : float;
+  stacks : stack_stats option;
+}
+
+let make_worker id =
+  {
+    id;
+    spawns = 0;
+    steals = 0;
+    steal_attempts = 0;
+    lost_continuations = 0;
+    suspensions = 0;
+    fast_syncs = 0;
+    resumes = 0;
+    tasks = 0;
+    stack_acquires = 0;
+    stack_releases = 0;
+  }
+
+let make ?stacks workers ~elapsed_s = { workers; elapsed_s; stacks }
+
+let total t f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>workers=%d elapsed=%.4fs spawns=%d steals=%d attempts=%d \
+     lost-conts=%d suspensions=%d fast-syncs=%d resumes=%d tasks=%d \
+     stack-acq=%d@]"
+    (Array.length t.workers) t.elapsed_s
+    (total t (fun w -> w.spawns))
+    (total t (fun w -> w.steals))
+    (total t (fun w -> w.steal_attempts))
+    (total t (fun w -> w.lost_continuations))
+    (total t (fun w -> w.suspensions))
+    (total t (fun w -> w.fast_syncs))
+    (total t (fun w -> w.resumes))
+    (total t (fun w -> w.tasks))
+    (total t (fun w -> w.stack_acquires))

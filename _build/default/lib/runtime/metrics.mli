@@ -1,0 +1,41 @@
+(** Scheduler observability: per-worker event counters, written without
+    synchronisation by their owning worker and aggregated after the worker
+    domains have been joined. *)
+
+type worker = {
+  id : int;
+  mutable spawns : int;  (** spawn points executed *)
+  mutable steals : int;  (** successful steals committed *)
+  mutable steal_attempts : int;  (** steal attempts including failures *)
+  mutable lost_continuations : int;
+      (** pops that came back empty because a thief won (implicit syncs) *)
+  mutable suspensions : int;  (** explicit syncs that had to suspend *)
+  mutable fast_syncs : int;  (** explicit syncs satisfied immediately *)
+  mutable resumes : int;  (** suspended frames resumed by this worker *)
+  mutable tasks : int;  (** tasks executed from the scheduler loop *)
+  mutable stack_acquires : int;
+  mutable stack_releases : int;
+}
+
+type stack_stats = {
+  live_stacks : int;  (** stacks ever allocated *)
+  max_rss_pages : int;  (** resident-page watermark (Table II) *)
+  madvise_calls : int;
+  pool_hits : int;  (** acquisitions that crossed the global pool lock *)
+}
+
+type t = {
+  workers : worker array;
+  elapsed_s : float;
+  stacks : stack_stats option;
+      (** only the continuation-stealing engines manage simulated
+          cactus stacks *)
+}
+
+val make_worker : int -> worker
+val make : ?stacks:stack_stats -> worker array -> elapsed_s:float -> t
+
+val total : t -> (worker -> int) -> int
+(** Sum a counter over all workers. *)
+
+val pp : Format.formatter -> t -> unit

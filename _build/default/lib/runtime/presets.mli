@@ -1,0 +1,57 @@
+(** Named runtime-system presets — the systems compared in the paper's
+    evaluation, all built from the same engines by varying the three axes
+    the paper identifies: stealing scheme, strand-counter locking, and
+    deque locking.
+
+    {b Compatibility rule}: the lock-based counter is only sound together
+    with a deque whose steal path and conflicting owner pops serialise on
+    the same lock (THE or the fully locked deque) — that coupling is what
+    closes the Figure 6 race for lock-based runtimes.  The wait-free
+    counter composes with any deque, which is the paper's "synergy"
+    argument for using the lock-free CL queue (Section IV-C). *)
+
+module Nowa : Runtime_intf.S
+(** Continuation stealing, wait-free counter, Chase-Lev deque. *)
+
+module Nowa_the : Runtime_intf.S
+(** Nowa's wait-free coordination on the THE queue — the Figure 9
+    ablation variant. *)
+
+module Nowa_abp : Runtime_intf.S
+(** Nowa's wait-free coordination on the ABP queue (extra ablation;
+    bounded deque, so very deep spawn nests may hit
+    {!Nowa_deque.Ws_deque_intf.Full}). *)
+
+module Fibril : Runtime_intf.S
+(** Continuation stealing, lock-based counter, THE queue — the Fibril
+    baseline Nowa was forked from. *)
+
+module Cilk_plus : Runtime_intf.S
+(** Continuation stealing, lock-based counter, fully locked deque — the
+    Cilk Plus model (lock-based on both layers, Section V-D). *)
+
+module Tbb : Runtime_intf.S
+(** Child stealing with per-worker deques — the TBB model. *)
+
+module Lomp_untied : Runtime_intf.S
+(** Child stealing, waiters steal anywhere — LLVM libomp with untied
+    tasks. *)
+
+module Lomp_tied : Runtime_intf.S
+(** Child stealing, waiters restricted to their own deque — LLVM libomp
+    with tied tasks. *)
+
+module Gomp : Runtime_intf.S
+(** One global locked FIFO task queue — the GCC libgomp model. *)
+
+val all : (module Runtime_intf.S) list
+(** Every preset, in the order above. *)
+
+val find : string -> (module Runtime_intf.S)
+(** Look a preset up by its [name]; raises [Not_found]. *)
+
+val figure7_set : (module Runtime_intf.S) list
+(** The four systems of Figures 1 and 7: Nowa, Fibril, Cilk Plus, TBB. *)
+
+val figure10_set : (module Runtime_intf.S) list
+(** The systems of Figure 10: Nowa, TBB, gomp, lomp untied, lomp tied. *)

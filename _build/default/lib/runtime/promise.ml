@@ -1,0 +1,16 @@
+type 'a state = Pending | Done of 'a | Failed of exn
+type 'a t = { mutable st : 'a state }
+
+let make () = { st = Pending }
+let fill p v = p.st <- Done v
+let fill_exn p e = p.st <- Failed e
+
+let get ~runtime p =
+  match p.st with
+  | Done v -> v
+  | Failed e -> raise e
+  | Pending ->
+    invalid_arg
+      (runtime
+     ^ ": promise read before the child was synced (fully-strictness \
+        violation)")

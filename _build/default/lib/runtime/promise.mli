@@ -1,0 +1,17 @@
+(** Result cell of a spawned child, shared by all engines.
+
+    Writes are published to other workers through the join-counter
+    atomics: the child fills the cell before its join decrement, and the
+    parent reads it only after observing the join — so the plain mutable
+    field is race-free by the OCaml memory model's release/acquire rules
+    on atomics. *)
+
+type 'a t
+
+val make : unit -> 'a t
+val fill : 'a t -> 'a -> unit
+val fill_exn : 'a t -> exn -> unit
+
+val get : runtime:string -> 'a t -> 'a
+(** Raises the child's exception if it failed, or [Invalid_argument] if
+    the child has not been joined yet. *)

@@ -1,0 +1,11 @@
+let active : string option Atomic.t = Atomic.make None
+
+let enter name =
+  if not (Atomic.compare_and_set active None (Some name)) then
+    failwith
+      (Printf.sprintf
+         "%s.run: another runtime is already active in this process (runs \
+          cannot nest or overlap)"
+         name)
+
+let exit () = Atomic.set active None

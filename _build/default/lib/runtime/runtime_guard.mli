@@ -1,0 +1,8 @@
+(** Global mutual exclusion between [run] invocations: the engines are not
+    reentrant, and two pools spinning against each other would deadlock on
+    small machines, so attempting it fails fast instead. *)
+
+val enter : string -> unit
+(** Raises [Failure] if another runtime is already running. *)
+
+val exit : unit -> unit

@@ -1,0 +1,50 @@
+(** The programming-language-layer interface every scheduler engine in
+    this platform implements (the [spawn]/[sync] keywords of Listing 1 in
+    the paper, expressed as a library).
+
+    Fully-strict usage contract: a spawning function opens a {!S.scope};
+    [spawn] may only be called with the scope of the lexically enclosing
+    [scope] invocation (never with a scope smuggled in from an outer or
+    concurrent function); all children of a scope join at the latest when
+    [scope] returns.  Promises may only be read after a [sync] (explicit
+    or the implicit one at scope exit) that joins the corresponding
+    child. *)
+
+module type S = sig
+  val name : string
+  (** Identifier used in benchmark output ("nowa", "fibril", ...). *)
+
+  val description : string
+
+  type scope
+  (** A spawning-function frame (one per [scope] invocation). *)
+
+  type 'a promise
+  (** The result cell of a spawned child. *)
+
+  val run : ?conf:Config.t -> (unit -> 'a) -> 'a
+  (** Start the runtime system, execute the computation to completion on
+      the configured workers and tear the workers down.  Exceptions from
+      the computation are re-raised.  Not reentrant. *)
+
+  val scope : (scope -> 'a) -> 'a
+  (** Enter a spawning function: allocates the frame and performs the
+      implicit sync at exit (also on exceptional exit, preserving full
+      strictness).  Must be called from within [run]. *)
+
+  val spawn : scope -> (unit -> 'a) -> 'a promise
+  (** Fork point.  The platform may execute the child serially (the
+      common case) or in parallel with the continuation, at its sole
+      discretion — [spawn] expresses the {e potential} for parallelism. *)
+
+  val sync : scope -> unit
+  (** Explicit sync point: returns once every child spawned so far in
+      this scope has finished.  Re-raises the first child exception. *)
+
+  val get : 'a promise -> 'a
+  (** Read a joined child's result.  Raises [Invalid_argument] if the
+      child has not been synced yet (a fully-strictness violation). *)
+
+  val last_metrics : unit -> Metrics.t option
+  (** Metrics of the most recently completed [run], if collected. *)
+end

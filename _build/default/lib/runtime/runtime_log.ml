@@ -1,0 +1,3 @@
+let src = Logs.Src.create "nowa.runtime" ~doc:"Nowa runtime-system events"
+
+module Log = (val Logs.src_log src)

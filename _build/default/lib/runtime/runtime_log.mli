@@ -1,0 +1,7 @@
+(** Logging source for the runtime system.  Silent unless the embedding
+    application installs a [Logs] reporter and enables the ["nowa.runtime"]
+    source at [Debug]. *)
+
+val src : Logs.src
+
+module Log : Logs.LOG

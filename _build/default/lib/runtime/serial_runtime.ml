@@ -1,0 +1,33 @@
+let name = "serial"
+let description = "serial elision: spawn = call, sync = no-op"
+
+type scope = unit
+type 'a promise = 'a Promise.t
+
+let last_metrics_ref = ref None
+let last_metrics () = !last_metrics_ref
+
+let run ?conf main =
+  ignore conf;
+  Runtime_guard.enter name;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:Runtime_guard.exit (fun () ->
+      let r = main () in
+      last_metrics_ref :=
+        Some
+          (Metrics.make
+             [| Metrics.make_worker 0 |]
+             ~elapsed_s:(Unix.gettimeofday () -. t0));
+      r)
+
+let scope f = f ()
+
+let spawn () thunk =
+  let p = Promise.make () in
+  (* Elision semantics: the child runs here and now, and its exception
+     propagates immediately, exactly as in the unannotated program. *)
+  Promise.fill p (thunk ());
+  p
+
+let sync () = ()
+let get p = Promise.get ~runtime:name p

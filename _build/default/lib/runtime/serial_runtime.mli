@@ -1,0 +1,7 @@
+(** The serial elision (Frigo et al.): [spawn] calls the child inline,
+    [sync] is a no-op.  This is how the paper obtains the serial execution
+    time [T_s] that all speedups are computed against, and it doubles as
+    the reference implementation the test-suite validates every kernel
+    and every runtime preset against. *)
+
+include Runtime_intf.S

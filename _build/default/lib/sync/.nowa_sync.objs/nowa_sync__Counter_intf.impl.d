@@ -1,0 +1,1 @@
+lib/sync/counter_intf.ml:

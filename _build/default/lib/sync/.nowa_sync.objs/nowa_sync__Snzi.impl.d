@@ -1,0 +1,1 @@
+lib/sync/snzi.ml: Array Atomic Nowa_util

@@ -1,0 +1,1 @@
+lib/sync/wait_free_counter.ml: Atomic Nowa_util

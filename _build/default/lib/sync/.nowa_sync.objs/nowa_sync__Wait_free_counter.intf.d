@@ -1,0 +1,1 @@
+lib/sync/wait_free_counter.mli: Counter_intf

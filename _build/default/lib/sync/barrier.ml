@@ -1,0 +1,19 @@
+type t = { n : int; count : int Atomic.t; sense : bool Atomic.t }
+
+let create n =
+  { n; count = Nowa_util.Padding.atomic 0; sense = Nowa_util.Padding.atomic false }
+
+let await t =
+  let my_sense = not (Atomic.get t.sense) in
+  if Atomic.fetch_and_add t.count 1 = t.n - 1 then begin
+    Atomic.set t.count 0;
+    Atomic.set t.sense my_sense
+  end
+  else begin
+    let spins = ref 0 in
+    while Atomic.get t.sense <> my_sense do
+      Domain.cpu_relax ();
+      incr spins;
+      if !spins mod 4096 = 0 then Unix.sleepf 0.0
+    done
+  end

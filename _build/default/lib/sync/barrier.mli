@@ -1,0 +1,11 @@
+(** Sense-reversing spinning barrier, used to line the workers up before
+    timed benchmark sections and at runtime start-up. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a barrier for [n] participants. *)
+
+val await : t -> unit
+(** Blocks (spinning, with OS yields on oversubscribed hosts) until all
+    [n] participants have arrived; reusable across rounds. *)

@@ -1,0 +1,101 @@
+(* Hierarchical SNZI, following Ellen, Lev, Luchangco & Moir.  Each node
+   packs (counter, version) into one integer so both move under a single
+   CAS; counters are stored doubled so the algorithm's intermediate "1/2"
+   state is representable (c2 = 1).  The root is a plain atomic counter: it
+   is trivially linearisable, and the tree above it already filters
+   traffic, which is the part of the construction that matters for
+   scalability.  [query] reads only the root. *)
+
+let version_bits = 20
+let version_mask = (1 lsl version_bits) - 1
+let pack ~c2 ~v = (c2 lsl version_bits) lor (v land version_mask)
+let c2_of x = x lsr version_bits
+let v_of x = x land version_mask
+
+type node = { x : int Atomic.t; parent : node option }
+
+type t = { root : int Atomic.t; leaves : node array }
+
+let rec arrive_node t node =
+  match node with
+  | None -> ignore (Atomic.fetch_and_add t.root 1)
+  | Some n ->
+    let undo = ref 0 in
+    let succ = ref false in
+    while not !succ do
+      let x = Atomic.get n.x in
+      let c2 = c2_of x and v = v_of x in
+      if c2 >= 2 then begin
+        if Atomic.compare_and_set n.x x (pack ~c2:(c2 + 2) ~v) then
+          succ := true
+      end
+      else begin
+        (* c2 is 0 or 1.  On 0 we try to claim the zero→non-zero
+           transition by moving to the intermediate 1/2 state; on 1 we
+           help whoever claimed it.  Either way the parent is incremented
+           before the node becomes visibly non-zero. *)
+        let half_v =
+          if c2 = 1 then Some v
+          else if Atomic.compare_and_set n.x x (pack ~c2:1 ~v:(v + 1)) then begin
+            succ := true;
+            Some (v + 1)
+          end
+          else None
+        in
+        match half_v with
+        | None -> () (* lost the claim race; retry *)
+        | Some v ->
+          arrive_node t n.parent;
+          if not (Atomic.compare_and_set n.x (pack ~c2:1 ~v) (pack ~c2:2 ~v))
+          then
+            (* Another helper finished the transition first: our parent
+               arrival is surplus and is retired below. *)
+            incr undo
+      end
+    done;
+    for _ = 1 to !undo do
+      depart_node t n.parent
+    done
+
+and depart_node t node =
+  match node with
+  | None -> ignore (Atomic.fetch_and_add t.root (-1))
+  | Some n ->
+    let finished = ref false in
+    while not !finished do
+      let x = Atomic.get n.x in
+      let c2 = c2_of x and v = v_of x in
+      assert (c2 >= 2);
+      if Atomic.compare_and_set n.x x (pack ~c2:(c2 - 2) ~v) then begin
+        if c2 = 2 then depart_node t n.parent;
+        finished := true
+      end
+    done
+
+let create ?(leaves = 8) () =
+  let root = Nowa_util.Padding.atomic 0 in
+  (* Two-level tree: an intermediate layer of sqrt-many nodes under the
+     root keeps the structure shallow while still filtering. *)
+  let mids = max 1 (int_of_float (sqrt (float_of_int (max 1 leaves)))) in
+  let mid =
+    Array.init mids (fun _ ->
+        { x = Nowa_util.Padding.atomic (pack ~c2:0 ~v:0); parent = None })
+  in
+  let leaf_nodes =
+    Array.init (max 1 leaves) (fun i ->
+        {
+          x = Nowa_util.Padding.atomic (pack ~c2:0 ~v:0);
+          parent = Some mid.(i mod mids);
+        })
+  in
+  { root; leaves = leaf_nodes }
+
+let arrive t ~leaf =
+  let n = t.leaves.(leaf mod Array.length t.leaves) in
+  arrive_node t (Some n)
+
+let depart t ~leaf =
+  let n = t.leaves.(leaf mod Array.length t.leaves) in
+  depart_node t (Some n)
+
+let query t = Atomic.get t.root > 0

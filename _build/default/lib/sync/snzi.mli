@@ -1,0 +1,29 @@
+(** Scalable Non-Zero Indicator (Ellen, Lev, Luchangco, Moir).
+
+    The paper's related work (Acar et al., "Contention in structured
+    concurrency") coordinates nested parallelism with a dynamic SNZI; we
+    provide a static-tree SNZI both as a third strand-coordination scheme
+    for the ablation benchmarks and as a lock-free data structure in its
+    own right.
+
+    A SNZI tracks a surplus of [arrive]s over [depart]s and answers only
+    the boolean question "is the surplus non-zero?" — precisely Invariant
+    IV of the paper (joining tasks only need an is-positive indication).
+    The tree filters contention: a leaf only touches its parent when its
+    own counter moves between zero and non-zero. *)
+
+type t
+
+val create : ?leaves:int -> unit -> t
+(** [leaves] is the number of leaf nodes (default 8; one per worker is
+    typical). *)
+
+val arrive : t -> leaf:int -> unit
+(** Increment the surplus via leaf [leaf mod leaves]. *)
+
+val depart : t -> leaf:int -> unit
+(** Decrement the surplus via the same leaf used to arrive.  The surplus
+    must be positive. *)
+
+val query : t -> bool
+(** [true] iff the surplus is non-zero. *)

@@ -1,0 +1,36 @@
+type t = { flag : bool Atomic.t; count : int Atomic.t }
+
+let create () =
+  { flag = Nowa_util.Padding.atomic false; count = Atomic.make 0 }
+
+let try_acquire t =
+  (not (Atomic.get t.flag)) && Atomic.compare_and_set t.flag false true
+
+let acquire t =
+  let spins = ref 4 in
+  while not (Atomic.compare_and_set t.flag false true) do
+    (* Test-and-test-and-set: spin on the read-only path while contended. *)
+    while Atomic.get t.flag do
+      for _ = 1 to !spins do
+        Domain.cpu_relax ()
+      done;
+      if !spins < 1024 then spins := !spins * 2
+      else (* Let the holder run on oversubscribed hosts. *)
+        Unix.sleepf 0.0
+    done
+  done;
+  Atomic.incr t.count
+
+let release t = Atomic.set t.flag false
+
+let acquisitions t = Atomic.get t.count
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    release t;
+    raise e

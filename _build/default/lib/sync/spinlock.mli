@@ -1,0 +1,18 @@
+(** Test-and-test-and-set spinlock with truncated exponential backoff.
+
+    Used by the lock-based join counters (the Fibril/Cilk Plus baselines)
+    so that the locking cost the paper attributes to those runtimes stays
+    in user space and visible, instead of disappearing into futex waits. *)
+
+type t
+
+val create : unit -> t
+val acquire : t -> unit
+val release : t -> unit
+
+val try_acquire : t -> bool
+
+val acquisitions : t -> int
+(** Total successful acquisitions — diagnostic, exact when quiescent. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,5 @@
+include Counter_intf.JOIN_COUNTER
+
+val i_max : int
+(** The first-phase initialisation value of the sync-condition counter
+    ([max_int]). *)

@@ -1,0 +1,1 @@
+lib/util/padding.ml: Array Atomic

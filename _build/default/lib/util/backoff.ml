@@ -1,0 +1,25 @@
+type t = {
+  min_spins : int;
+  max_spins : int;
+  mutable current : int;
+  mutable count : int;
+}
+
+let make ?(min_spins = 4) ?(max_spins = 1024) () =
+  { min_spins; max_spins; current = min_spins; count = 0 }
+
+let reset t =
+  t.current <- t.min_spins;
+  t.count <- 0
+
+let once t =
+  t.count <- t.count + 1;
+  for _ = 1 to t.current do
+    Domain.cpu_relax ()
+  done;
+  if t.current >= t.max_spins then
+    (* Oversubscribed host: give the OS a chance to run the victim. *)
+    Unix.sleepf 0.0
+  else t.current <- t.current * 2
+
+let steps t = t.count

@@ -1,0 +1,17 @@
+(** Truncated exponential backoff for contended retry loops.
+
+    Thieves use this between failed steal attempts; the spinlock uses it in
+    its acquisition loop.  Beyond a threshold the backoff yields the
+    timeslice ([Unix.sleepf 0]) so that on machines with fewer cores than
+    workers a spinning thief cannot starve the strand it is waiting for. *)
+
+type t
+
+val make : ?min_spins:int -> ?max_spins:int -> unit -> t
+val reset : t -> unit
+
+val once : t -> unit
+(** Perform one backoff step and double the next step, up to the cap. *)
+
+val steps : t -> int
+(** Number of [once] calls since the last [reset]. *)

@@ -1,0 +1,20 @@
+(* There is no monotonic clock in the pre-installed package set; on the
+   quiescent benchmark hosts this code targets, [Unix.gettimeofday] step
+   adjustments are the only non-monotonicity and they are negligible over
+   benchmark timescales. *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0, r)
+
+let spin_ns n =
+  if n > 0 then begin
+    let deadline = now_ns () + n in
+    while now_ns () < deadline do
+      Domain.cpu_relax ()
+    done
+  end

@@ -1,0 +1,13 @@
+(** Monotonic wall-clock helpers used by the schedulers, the benchmark
+    harness, and the simulated madvise() cost model. *)
+
+val now_ns : unit -> int
+(** Monotonic time stamp in nanoseconds. *)
+
+val time_it : (unit -> 'a) -> float * 'a
+(** [time_it f] runs [f ()] and returns (elapsed seconds, result). *)
+
+val spin_ns : int -> unit
+(** [spin_ns n] busy-waits for approximately [n] nanoseconds.  Used to model
+    fixed hardware/kernel costs (e.g. an madvise() syscall) inside the
+    simulated substrates. *)

@@ -1,0 +1,3 @@
+let available_cores () = Domain.recommended_domain_count ()
+
+let default_workers () = max 1 (available_cores ())

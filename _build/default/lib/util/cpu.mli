@@ -1,0 +1,9 @@
+(** Host processor information. *)
+
+val available_cores : unit -> int
+(** Number of cores the OCaml runtime recommends using as domains. *)
+
+val default_workers : unit -> int
+(** Worker count used when a runtime is started without an explicit count:
+    the available cores, capped so test machines with a single core still
+    exercise multi-worker code paths deterministically. *)

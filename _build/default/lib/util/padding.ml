@@ -1,0 +1,16 @@
+let cache_line_words = 8
+
+(* The spacers must survive long enough to keep their slots occupied until
+   the next minor collection; keeping the last few alive in a global root is
+   enough for the at-birth layout and costs a handful of words. *)
+let keep = Array.make 2 [||]
+
+let int_array n = Array.make (n * cache_line_words) 0
+
+let atomic v =
+  let pre = int_array 1 in
+  let a = Atomic.make v in
+  let post = int_array 1 in
+  keep.(0) <- pre;
+  keep.(1) <- post;
+  a

@@ -1,0 +1,19 @@
+(** Allocation helpers that reduce false sharing between frequently written
+    atomic cells.
+
+    OCaml 5.1 has no [Atomic.make_contended]; instead we allocate spacer
+    blocks around each atomic so that, on the minor heap, two atomics created
+    through this module do not share a cache line at birth.  This is a
+    best-effort mitigation (the GC may move values), which matches what
+    portable lock-free OCaml libraries do on this compiler version. *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [atomic v] is a fresh atomic initialised to [v], surrounded by
+    cache-line-sized spacer allocations. *)
+
+val cache_line_words : int
+(** Number of OCaml words per assumed 64-byte cache line. *)
+
+val int_array : int -> int array
+(** [int_array n] is a fresh zero array of [n] cache lines worth of ints,
+    usable as an explicit spacer field inside records. *)

@@ -1,0 +1,38 @@
+type align = Left | Right
+
+let render ?align ~header rows =
+  let all = header :: rows in
+  let columns = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make columns 0 in
+  let note_widths row =
+    List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)) row
+  in
+  List.iter note_widths all;
+  let alignment i =
+    match align with
+    | Some l when i < List.length l -> List.nth l i
+    | _ -> if i = 0 then Left else Right
+  in
+  let pad i cell =
+    let w = width.(i) in
+    let n = w - String.length cell in
+    match alignment i with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let full_row row =
+    (* Extend short rows with empty cells so every line has all columns. *)
+    let len = List.length row in
+    if len >= columns then row
+    else row @ List.init (columns - len) (fun _ -> "")
+  in
+  let sep =
+    "|"
+    ^ String.concat "|" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') width))
+    ^ "|"
+  in
+  let body = List.map (fun r -> line (full_row r)) rows in
+  String.concat "\n" ((line (full_row header) :: sep :: body) @ [ "" ])
+
+let print ?align ~header rows = print_string (render ?align ~header rows)

@@ -1,0 +1,15 @@
+(** Minimal ASCII table rendering for the benchmark harness output. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the table out with column widths derived from
+    the longest cell.  [align] defaults to [Left] for the first column and
+    [Right] for the rest. *)
+
+val print :
+  ?align:align list -> header:string list -> string list list -> unit

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Float Lazy List Nowa_dag Nowa_kernels Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_deque.ml: Abp Alcotest Array Atomic Central_queue Chase_lev Domain List Locked_deque Nowa_deque QCheck QCheck_alcotest Test The_queue Ws_deque_intf

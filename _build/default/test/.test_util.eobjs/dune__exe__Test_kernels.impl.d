@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Float List Nowa Nowa_kernels Nowa_runtime Printf QCheck QCheck_alcotest

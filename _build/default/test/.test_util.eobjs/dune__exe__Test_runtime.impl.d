@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Either List Nowa Nowa_kernels Nowa_runtime Printf QCheck QCheck_alcotest Unix

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Atomic Barrier Counter_intf Domain List Lock_counter Nowa_sync QCheck QCheck_alcotest Snzi Spinlock Wait_free_counter

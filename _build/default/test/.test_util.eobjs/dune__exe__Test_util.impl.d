@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Atomic Backoff Clock Cpu Float Int64 List Nowa_util Padding QCheck QCheck_alcotest Stats String Table Xoshiro

@@ -1,0 +1,375 @@
+(* Tests for the twelve Table I benchmarks: each kernel is validated
+   against ground truth (closed forms, naive reference implementations,
+   reconstruction residuals) and against its serial elision across
+   runtime presets. *)
+
+module Serial = Nowa_runtime.Serial_runtime
+module K = Nowa_kernels
+
+let conf workers = Nowa.Config.with_workers workers
+
+let check_presets : (module Nowa.RUNTIME) list =
+  [
+    (module Nowa.Presets.Nowa);
+    (module Nowa.Presets.Nowa_the);
+    (module Nowa.Presets.Fibril);
+    (module Nowa.Presets.Cilk_plus);
+    (module Nowa.Presets.Tbb);
+    (module Nowa.Presets.Lomp_untied);
+    (module Nowa.Presets.Lomp_tied);
+    (module Nowa.Presets.Gomp);
+  ]
+
+(* Every registry instance at Test size matches its serial elision on
+   every preset. *)
+let test_registry_cross_preset () =
+  List.iter
+    (fun name ->
+      let inst = K.Registry.find K.Registry.Test name in
+      let reference = K.Registry.reference K.Registry.Test name in
+      List.iter
+        (fun (module R : Nowa.RUNTIME) ->
+          let thunk = inst.K.Registry.make_thunk (module R) in
+          let fp = R.run ~conf:(conf 3) thunk in
+          if not (K.Registry.matches inst reference fp) then
+            Alcotest.failf "%s on %s: fingerprint %.9g <> reference %.9g" name
+              R.name fp reference)
+        check_presets)
+    K.Registry.names
+
+let test_registry_names_complete () =
+  Alcotest.(check int) "twelve benchmarks" 12 (List.length K.Registry.names);
+  List.iter
+    (fun size ->
+      Alcotest.(check int) "instances per size" 12
+        (List.length (K.Registry.instances size)))
+    [ K.Registry.Test; K.Registry.Small; K.Registry.Medium; K.Registry.Large ]
+
+(* -- fib ----------------------------------------------------------------- *)
+
+let test_fib_ground_truth () =
+  let module F = K.Fib.Make (Serial) in
+  Serial.run (fun () ->
+      List.iter
+        (fun (n, expected) -> Alcotest.(check int) "fib" expected (F.run n))
+        [ (0, 0); (1, 1); (2, 1); (10, 55); (20, 6765) ])
+
+let test_fib_spawn_count () =
+  Alcotest.(check int) "spawn_count 10" 88 (K.Fib.spawn_count 10);
+  Alcotest.(check int) "spawn_count 2" 1 (K.Fib.spawn_count 2)
+
+(* -- integrate ------------------------------------------------------------ *)
+
+let test_integrate_closed_form () =
+  let module I = K.Integrate.Make (Serial) in
+  Serial.run (fun () ->
+      List.iter
+        (fun n ->
+          let approx = I.run ~epsilon:1e-6 n in
+          let exact = K.Integrate.exact (float_of_int n) in
+          let rel = Float.abs (approx -. exact) /. exact in
+          if rel > 1e-4 then
+            Alcotest.failf "integrate %d: rel error %g too large" n rel)
+        [ 10; 100; 500 ])
+
+(* -- nqueens --------------------------------------------------------------- *)
+
+let test_nqueens_known_counts () =
+  let module N = K.Nqueens.Make (Serial) in
+  Serial.run (fun () ->
+      for n = 1 to 9 do
+        Alcotest.(check int)
+          (Printf.sprintf "nqueens %d" n)
+          K.Nqueens.solutions.(n) (N.run n)
+      done)
+
+let test_nqueens_parallel_matches () =
+  let module N = K.Nqueens.Make (Nowa.Presets.Nowa) in
+  let count = Nowa.Presets.Nowa.run ~conf:(conf 4) (fun () -> N.run 8) in
+  Alcotest.(check int) "nqueens 8 parallel" 92 count
+
+(* -- knapsack --------------------------------------------------------------- *)
+
+(* Exhaustive reference for small instances. *)
+let knapsack_brute items capacity =
+  let n = Array.length items in
+  let rec go i cap =
+    if i = n || cap = 0 then 0
+    else
+      let skip = go (i + 1) cap in
+      let it = items.(i) in
+      if it.K.Knapsack.weight <= cap then
+        max skip (it.K.Knapsack.value + go (i + 1) (cap - it.K.Knapsack.weight))
+      else skip
+  in
+  go 0 capacity
+
+let test_knapsack_vs_brute_force () =
+  let module Kn = K.Knapsack.Make (Serial) in
+  List.iter
+    (fun seed ->
+      let items = K.Knapsack.make_items ~seed 12 in
+      let capacity = K.Knapsack.default_capacity items in
+      let expected = knapsack_brute items capacity in
+      let got = Serial.run (fun () -> Kn.run ~capacity items) in
+      Alcotest.(check int) (Printf.sprintf "knapsack seed %d" seed) expected got)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_knapsack_flipped_same_result () =
+  (* The spawn-order flip of Section V-A changes the work, never the
+     answer. *)
+  let module Kn = K.Knapsack.Make (Nowa.Presets.Nowa) in
+  let items = K.Knapsack.make_items ~seed:11 16 in
+  let normal = Nowa.Presets.Nowa.run ~conf:(conf 3) (fun () -> Kn.run items) in
+  let flipped =
+    Nowa.Presets.Nowa.run ~conf:(conf 3) (fun () -> Kn.run ~flipped:true items)
+  in
+  Alcotest.(check int) "flip preserves optimum" normal flipped
+
+(* -- quicksort ---------------------------------------------------------------- *)
+
+let test_quicksort_adversarial_inputs () =
+  let module Q = K.Quicksort.Make (Serial) in
+  let check label a =
+    let expected = Array.copy a in
+    Array.sort compare expected;
+    Serial.run (fun () -> Q.run ~cutoff:8 a);
+    Alcotest.(check bool) label true (a = expected)
+  in
+  check "already sorted" (Array.init 500 (fun i -> i));
+  check "reverse sorted" (Array.init 500 (fun i -> 500 - i));
+  check "constant" (Array.make 300 7);
+  check "two values" (Array.init 400 (fun i -> i mod 2));
+  check "empty" [||];
+  check "singleton" [| 42 |]
+
+let prop_quicksort_matches_stdlib =
+  QCheck.Test.make ~name:"quicksort matches stdlib sort" ~count:100
+    QCheck.(list int)
+    (fun l ->
+      let a = Array.of_list l in
+      let expected = Array.copy a in
+      Array.sort compare expected;
+      let module Q = K.Quicksort.Make (Serial) in
+      Serial.run (fun () -> Q.run ~cutoff:4 a);
+      a = expected)
+
+let test_quicksort_parallel () =
+  let module Q = K.Quicksort.Make (Nowa.Presets.Nowa) in
+  let a = K.Quicksort.random_array ~seed:123 50_000 in
+  let expected = Array.copy a in
+  Array.sort compare expected;
+  Nowa.Presets.Nowa.run ~conf:(conf 4) (fun () -> Q.run ~cutoff:512 a);
+  Alcotest.(check bool) "sorted in parallel" true (a = expected)
+
+(* -- linear algebra kernels ----------------------------------------------------- *)
+
+let residual_tolerance = 1e-9
+
+let check_residual label reconstructed original =
+  let diff = K.Linalg.max_abs_diff reconstructed original in
+  let scale = Float.max 1.0 (K.Linalg.frobenius original) in
+  if diff /. scale > residual_tolerance then
+    Alcotest.failf "%s: residual %g too large" label diff
+
+let test_matmul_vs_naive () =
+  let module M = K.Matmul.Make (Nowa.Presets.Nowa) in
+  let a = K.Linalg.random ~seed:1 96 96 and b = K.Linalg.random ~seed:2 96 96 in
+  let c = Nowa.Presets.Nowa.run ~conf:(conf 3) (fun () -> M.run a b) in
+  let expected = K.Linalg.create 96 96 in
+  K.Linalg.matmul_add_naive a b expected;
+  check_residual "matmul" c expected
+
+let test_rectmul_vs_naive () =
+  let module M = K.Rectmul.Make (Nowa.Presets.Nowa) in
+  (* Deliberately awkward odd-ish shapes. *)
+  List.iter
+    (fun (m, k, n) ->
+      let a = K.Linalg.random ~seed:3 m k and b = K.Linalg.random ~seed:4 k n in
+      let c = Nowa.Presets.Nowa.run ~conf:(conf 3) (fun () -> M.run a b) in
+      let expected = K.Linalg.create m n in
+      K.Linalg.matmul_add_naive a b expected;
+      check_residual (Printf.sprintf "rectmul %dx%dx%d" m k n) c expected)
+    [ (70, 33, 129); (64, 128, 32); (1, 100, 1); (17, 1, 17) ]
+
+let test_strassen_vs_naive () =
+  let module S = K.Strassen.Make (Nowa.Presets.Nowa) in
+  let n = 128 in
+  let a = K.Linalg.random ~seed:5 n n and b = K.Linalg.random ~seed:6 n n in
+  let c = Nowa.Presets.Nowa.run ~conf:(conf 3) (fun () -> S.run a b) in
+  let expected = K.Linalg.create n n in
+  K.Linalg.matmul_add_naive a b expected;
+  let diff = K.Linalg.max_abs_diff c expected in
+  (* Strassen is less numerically stable than the naive product. *)
+  if diff > 1e-6 then Alcotest.failf "strassen residual %g" diff
+
+let test_lu_reconstruction () =
+  let module L = K.Lu.Make (Nowa.Presets.Nowa) in
+  let n = 96 in
+  let a0 = K.Linalg.random_spd ~seed:7 n in
+  let a = K.Linalg.copy a0 in
+  Nowa.Presets.Nowa.run ~conf:(conf 3) (fun () -> L.run a);
+  let product = K.Lu.reconstruct a in
+  check_residual "LU reconstruction" product a0
+
+let test_cholesky_reconstruction () =
+  let module C = K.Cholesky.Make (Nowa.Presets.Nowa) in
+  let n = 96 in
+  let a0 = K.Linalg.random_spd ~seed:8 n in
+  let a = K.Linalg.copy a0 in
+  Nowa.Presets.Nowa.run ~conf:(conf 3) (fun () -> C.run a);
+  let product = K.Cholesky.reconstruct a in
+  check_residual "Cholesky reconstruction" product a0
+
+(* -- fft --------------------------------------------------------------------------- *)
+
+let test_fft_vs_naive_dft () =
+  let module F = K.Fft.Make (Serial) in
+  List.iter
+    (fun n ->
+      let x = K.Fft.random_signal ~seed:9 n in
+      let fast = Serial.run (fun () -> F.run x) in
+      let slow = K.Fft.dft_naive x in
+      let diff = K.Fft.max_abs_diff fast slow in
+      if diff > 1e-6 then Alcotest.failf "fft n=%d: diff %g" n diff)
+    [ 1; 2; 4; 64; 256 ]
+
+let test_fft_parseval () =
+  (* Energy conservation: ‖X‖² = n·‖x‖². *)
+  let module F = K.Fft.Make (Nowa.Presets.Nowa) in
+  let n = 1024 in
+  let x = K.Fft.random_signal ~seed:10 n in
+  let xf = Nowa.Presets.Nowa.run ~conf:(conf 3) (fun () -> F.run x) in
+  let energy a = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 a in
+  let lhs = energy xf and rhs = float_of_int n *. energy x in
+  if Float.abs (lhs -. rhs) /. rhs > 1e-9 then
+    Alcotest.failf "Parseval violated: %g vs %g" lhs rhs
+
+let test_fft_rejects_non_power_of_two () =
+  let module F = K.Fft.Make (Serial) in
+  Alcotest.check_raises "invalid length"
+    (Invalid_argument "Fft.run: length must be a power of 2") (fun () ->
+      Serial.run (fun () -> ignore (F.run (K.Fft.make_signal 3))))
+
+(* -- heat -------------------------------------------------------------------------- *)
+
+let test_heat_zero_steps_identity () =
+  let module H = K.Heat.Make (Serial) in
+  let g = K.Heat.default ~nx:16 ~ny:16 in
+  let g' = Serial.run (fun () -> H.run ~steps:0 g) in
+  Alcotest.(check bool) "0 steps = identity" true
+    (K.Heat.checksum g = K.Heat.checksum g')
+
+let test_heat_converges_towards_boundary_harmonics () =
+  (* The Jacobi iteration is a contraction: the per-step change must
+     shrink substantially as the grid relaxes. *)
+  let module H = K.Heat.Make (Serial) in
+  let g = K.Heat.default ~nx:16 ~ny:16 in
+  let checksum_at steps = Serial.run (fun () -> K.Heat.checksum (H.run ~steps g)) in
+  let early = Float.abs (checksum_at 11 -. checksum_at 10) in
+  let late = Float.abs (checksum_at 801 -. checksum_at 800) in
+  Alcotest.(check bool) "per-step change shrinks" true (late < early /. 10.0)
+
+let test_heat_parallel_matches_serial () =
+  let module Hs = K.Heat.Make (Serial) in
+  let module Hp = K.Heat.Make (Nowa.Presets.Nowa) in
+  let g = K.Heat.default ~nx:64 ~ny:32 in
+  let serial = Serial.run (fun () -> K.Heat.checksum (Hs.run ~steps:7 g)) in
+  let parallel =
+    Nowa.Presets.Nowa.run ~conf:(conf 4) (fun () -> K.Heat.checksum (Hp.run ~steps:7 g))
+  in
+  Alcotest.(check bool) "bitwise equal" true (serial = parallel)
+
+(* -- linalg substrate ---------------------------------------------------------------- *)
+
+let test_linalg_views () =
+  let m = K.Linalg.init 4 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  let s = K.Linalg.sub m ~row:1 ~col:2 ~rows:2 ~cols:2 in
+  Alcotest.(check (float 0.0)) "view (0,0)" 12.0 (K.Linalg.get s 0 0);
+  K.Linalg.set s 1 1 99.0;
+  Alcotest.(check (float 0.0)) "aliases backing" 99.0 (K.Linalg.get m 2 3);
+  Alcotest.check_raises "bounds" (Invalid_argument "Linalg.sub: window out of bounds")
+    (fun () -> ignore (K.Linalg.sub m ~row:3 ~col:3 ~rows:2 ~cols:2))
+
+let test_linalg_quadrants () =
+  let m = K.Linalg.init 4 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  let a11, a12, a21, a22 = K.Linalg.quadrants m in
+  Alcotest.(check (float 0.0)) "a11" 0.0 (K.Linalg.get a11 0 0);
+  Alcotest.(check (float 0.0)) "a12" 2.0 (K.Linalg.get a12 0 0);
+  Alcotest.(check (float 0.0)) "a21" 20.0 (K.Linalg.get a21 0 0);
+  Alcotest.(check (float 0.0)) "a22" 22.0 (K.Linalg.get a22 0 0)
+
+let test_linalg_transpose_and_spd () =
+  let m = K.Linalg.random ~seed:12 5 3 in
+  let t = K.Linalg.transpose m in
+  for i = 0 to 4 do
+    for j = 0 to 2 do
+      Alcotest.(check (float 0.0)) "transposed" (K.Linalg.get m i j) (K.Linalg.get t j i)
+    done
+  done;
+  let spd = K.Linalg.random_spd ~seed:13 8 in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      Alcotest.(check (float 1e-12)) "symmetric" (K.Linalg.get spd i j)
+        (K.Linalg.get spd j i)
+    done;
+    Alcotest.(check bool) "diagonally dominant" true (K.Linalg.get spd i i > 1.0)
+  done
+
+let () =
+  Alcotest.run "nowa_kernels"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "cross-preset fingerprints" `Slow test_registry_cross_preset;
+          Alcotest.test_case "names complete" `Quick test_registry_names_complete;
+        ] );
+      ( "fib",
+        [
+          Alcotest.test_case "ground truth" `Quick test_fib_ground_truth;
+          Alcotest.test_case "spawn count" `Quick test_fib_spawn_count;
+        ] );
+      ("integrate", [ Alcotest.test_case "closed form" `Quick test_integrate_closed_form ]);
+      ( "nqueens",
+        [
+          Alcotest.test_case "known counts" `Quick test_nqueens_known_counts;
+          Alcotest.test_case "parallel" `Quick test_nqueens_parallel_matches;
+        ] );
+      ( "knapsack",
+        [
+          Alcotest.test_case "vs brute force" `Quick test_knapsack_vs_brute_force;
+          Alcotest.test_case "flipped spawn order" `Quick test_knapsack_flipped_same_result;
+        ] );
+      ( "quicksort",
+        [
+          Alcotest.test_case "adversarial inputs" `Quick test_quicksort_adversarial_inputs;
+          QCheck_alcotest.to_alcotest prop_quicksort_matches_stdlib;
+          Alcotest.test_case "parallel" `Slow test_quicksort_parallel;
+        ] );
+      ( "linear algebra",
+        [
+          Alcotest.test_case "matmul vs naive" `Quick test_matmul_vs_naive;
+          Alcotest.test_case "rectmul vs naive" `Quick test_rectmul_vs_naive;
+          Alcotest.test_case "strassen vs naive" `Quick test_strassen_vs_naive;
+          Alcotest.test_case "lu reconstruction" `Quick test_lu_reconstruction;
+          Alcotest.test_case "cholesky reconstruction" `Quick test_cholesky_reconstruction;
+        ] );
+      ( "fft",
+        [
+          Alcotest.test_case "vs naive dft" `Quick test_fft_vs_naive_dft;
+          Alcotest.test_case "parseval" `Quick test_fft_parseval;
+          Alcotest.test_case "power of two" `Quick test_fft_rejects_non_power_of_two;
+        ] );
+      ( "heat",
+        [
+          Alcotest.test_case "zero steps" `Quick test_heat_zero_steps_identity;
+          Alcotest.test_case "convergence" `Quick test_heat_converges_towards_boundary_harmonics;
+          Alcotest.test_case "parallel matches serial" `Quick test_heat_parallel_matches_serial;
+        ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "views" `Quick test_linalg_views;
+          Alcotest.test_case "quadrants" `Quick test_linalg_quadrants;
+          Alcotest.test_case "transpose/spd" `Quick test_linalg_transpose_and_spd;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+(* Model-checking the platform's coordination algorithms (the Section
+   II-D methodology): exhaustive interleaving exploration of the deque
+   and strand-counter protocols, including a mechanical exhibition of
+   the Figure 6 race on a naive counter and its absence from the
+   wait-free and lock-based schemes. *)
+
+module M = Nowa_mcheck.Mcheck
+module S = Nowa_mcheck.Specs
+
+let expect_ok name result =
+  match result with
+  | M.Ok o ->
+    Alcotest.(check bool) (name ^ ": explored something") true (o.M.executions > 0)
+  | M.Violation { schedule; message } ->
+    Alcotest.failf "%s: unexpected violation %S on schedule [%s]" name message
+      (String.concat ";" (List.map string_of_int schedule))
+
+let expect_violation name result =
+  match result with
+  | M.Violation _ -> ()
+  | M.Ok o ->
+    Alcotest.failf "%s: no violation found in %d executions (complete=%b)" name
+      o.M.executions o.M.complete
+
+(* -- the explorer itself ------------------------------------------------ *)
+
+let test_explorer_counts_interleavings () =
+  (* Two threads of two atomic writes each on distinct cells.  A thread
+     with k scheduling points needs k+1 quanta (the last runs it to
+     completion), so the interleaving count is C(6,3) = 20. *)
+  let spec () =
+    let a = M.Cell.make 0 and b = M.Cell.make 0 in
+    let inc c () =
+      M.Cell.write c 1;
+      M.Cell.write c 2
+    in
+    ([ inc a; inc b ], fun () -> M.Cell.peek a = 2 && M.Cell.peek b = 2)
+  in
+  match M.explore spec with
+  | M.Ok o ->
+    Alcotest.(check int) "C(6,3) interleavings" 20 o.M.executions;
+    Alcotest.(check bool) "complete" true o.M.complete
+  | M.Violation _ -> Alcotest.fail "unexpected violation"
+
+let test_explorer_finds_lost_update () =
+  (* The classic racy read-modify-write: two threads doing
+     read;write(+1) — some interleaving loses an update. *)
+  let spec () =
+    let c = M.Cell.make 0 in
+    let inc () =
+      let v = M.Cell.read c in
+      M.Cell.write c (v + 1)
+    in
+    ([ inc; inc ], fun () -> M.Cell.peek c = 2)
+  in
+  expect_violation "lost update" (M.explore spec)
+
+let test_explorer_atomic_rmw_safe () =
+  let spec () =
+    let c = M.Cell.make 0 in
+    let inc () = ignore (M.Cell.fetch_add c 1) in
+    ([ inc; inc; inc ], fun () -> M.Cell.peek c = 3)
+  in
+  expect_ok "fetch_add" (M.explore spec)
+
+let test_explorer_reports_check_failures () =
+  let spec () =
+    let c = M.Cell.make 0 in
+    let t1 () = M.Cell.write c 1 in
+    let t2 () = M.check (M.Cell.read c = 0) "saw the other thread's write" in
+    ([ t1; t2 ], fun () -> true)
+  in
+  expect_violation "inline check" (M.explore spec)
+
+let test_explorer_budget () =
+  let spec () =
+    let c = M.Cell.make 0 in
+    let busy () =
+      for _ = 1 to 6 do
+        ignore (M.Cell.fetch_add c 1)
+      done
+    in
+    ([ busy; busy; busy ], fun () -> true)
+  in
+  match M.explore ~max_executions:50 spec with
+  | M.Ok o ->
+    Alcotest.(check bool) "budget respected" true (o.M.executions <= 50);
+    Alcotest.(check bool) "flagged incomplete" false o.M.complete
+  | M.Violation _ -> Alcotest.fail "unexpected violation"
+
+(* -- deques -------------------------------------------------------------- *)
+
+let test_chase_lev_owner_vs_thief () =
+  expect_ok "CL 2 pushes, 1 pop, 1 thief"
+    (M.explore (S.chase_lev_spec ~pushes:2 ~pops:1 ~thieves:1))
+
+let test_chase_lev_two_thieves () =
+  expect_ok "CL 1 push, 2 thieves"
+    (M.explore (S.chase_lev_spec ~pushes:1 ~pops:0 ~thieves:2))
+
+let test_chase_lev_last_element_race () =
+  expect_ok "CL 1 push, 1 pop, 1 thief (single-element race)"
+    (M.explore (S.chase_lev_spec ~pushes:1 ~pops:1 ~thieves:1))
+
+let test_chase_lev_drain () =
+  expect_ok "CL 2 pushes, 2 pops, 1 thief"
+    (M.explore (S.chase_lev_spec ~pushes:2 ~pops:2 ~thieves:1))
+
+let test_the_queue_owner_vs_thief () =
+  expect_ok "THE 2 pushes, 1 pop, 1 thief"
+    (M.explore (S.the_queue_spec ~pushes:2 ~pops:1 ~thieves:1))
+
+let test_the_queue_conflict_path () =
+  expect_ok "THE 1 push, 1 pop, 1 thief (lock arbitration)"
+    (M.explore (S.the_queue_spec ~pushes:1 ~pops:1 ~thieves:1))
+
+let test_the_queue_two_thieves () =
+  expect_ok "THE 2 pushes, 0 pops, 2 thieves"
+    (M.explore ~max_executions:60_000 (S.the_queue_spec ~pushes:2 ~pops:0 ~thieves:2))
+
+(* -- strand counters ------------------------------------------------------ *)
+
+let test_naive_counter_has_the_figure6_race () =
+  expect_violation "naive counter (Figure 6)"
+    (M.explore (S.naive_counter_spec ~children:1))
+
+let test_wait_free_counter_is_race_free () =
+  match M.explore (S.wait_free_counter_spec ~children:1) with
+  | M.Ok o ->
+    Alcotest.(check bool) "exhaustive" true o.M.complete;
+    Alcotest.(check bool) "nontrivial" true (o.M.executions > 10)
+  | M.Violation { schedule; message } ->
+    Alcotest.failf "wait-free counter violated: %S on [%s]" message
+      (String.concat ";" (List.map string_of_int schedule))
+
+let test_lock_counter_is_race_free () =
+  match M.explore (S.lock_counter_spec ~children:1) with
+  | M.Ok o -> Alcotest.(check bool) "nontrivial" true (o.M.executions > 10)
+  | M.Violation { schedule; message } ->
+    Alcotest.failf "lock counter violated: %S on [%s]" message
+      (String.concat ";" (List.map string_of_int schedule))
+
+let () =
+  Alcotest.run "nowa_mcheck"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "interleaving count" `Quick test_explorer_counts_interleavings;
+          Alcotest.test_case "finds lost updates" `Quick test_explorer_finds_lost_update;
+          Alcotest.test_case "atomic rmw safe" `Quick test_explorer_atomic_rmw_safe;
+          Alcotest.test_case "inline checks" `Quick test_explorer_reports_check_failures;
+          Alcotest.test_case "budget" `Quick test_explorer_budget;
+        ] );
+      ( "chase-lev",
+        [
+          Alcotest.test_case "owner vs thief" `Slow test_chase_lev_owner_vs_thief;
+          Alcotest.test_case "two thieves" `Quick test_chase_lev_two_thieves;
+          Alcotest.test_case "last-element race" `Quick test_chase_lev_last_element_race;
+          Alcotest.test_case "drain" `Slow test_chase_lev_drain;
+        ] );
+      ( "the queue",
+        [
+          Alcotest.test_case "owner vs thief" `Slow test_the_queue_owner_vs_thief;
+          Alcotest.test_case "conflict path" `Quick test_the_queue_conflict_path;
+          Alcotest.test_case "two thieves" `Slow test_the_queue_two_thieves;
+        ] );
+      ( "strand counters",
+        [
+          Alcotest.test_case "naive has the Figure 6 race" `Quick
+            test_naive_counter_has_the_figure6_race;
+          Alcotest.test_case "wait-free is race free" `Quick
+            test_wait_free_counter_is_race_free;
+          Alcotest.test_case "lock-based is race free" `Quick
+            test_lock_counter_is_race_free;
+        ] );
+    ]

@@ -1,0 +1,633 @@
+(* Tests for the scheduler engines behind every preset: correctness of
+   spawn/sync across worker counts, exception propagation, fully-strict
+   semantics, the stack-pool substrate, metrics, the serial elision, and
+   the public Nowa façade helpers. *)
+
+let presets : (module Nowa.RUNTIME) list = Nowa.Presets.all
+let serial : (module Nowa.RUNTIME) = (module Nowa_runtime.Serial_runtime)
+
+let rec fib_ref n = if n < 2 then n else fib_ref (n - 1) + fib_ref (n - 2)
+
+let conf workers = Nowa.Config.with_workers workers
+
+(* -- correctness across presets and worker counts --------------------- *)
+
+let test_fib_all_presets () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      List.iter
+        (fun w ->
+          let rec fib n =
+            if n < 2 then n
+            else
+              R.scope (fun sc ->
+                  let a = R.spawn sc (fun () -> fib (n - 1)) in
+                  let b = fib (n - 2) in
+                  R.sync sc;
+                  R.get a + b)
+          in
+          let r = R.run ~conf:(conf w) (fun () -> fib 18) in
+          Alcotest.(check int) (Printf.sprintf "%s w=%d" R.name w) (fib_ref 18) r)
+        [ 1; 2; 4 ])
+    (serial :: presets)
+
+let test_multiple_syncs_per_scope () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let r =
+        R.run ~conf:(conf 3) (fun () ->
+            R.scope (fun sc ->
+                let a = R.spawn sc (fun () -> 1) in
+                R.sync sc;
+                let va = R.get a in
+                (* Second spawn phase in the same frame. *)
+                let b = R.spawn sc (fun () -> va + 10) in
+                R.sync sc;
+                let vb = R.get b in
+                let c = R.spawn sc (fun () -> vb + 100) in
+                R.sync sc;
+                R.get c))
+      in
+      Alcotest.(check int) (R.name ^ " phased scope") 111 r)
+    (serial :: presets)
+
+let test_deep_sequential_spawns () =
+  (* Many spawns in a single frame (stresses deque growth). *)
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let n = 2_000 in
+      let r =
+        R.run ~conf:(conf 2) (fun () ->
+            R.scope (fun sc ->
+                let ps = List.init n (fun i -> R.spawn sc (fun () -> i)) in
+                R.sync sc;
+                List.fold_left (fun acc p -> acc + R.get p) 0 ps))
+      in
+      Alcotest.(check int) (R.name ^ " wide frame") (n * (n - 1) / 2) r)
+    presets
+
+let test_nested_scopes () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let r =
+        R.run ~conf:(conf 3) (fun () ->
+            R.scope (fun outer ->
+                let x =
+                  R.spawn outer (fun () ->
+                      R.scope (fun inner ->
+                          let a = R.spawn inner (fun () -> 3) in
+                          let b = 4 in
+                          R.sync inner;
+                          R.get a * b))
+                in
+                let y = 5 in
+                R.sync outer;
+                R.get x + y))
+      in
+      Alcotest.(check int) (R.name ^ " nested") 17 r)
+    presets
+
+let test_scope_implicit_sync () =
+  (* No explicit sync: scope exit must join the children. *)
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let cell = ref 0 in
+      let () =
+        R.run ~conf:(conf 4) (fun () ->
+            R.scope (fun sc ->
+                for i = 1 to 64 do
+                  ignore (R.spawn sc (fun () -> ignore i))
+                done;
+                ignore (R.spawn sc (fun () -> cell := 42))))
+      in
+      Alcotest.(check int) (R.name ^ " joined at scope exit") 42 !cell)
+    presets
+
+let test_run_return_value_types () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      Alcotest.(check string) (R.name ^ " string result") "hello"
+        (R.run ~conf:(conf 2) (fun () -> "hello"));
+      Alcotest.(check (list int)) (R.name ^ " list result") [ 1; 2 ]
+        (R.run ~conf:(conf 2) (fun () -> [ 1; 2 ])))
+    presets
+
+(* Random fork/join computation trees, evaluated on a runtime and
+   compared against direct evaluation.  [Node (v, children)] contributes
+   [v] plus the spawned children's sums; interleaving of spawns and
+   sequential recursion is driven by the child index parity. *)
+type tree = Node of int * tree list
+
+let rec tree_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then map (fun v -> Node (v, [])) small_int
+  else
+    map2
+      (fun v kids -> Node (v, kids))
+      small_int
+      (list_size (int_bound 3) (tree_gen (depth - 1)))
+
+let rec eval_direct (Node (v, kids)) =
+  List.fold_left (fun acc k -> acc + eval_direct k) v kids
+
+let eval_on (module R : Nowa.RUNTIME) tree =
+  let rec go (Node (v, kids)) =
+    if kids = [] then v
+    else
+      R.scope (fun sc ->
+          let promises =
+            List.mapi
+              (fun i k ->
+                if i mod 2 = 0 then Either.Left (R.spawn sc (fun () -> go k))
+                else Either.Right (go k))
+              kids
+          in
+          R.sync sc;
+          List.fold_left
+            (fun acc p ->
+              acc + match p with Either.Left p -> R.get p | Either.Right v -> v)
+            v promises)
+  in
+  R.run ~conf:(conf 3) (fun () -> go tree)
+
+let prop_random_trees (module R : Nowa.RUNTIME) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "random fork/join trees on %s" R.name)
+    ~count:30
+    (QCheck.make (tree_gen 4))
+    (fun tree -> eval_on (module R) tree = eval_direct tree)
+
+(* -- exceptions -------------------------------------------------------- *)
+
+exception Boom of int
+
+let test_exception_from_main () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      Alcotest.check_raises (R.name ^ " main exn") (Boom 1) (fun () ->
+          R.run ~conf:(conf 2) (fun () -> raise (Boom 1))))
+    (serial :: presets)
+
+let test_exception_from_child () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let result =
+        try
+          R.run ~conf:(conf 2) (fun () ->
+              R.scope (fun sc ->
+                  let _p = R.spawn sc (fun () -> raise (Boom 2)) in
+                  R.sync sc;
+                  0))
+        with Boom 2 -> 99
+      in
+      Alcotest.(check int) (R.name ^ " child exn surfaces at sync") 99 result)
+    presets
+
+let test_exception_via_get () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let result =
+        try
+          R.run ~conf:(conf 2) (fun () ->
+              R.scope (fun sc ->
+                  let p = R.spawn sc (fun () -> if true then raise (Boom 3) else 0) in
+                  (try R.sync sc with Boom 3 -> ());
+                  R.get p))
+        with Boom 3 -> 77
+      in
+      Alcotest.(check int) (R.name ^ " get re-raises") 77 result)
+    presets
+
+let test_sibling_survives_child_exception () =
+  (* Fully strict: other children still complete and are joined. *)
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let done_flag = ref false in
+      let result =
+        try
+          R.run ~conf:(conf 2) (fun () ->
+              R.scope (fun sc ->
+                  ignore (R.spawn sc (fun () -> raise (Boom 4)));
+                  ignore (R.spawn sc (fun () -> done_flag := true));
+                  R.sync sc;
+                  0))
+        with Boom 4 -> 1
+      in
+      Alcotest.(check int) (R.name ^ " exn propagated") 1 result;
+      Alcotest.(check bool) (R.name ^ " sibling ran") true !done_flag)
+    presets
+
+let test_pending_get_rejected () =
+  (* With a single worker, a child-stealing task can't have run before
+     the parent reads the promise: the read must be rejected. *)
+  let module R = Nowa.Presets.Tbb in
+  let saw_invalid =
+    try
+      R.run ~conf:(conf 1) (fun () ->
+          R.scope (fun sc ->
+              let p = R.spawn sc (fun () -> 1) in
+              ignore (R.get p);
+              false))
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "pending get raises" true saw_invalid
+
+(* Deterministically exercise the steal → implicit-sync → suspend →
+   resume path: the child blocks until the continuation (which can only
+   run in parallel if a thief stole it) sets a flag.  The sync then
+   suspends until the child joins and resumes it. *)
+let test_forced_steal_roundtrip () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let result =
+        R.run ~conf:(conf 2) (fun () ->
+            R.scope (fun sc ->
+                let continuation_ran = Atomic.make false in
+                let child =
+                  R.spawn sc (fun () ->
+                      let deadline = Unix.gettimeofday () +. 20.0 in
+                      while
+                        (not (Atomic.get continuation_ran))
+                        && Unix.gettimeofday () < deadline
+                      do
+                        Unix.sleepf 1e-4
+                      done;
+                      Atomic.get continuation_ran)
+                in
+                (* This code is the continuation after the spawn: it can
+                   only execute while the child runs if it was stolen. *)
+                Atomic.set continuation_ran true;
+                R.sync sc;
+                R.get child))
+      in
+      Alcotest.(check bool)
+        (R.name ^ " continuation stolen and ran in parallel")
+        true result;
+      match R.last_metrics () with
+      | Some m ->
+        Alcotest.(check bool) (R.name ^ " recorded a steal") true
+          (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.steals) >= 1)
+      | None -> ())
+    [
+      (module Nowa.Presets.Nowa : Nowa.RUNTIME);
+      (module Nowa.Presets.Nowa_the);
+      (module Nowa.Presets.Fibril);
+      (module Nowa.Presets.Cilk_plus);
+    ]
+
+(* -- guard ------------------------------------------------------------- *)
+
+let test_no_nested_runs () =
+  let module R = Nowa.Presets.Nowa in
+  let saw_failure =
+    try
+      R.run ~conf:(conf 1) (fun () -> R.run ~conf:(conf 1) (fun () -> ()) |> fun () -> false)
+    with Failure _ -> true
+  in
+  Alcotest.(check bool) "nested run rejected" true saw_failure;
+  (* The guard must have been released: a fresh run works. *)
+  Alcotest.(check int) "guard released" 5 (R.run ~conf:(conf 1) (fun () -> 5))
+
+let test_api_outside_run () =
+  let module R = Nowa.Presets.Nowa in
+  let saw =
+    try
+      ignore (R.scope (fun _ -> 0));
+      false
+    with Failure _ -> true
+  in
+  Alcotest.(check bool) "scope outside run rejected" true saw
+
+(* -- metrics ------------------------------------------------------------ *)
+
+let test_metrics_spawn_counts () =
+  let module R = Nowa.Presets.Nowa in
+  let n = 16 in
+  let rec fib sc_n =
+    if sc_n < 2 then sc_n
+    else
+      R.scope (fun sc ->
+          let a = R.spawn sc (fun () -> fib (sc_n - 1)) in
+          let b = fib (sc_n - 2) in
+          R.sync sc;
+          R.get a + b)
+  in
+  ignore (R.run ~conf:(conf 1) (fun () -> fib n));
+  match R.last_metrics () with
+  | None -> Alcotest.fail "metrics missing"
+  | Some m ->
+    Alcotest.(check int) "spawns counted exactly"
+      (Nowa_kernels.Fib.spawn_count n)
+      (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.spawns));
+    Alcotest.(check int) "no steals on one worker" 0
+      (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.steals));
+    Alcotest.(check bool) "elapsed recorded" true (m.Nowa.Metrics.elapsed_s >= 0.0)
+
+let test_metrics_steals_with_workers () =
+  let module R = Nowa.Presets.Nowa in
+  let rec fib sc_n =
+    if sc_n < 2 then sc_n
+    else
+      R.scope (fun sc ->
+          let a = R.spawn sc (fun () -> fib (sc_n - 1)) in
+          let b = fib (sc_n - 2) in
+          R.sync sc;
+          R.get a + b)
+  in
+  ignore (R.run ~conf:(conf 4) (fun () -> fib 22));
+  match R.last_metrics () with
+  | None -> Alcotest.fail "metrics missing"
+  | Some m ->
+    (* Lost continuations correspond one-to-one to committed steals. *)
+    Alcotest.(check int) "steals = lost continuations"
+      (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.steals))
+      (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.lost_continuations))
+
+(* -- stack pool ---------------------------------------------------------- *)
+
+let test_stack_pool_reuse () =
+  let conf = { (Nowa.Config.with_workers 2) with Nowa.Config.local_stack_cache = 2 } in
+  let pool = Nowa_runtime.Stack_pool.create conf in
+  let s1 = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+  Nowa_runtime.Stack_pool.release pool ~worker:0 s1;
+  let s2 = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+  Alcotest.(check int) "cached stack reused" s1.Nowa_runtime.Stack_pool.stack_id
+    s2.Nowa_runtime.Stack_pool.stack_id;
+  Alcotest.(check int) "one live stack" 1 (Nowa_runtime.Stack_pool.live_stacks pool)
+
+let test_stack_pool_rss_watermark () =
+  let conf = Nowa.Config.with_workers 1 in
+  let pool = Nowa_runtime.Stack_pool.create conf in
+  let s = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+  Nowa_runtime.Stack_pool.touch s ~pages:9 ~max_pages:256;
+  Nowa_runtime.Stack_pool.sync_rss pool s;
+  Alcotest.(check int) "rss counts touched pages" 10
+    (Nowa_runtime.Stack_pool.current_rss_pages pool);
+  Alcotest.(check int) "watermark follows" 10
+    (Nowa_runtime.Stack_pool.max_rss_pages pool);
+  Alcotest.(check int) "touch clamps at stack size" 256
+    (let s2 = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+     Nowa_runtime.Stack_pool.touch s2 ~pages:500 ~max_pages:256;
+     s2.Nowa_runtime.Stack_pool.resident)
+
+let test_stack_pool_madvise () =
+  let conf =
+    { (Nowa.Config.with_workers 1) with Nowa.Config.madvise = true; madvise_cost_ns = 0 }
+  in
+  let pool = Nowa_runtime.Stack_pool.create conf in
+  let s = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+  Nowa_runtime.Stack_pool.touch s ~pages:31 ~max_pages:256;
+  Nowa_runtime.Stack_pool.suspend pool s;
+  Alcotest.(check int) "pages returned on suspension" 1
+    s.Nowa_runtime.Stack_pool.resident;
+  Alcotest.(check int) "one madvise call" 1 (Nowa_runtime.Stack_pool.madvise_calls pool);
+  Alcotest.(check int) "rss dropped back" 1
+    (Nowa_runtime.Stack_pool.current_rss_pages pool);
+  Alcotest.(check int) "watermark keeps the peak" 32
+    (Nowa_runtime.Stack_pool.max_rss_pages pool)
+
+let test_stack_pool_madvise_dontneed_refaults () =
+  let conf =
+    {
+      (Nowa.Config.with_workers 1) with
+      Nowa.Config.madvise = true;
+      madvise_cost_ns = 0;
+      madvise_mode = Nowa.Config.Madv_dontneed;
+      refault_ns = 0;
+    }
+  in
+  let pool = Nowa_runtime.Stack_pool.create conf in
+  let s = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+  Nowa_runtime.Stack_pool.touch s ~pages:10 ~max_pages:256;
+  Nowa_runtime.Stack_pool.release pool ~worker:0 s;
+  Alcotest.(check bool) "stack marked shrunk" true s.Nowa_runtime.Stack_pool.shrunk;
+  let s' = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+  Alcotest.(check int) "same stack" s.Nowa_runtime.Stack_pool.stack_id
+    s'.Nowa_runtime.Stack_pool.stack_id;
+  Alcotest.(check int) "refault recorded" 1
+    (Nowa_runtime.Stack_pool.refault_count pool);
+  Alcotest.(check bool) "shrunk cleared" false s'.Nowa_runtime.Stack_pool.shrunk
+
+let test_stack_pool_madv_free_no_refault () =
+  let conf =
+    {
+      (Nowa.Config.with_workers 1) with
+      Nowa.Config.madvise = true;
+      madvise_cost_ns = 0;
+      madvise_mode = Nowa.Config.Madv_free;
+    }
+  in
+  let pool = Nowa_runtime.Stack_pool.create conf in
+  let s = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+  Nowa_runtime.Stack_pool.touch s ~pages:10 ~max_pages:256;
+  Nowa_runtime.Stack_pool.release pool ~worker:0 s;
+  ignore (Nowa_runtime.Stack_pool.acquire pool ~worker:0);
+  Alcotest.(check int) "lazy freeing never refaults" 0
+    (Nowa_runtime.Stack_pool.refault_count pool)
+
+let test_round_robin_victims () =
+  let module R = Nowa.Presets.Nowa in
+  let conf =
+    { (Nowa.Config.with_workers 4) with Nowa.Config.victim_policy = Nowa.Config.Round_robin }
+  in
+  let rec fib n =
+    if n < 2 then n
+    else
+      R.scope (fun sc ->
+          let a = R.spawn sc (fun () -> fib (n - 1)) in
+          let b = fib (n - 2) in
+          R.sync sc;
+          R.get a + b)
+  in
+  Alcotest.(check int) "correct under round-robin stealing" (fib_ref 20)
+    (R.run ~conf (fun () -> fib 20))
+
+let test_stack_pool_no_madvise_keeps_pages () =
+  let conf = { (Nowa.Config.with_workers 1) with Nowa.Config.madvise = false } in
+  let pool = Nowa_runtime.Stack_pool.create conf in
+  let s = Nowa_runtime.Stack_pool.acquire pool ~worker:0 in
+  Nowa_runtime.Stack_pool.touch s ~pages:31 ~max_pages:256;
+  Nowa_runtime.Stack_pool.suspend pool s;
+  Alcotest.(check int) "pages stay resident" 32 s.Nowa_runtime.Stack_pool.resident;
+  Alcotest.(check int) "no madvise calls" 0 (Nowa_runtime.Stack_pool.madvise_calls pool)
+
+let test_engine_populates_stack_metrics () =
+  let module R = Nowa.Presets.Nowa in
+  let rec fib sc_n =
+    if sc_n < 2 then sc_n
+    else
+      R.scope (fun sc ->
+          let a = R.spawn sc (fun () -> fib (sc_n - 1)) in
+          let b = fib (sc_n - 2) in
+          R.sync sc;
+          R.get a + b)
+  in
+  ignore (R.run ~conf:(conf 3) (fun () -> fib 20));
+  match R.last_metrics () with
+  | None -> Alcotest.fail "metrics missing"
+  | Some m ->
+    Alcotest.(check bool) "every worker acquired a stack" true
+      (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.stack_acquires) >= 1)
+
+(* -- madvise config plumbed through a real run --------------------------- *)
+
+let test_run_with_madvise () =
+  let module R = Nowa.Presets.Nowa in
+  let conf =
+    { (Nowa.Config.with_workers 4) with Nowa.Config.madvise = true; madvise_cost_ns = 100 }
+  in
+  let rec fib sc_n =
+    if sc_n < 2 then sc_n
+    else
+      R.scope (fun sc ->
+          let a = R.spawn sc (fun () -> fib (sc_n - 1)) in
+          let b = fib (sc_n - 2) in
+          R.sync sc;
+          R.get a + b)
+  in
+  Alcotest.(check int) "correct result with madvise on" (fib_ref 20)
+    (R.run ~conf (fun () -> fib 20))
+
+(* -- serial elision ------------------------------------------------------- *)
+
+let test_serial_inline_semantics () =
+  let module S = Nowa_runtime.Serial_runtime in
+  let order = ref [] in
+  let () =
+    S.run (fun () ->
+        S.scope (fun sc ->
+            order := 1 :: !order;
+            let _ = S.spawn sc (fun () -> order := 2 :: !order) in
+            order := 3 :: !order;
+            S.sync sc))
+  in
+  Alcotest.(check (list int)) "spawn = call in program order" [ 3; 2; 1 ] !order
+
+(* -- façade helpers -------------------------------------------------------- *)
+
+let test_parallel_for () =
+  let hits = Array.make 1000 0 in
+  Nowa.run ~conf:(conf 4) (fun () ->
+      Nowa.parallel_for ~grain:16 0 1000 (fun i -> hits.(i) <- hits.(i) + 1));
+  Array.iteri
+    (fun i c -> if c <> 1 then Alcotest.failf "index %d visited %d times" i c)
+    hits
+
+let test_parallel_for_empty_and_tiny () =
+  Nowa.run ~conf:(conf 2) (fun () ->
+      Nowa.parallel_for 5 5 (fun _ -> Alcotest.fail "empty range must not call");
+      let hit = ref false in
+      Nowa.parallel_for 7 8 (fun i ->
+          Alcotest.(check int) "single index" 7 i;
+          hit := true);
+      Alcotest.(check bool) "hit" true !hit)
+
+let test_parallel_reduce () =
+  let total =
+    Nowa.run ~conf:(conf 4) (fun () ->
+        Nowa.parallel_reduce ~grain:32 0 10_000 ~map:(fun i -> i) ~combine:( + ) ~init:0)
+  in
+  Alcotest.(check int) "sum" (10_000 * 9_999 / 2) total
+
+let test_map_array () =
+  let input = Array.init 500 (fun i -> i) in
+  let out = Nowa.run ~conf:(conf 3) (fun () -> Nowa.map_array ~grain:8 (fun x -> x * x) input) in
+  Array.iteri
+    (fun i v -> if v <> i * i then Alcotest.failf "map_array wrong at %d" i)
+    out
+
+let test_both () =
+  let a, b = Nowa.run ~conf:(conf 2) (fun () -> Nowa.both (fun () -> 6) (fun () -> 7)) in
+  Alcotest.(check int) "left" 6 a;
+  Alcotest.(check int) "right" 7 b
+
+let test_ops_functor_on_baseline () =
+  let module Ops = Nowa.Ops (Nowa.Presets.Fibril) in
+  let module R = Nowa.Presets.Fibril in
+  let total =
+    R.run ~conf:(conf 3) (fun () ->
+        Ops.parallel_reduce ~grain:10 0 1_000 ~map:(fun i -> i) ~combine:( + ) ~init:0)
+  in
+  Alcotest.(check int) "reduce on fibril" (1_000 * 999 / 2) total
+
+(* -- preset registry -------------------------------------------------------- *)
+
+let test_presets_find () =
+  List.iter
+    (fun name ->
+      let (module R : Nowa.RUNTIME) = Nowa.Presets.find name in
+      Alcotest.(check string) "found the right preset" name R.name)
+    [ "nowa"; "nowa-the"; "nowa-abp"; "fibril"; "cilkplus"; "tbb"; "lomp-untied"; "lomp-tied"; "gomp" ];
+  Alcotest.check_raises "unknown preset" Not_found (fun () ->
+      ignore (Nowa.Presets.find "no-such-runtime"))
+
+let test_preset_sets () =
+  Alcotest.(check int) "figure 7 set" 4 (List.length Nowa.Presets.figure7_set);
+  Alcotest.(check int) "figure 10 set" 5 (List.length Nowa.Presets.figure10_set)
+
+let () =
+  Alcotest.run "nowa_runtime"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "fib on all presets" `Slow test_fib_all_presets;
+          Alcotest.test_case "multiple syncs per scope" `Quick test_multiple_syncs_per_scope;
+          Alcotest.test_case "wide frame" `Slow test_deep_sequential_spawns;
+          Alcotest.test_case "nested scopes" `Quick test_nested_scopes;
+          Alcotest.test_case "implicit sync at scope exit" `Quick test_scope_implicit_sync;
+          Alcotest.test_case "polymorphic results" `Quick test_run_return_value_types;
+          QCheck_alcotest.to_alcotest (prop_random_trees (module Nowa.Presets.Nowa));
+          QCheck_alcotest.to_alcotest (prop_random_trees (module Nowa.Presets.Fibril));
+          QCheck_alcotest.to_alcotest (prop_random_trees (module Nowa.Presets.Tbb));
+          QCheck_alcotest.to_alcotest (prop_random_trees (module Nowa.Presets.Gomp));
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "from main" `Quick test_exception_from_main;
+          Alcotest.test_case "from child at sync" `Quick test_exception_from_child;
+          Alcotest.test_case "via get" `Quick test_exception_via_get;
+          Alcotest.test_case "sibling survives" `Quick test_sibling_survives_child_exception;
+          Alcotest.test_case "pending get rejected" `Quick test_pending_get_rejected;
+        ] );
+      ( "steal paths",
+        [ Alcotest.test_case "forced steal roundtrip" `Slow test_forced_steal_roundtrip ] );
+      ( "guard",
+        [
+          Alcotest.test_case "no nested runs" `Quick test_no_nested_runs;
+          Alcotest.test_case "api outside run" `Quick test_api_outside_run;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "spawn counts" `Quick test_metrics_spawn_counts;
+          Alcotest.test_case "steal accounting" `Slow test_metrics_steals_with_workers;
+        ] );
+      ( "stack pool",
+        [
+          Alcotest.test_case "reuse through caches" `Quick test_stack_pool_reuse;
+          Alcotest.test_case "rss watermark" `Quick test_stack_pool_rss_watermark;
+          Alcotest.test_case "madvise frees pages" `Quick test_stack_pool_madvise;
+          Alcotest.test_case "no madvise keeps pages" `Quick test_stack_pool_no_madvise_keeps_pages;
+          Alcotest.test_case "dontneed refaults" `Quick test_stack_pool_madvise_dontneed_refaults;
+          Alcotest.test_case "madv_free no refault" `Quick test_stack_pool_madv_free_no_refault;
+          Alcotest.test_case "engine metrics" `Quick test_engine_populates_stack_metrics;
+          Alcotest.test_case "run with madvise" `Quick test_run_with_madvise;
+        ] );
+      ( "steal policy",
+        [ Alcotest.test_case "round-robin victims" `Quick test_round_robin_victims ] );
+      ( "serial elision",
+        [ Alcotest.test_case "inline semantics" `Quick test_serial_inline_semantics ] );
+      ( "facade",
+        [
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "parallel_for edges" `Quick test_parallel_for_empty_and_tiny;
+          Alcotest.test_case "parallel_reduce" `Quick test_parallel_reduce;
+          Alcotest.test_case "map_array" `Quick test_map_array;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "Ops functor" `Quick test_ops_functor_on_baseline;
+        ] );
+      ( "presets",
+        [
+          Alcotest.test_case "find" `Quick test_presets_find;
+          Alcotest.test_case "figure sets" `Quick test_preset_sets;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+(* Tests for nowa_util: statistics (the paper's evaluation methodology),
+   the xoshiro PRNG, backoff, table rendering, clock, padding. *)
+
+open Nowa_util
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.abs a)
+
+let check_float name expected actual =
+  Alcotest.(check bool) name true (feq expected actual)
+
+(* -- Stats ---------------------------------------------------------- *)
+
+let test_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "singleton" 7.0 (Stats.mean [ 7.0 ]);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.mean []))
+
+let test_stddev () =
+  (* Sample stddev of 2,4,4,4,5,5,7,9 is sqrt(32/7). *)
+  check_float "stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ]);
+  check_float "constant" 0.0 (Stats.stddev [ 3.0; 3.0; 3.0 ]);
+  check_float "short" 0.0 (Stats.stddev [ 42.0 ])
+
+let test_geomean () =
+  check_float "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  check_float "identity" 5.0 (Stats.geomean [ 5.0; 5.0; 5.0 ])
+
+let test_median () =
+  check_float "odd" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_min_max () =
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ])
+
+let test_speedup () =
+  (* Paper methodology: speedups are per-run T_s/T_n, then geometric mean. *)
+  let s = Stats.speedup_of_runs ~serial_mean:10.0 [ 2.0; 5.0 ] in
+  check_float "geo of 5 and 2" (sqrt 10.0) s.Stats.geo;
+  Alcotest.(check int) "runs" 2 s.Stats.runs;
+  let flat = Stats.speedup_of_runs ~serial_mean:8.0 [ 2.0; 2.0; 2.0 ] in
+  check_float "flat sd" 0.0 flat.Stats.sd
+
+let test_ratio_geomean () =
+  check_float "ratios" 2.0 (Stats.ratio_geomean [ (4.0, 2.0); (8.0, 4.0) ]);
+  check_float "mixed" 1.0 (Stats.ratio_geomean [ (2.0, 1.0); (1.0, 2.0) ])
+
+(* -- Xoshiro --------------------------------------------------------- *)
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro.make ~seed:123 and b = Xoshiro.make ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_xoshiro_seed_sensitivity () =
+  let a = Xoshiro.make ~seed:1 and b = Xoshiro.make ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Xoshiro.next a) (Xoshiro.next b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_xoshiro_int_bounds () =
+  let r = Xoshiro.make ~seed:5 in
+  for bound = 1 to 50 do
+    for _ = 1 to 50 do
+      let v = Xoshiro.int r bound in
+      Alcotest.(check bool) "in range" true (v >= 0 && v < bound)
+    done
+  done
+
+let test_xoshiro_float_range () =
+  let r = Xoshiro.make ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Xoshiro.float r in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_xoshiro_distribution () =
+  (* Coarse uniformity: 10 buckets over 10_000 draws. *)
+  let r = Xoshiro.make ~seed:77 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let b = Xoshiro.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    buckets
+
+let test_xoshiro_split () =
+  let r = Xoshiro.make ~seed:4 in
+  let s = Xoshiro.split r in
+  let equal_count = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Xoshiro.next r) (Xoshiro.next s) then incr equal_count
+  done;
+  Alcotest.(check bool) "split independent" true (!equal_count < 4)
+
+let prop_xoshiro_int_in_bounds =
+  QCheck.Test.make ~name:"xoshiro int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let r = Xoshiro.make ~seed in
+      let v = Xoshiro.int r bound in
+      v >= 0 && v < bound)
+
+(* -- Backoff --------------------------------------------------------- *)
+
+let test_backoff_steps () =
+  let b = Backoff.make ~min_spins:1 ~max_spins:4 () in
+  Alcotest.(check int) "zero" 0 (Backoff.steps b);
+  Backoff.once b;
+  Backoff.once b;
+  Alcotest.(check int) "two" 2 (Backoff.steps b);
+  Backoff.reset b;
+  Alcotest.(check int) "reset" 0 (Backoff.steps b)
+
+(* -- Clock ----------------------------------------------------------- *)
+
+let test_clock_monotonic_enough () =
+  let t0 = Clock.now_ns () in
+  let dt, () = Clock.time_it (fun () -> Clock.spin_ns 1_000_000) in
+  let t1 = Clock.now_ns () in
+  Alcotest.(check bool) "advanced" true (t1 > t0);
+  Alcotest.(check bool) "spin took at least ~1ms" true (dt >= 0.0005)
+
+(* -- Table ----------------------------------------------------------- *)
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "name"; "value" ] [ [ "a"; "1" ]; [ "bc"; "23" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  Alcotest.(check string) "header" "| name | value |" (List.nth lines 0);
+  Alcotest.(check string) "separator" "|------|-------|" (List.nth lines 1);
+  Alcotest.(check string) "right-aligned numbers" "| a    |     1 |" (List.nth lines 2)
+
+let test_table_ragged_rows () =
+  let out = Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check bool) "renders without exception" true (String.length out > 0)
+
+(* -- Padding --------------------------------------------------------- *)
+
+let test_padding_atomic () =
+  let a = Padding.atomic 41 in
+  Atomic.incr a;
+  Alcotest.(check int) "works as atomic" 42 (Atomic.get a);
+  Alcotest.(check bool) "int_array sized" true
+    (Array.length (Padding.int_array 2) = 2 * Padding.cache_line_words)
+
+(* -- Cpu ------------------------------------------------------------- *)
+
+let test_cpu () =
+  Alcotest.(check bool) "at least one core" true (Cpu.available_cores () >= 1);
+  Alcotest.(check bool) "workers positive" true (Cpu.default_workers () >= 1)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "nowa_util"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "speedup methodology" `Quick test_speedup;
+          Alcotest.test_case "ratio geomean" `Quick test_ratio_geomean;
+        ] );
+      ( "xoshiro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_xoshiro_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_xoshiro_int_bounds;
+          Alcotest.test_case "float range" `Quick test_xoshiro_float_range;
+          Alcotest.test_case "distribution" `Quick test_xoshiro_distribution;
+          Alcotest.test_case "split" `Quick test_xoshiro_split;
+          qc prop_xoshiro_int_in_bounds;
+        ] );
+      ("backoff", [ Alcotest.test_case "steps" `Quick test_backoff_steps ]);
+      ("clock", [ Alcotest.test_case "monotonic+spin" `Quick test_clock_monotonic_enough ]);
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged" `Quick test_table_ragged_rows;
+        ] );
+      ("padding", [ Alcotest.test_case "atomic" `Quick test_padding_atomic ]);
+      ("cpu", [ Alcotest.test_case "cores" `Quick test_cpu ]);
+    ]
