@@ -308,6 +308,29 @@ let ablation ~opts () =
         R.name (t_orig *. 1e3) (t_flip *. 1e3) (t_flip /. t_orig))
     [ (module Nowa.Presets.Nowa : Nowa.RUNTIME); (module Nowa.Presets.Tbb) ]
 
+(* Beyond the paper: per-worker event timelines (open the .trace.json
+   files in chrome://tracing or ui.perfetto.dev) plus the strand-level
+   summaries — utilization, work-vs-scheduler split, steal-latency tail —
+   for a real run and a simulated 256-worker replay of each benchmark. *)
+let traces ~opts () =
+  section "Traces: per-worker timelines (Perfetto JSON)";
+  let workers = List.fold_left max 1 opts.real_workers in
+  List.iter
+    (fun bench ->
+      let file = Printf.sprintf "nowa-%s-%dw.trace.json" bench workers in
+      (match trace_real ~opts (module Nowa.Presets.Nowa) bench workers file with
+      | Some summary ->
+        Printf.printf "\n%s on nowa, %d workers -> %s\n" bench workers file;
+        Format.printf "%a@." Nowa_trace.Trace_analysis.pp summary
+      | None -> Printf.eprintf "  %s: runtime produced no trace\n" bench);
+      let sim_file = Printf.sprintf "wsim-nowa-%s-256w.trace.json" bench in
+      let r, summary = trace_sim ~opts CM.nowa bench 256 sim_file in
+      Printf.printf "\n%s on wsim:nowa, 256 virtual workers -> %s (makespan %.3f ms)\n"
+        bench sim_file
+        (r.Nowa_dag.Wsim.makespan_ns /. 1e6);
+      Format.printf "%a@." Nowa_trace.Trace_analysis.pp summary)
+    [ "fib"; "nqueens" ]
+
 let all ~opts () =
   table1 ~opts ();
   figure1 ~opts ();
@@ -330,5 +353,6 @@ let by_name =
     ("fig10", figure10);
     ("table3", table3);
     ("ablation", ablation);
+    ("traces", traces);
     ("all", all);
   ]

@@ -132,6 +132,44 @@ let sim_speedup ~opts model name workers =
       model.Nowa_dag.Cost_model.cname workers;
   r
 
+(* -- tracing ------------------------------------------------------------ *)
+
+let default_trace_capacity = 65_536
+
+(* One traced real-mode run of any benchmark on any runtime: writes a
+   Perfetto JSON timeline to [file] and returns the strand-level summary
+   ([None] for runtimes that do not trace, e.g. the serial elision). *)
+let trace_real ?(capacity = default_trace_capacity) ~opts
+    (module R : Nowa.RUNTIME) name workers file =
+  let inst = Registry.find opts.real_size name in
+  let conf =
+    { (Nowa.Config.with_workers workers) with Nowa.Config.trace_capacity = capacity }
+  in
+  let thunk = inst.Registry.make_thunk (module R) in
+  ignore (R.run ~conf thunk);
+  match R.last_trace () with
+  | None -> None
+  | Some tr ->
+    Nowa_trace.Perfetto.write_file
+      ~process_name:(Printf.sprintf "%s:%s/%dw" R.name name workers)
+      file tr;
+    Some (Nowa_trace.Trace_analysis.summarize tr)
+
+(* Same, through the simulator: replay the recorded DAG on [workers]
+   virtual workers and dump the virtual-time schedule. *)
+let trace_sim ?(capacity = default_trace_capacity) ~opts model name workers file =
+  let dag = recorded_dag ~opts name in
+  let tr =
+    Nowa_trace.Trace.create ~clock:Nowa_trace.Trace.Virtual ~workers ~capacity ()
+  in
+  let r = Nowa_dag.Wsim.simulate ~trace:tr model ~workers dag in
+  Nowa_trace.Perfetto.write_file
+    ~process_name:
+      (Printf.sprintf "wsim:%s:%s/%dw" model.Nowa_dag.Cost_model.cname name
+         workers)
+    file tr;
+  (r, Nowa_trace.Trace_analysis.summarize tr)
+
 (* -- formatting ----------------------------------------------------------- *)
 
 let fmt_f2 v = Printf.sprintf "%.2f" v

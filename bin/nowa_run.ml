@@ -40,7 +40,9 @@ let resolve_runtime name : (module Nowa.RUNTIME) =
       Printf.eprintf "unknown runtime %S (try --list)\n" name;
       exit 1
 
-let main list bench runtime workers runs size madvise verbose =
+let trace_capacity = 65_536
+
+let main list bench runtime workers runs size madvise trace verbose =
   if list then list_benchmarks ()
   else begin
     let size =
@@ -59,7 +61,11 @@ let main list bench runtime workers runs size madvise verbose =
     in
     let (module R : Nowa.RUNTIME) = resolve_runtime runtime in
     let conf =
-      { (Nowa.Config.with_workers workers) with Nowa.Config.madvise }
+      {
+        (Nowa.Config.with_workers workers) with
+        Nowa.Config.madvise;
+        trace_capacity = (if trace = None then 0 else trace_capacity);
+      }
     in
     let reference = Nowa_kernels.Registry.reference size bench in
     let thunk = inst.Nowa_kernels.Registry.make_thunk (module R) in
@@ -85,10 +91,34 @@ let main list bench runtime workers runs size madvise verbose =
     let open Nowa_util.Stats in
     Printf.printf "time: mean %.4f s, median %.4f s, sd %.4f s, min %.4f s\n"
       (mean !times) (median !times) (stddev !times) (minimum !times);
-    match R.last_metrics () with
+    (match R.last_metrics () with
     | Some m when verbose ->
       Format.printf "%a@." Nowa.Metrics.pp m
-    | _ -> ()
+    | _ -> ());
+    match trace with
+    | None -> ()
+    | Some file -> (
+      (* The rings hold the last run's events (each run overwrites). *)
+      match R.last_trace () with
+      | Some tr ->
+        (try
+           Nowa.Perfetto.write_file
+             ~process_name:(Printf.sprintf "%s:%s/%dw" R.name bench workers)
+             file tr
+         with Sys_error msg ->
+           Printf.eprintf "trace: cannot write %s\n" msg;
+           exit 1);
+        Printf.printf
+          "trace: wrote %s (%d events kept, %d overwritten; open in \
+           chrome://tracing or ui.perfetto.dev)\n"
+          file
+          (Array.length (Nowa.Trace.events tr))
+          (Nowa.Trace.dropped tr);
+        Format.printf "%a@." Nowa.Trace_analysis.pp
+          (Nowa.Trace_analysis.summarize tr)
+      | None ->
+        Printf.eprintf "trace: runtime %S produced no trace (serial?)\n"
+          R.name)
   end
 
 let cmd =
@@ -112,9 +142,19 @@ let cmd =
   let madvise =
     Arg.(value & flag & info [ "madvise" ] ~doc:"Enable the simulated madvise() stack-page release.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record per-worker scheduler events during the (last) run and \
+             write a Perfetto/chrome://tracing JSON timeline to $(docv), \
+             plus a strand-level summary on stdout.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run times and metrics.") in
   Cmd.v
     (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
-    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ verbose)
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ trace $ verbose)
 
 let () = exit (Cmd.eval cmd)

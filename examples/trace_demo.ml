@@ -1,0 +1,59 @@
+(* Tracing walkthrough: generate a Perfetto timeline from (a) a real
+   multi-domain run of parallel fib on the Nowa runtime and (b) a
+   virtual-time wsim replay of the same computation on 64 simulated
+   workers, then print the strand-level summaries side by side.
+
+     dune exec examples/trace_demo.exe
+     # then open fib-real.trace.json / fib-sim.trace.json in
+     # chrome://tracing or https://ui.perfetto.dev *)
+
+let rec fib n =
+  if n < 2 then n
+  else
+    Nowa.scope (fun sc ->
+        let a = Nowa.spawn sc (fun () -> fib (n - 1)) in
+        let b = fib (n - 2) in
+        Nowa.sync sc;
+        Nowa.get a + b)
+
+let () =
+  let n = 30 in
+  (* Real run: four workers, tracing on. *)
+  let conf =
+    { (Nowa.Config.with_workers 4) with Nowa.Config.trace_capacity = 65_536 }
+  in
+  let v = Nowa.run ~conf (fun () -> fib n) in
+  Printf.printf "fib %d = %d (real run, 4 workers)\n" n v;
+  (match Nowa.last_trace () with
+  | Some tr ->
+    Nowa.Perfetto.write_file ~process_name:"nowa:fib/4w" "fib-real.trace.json" tr;
+    Printf.printf "wrote fib-real.trace.json\n";
+    Format.printf "%a@." Nowa.Trace_analysis.pp (Nowa.Trace_analysis.summarize tr)
+  | None -> prerr_endline "no trace collected?");
+  (* Simulated run: record the DAG serially, replay on 64 virtual
+     workers under the Nowa cost model with a virtual-time trace. *)
+  let module K = struct
+    let rec fib (module R : Nowa.RUNTIME) n =
+      if n < 2 then n
+      else
+        R.scope (fun sc ->
+            let a = R.spawn sc (fun () -> fib (module R) (n - 1)) in
+            let b = fib (module R) (n - 2) in
+            R.sync sc;
+            R.get a + b)
+  end in
+  let dag, v' =
+    Nowa_dag.Recorder.record (fun () -> K.fib (module Nowa_dag.Recorder) 25)
+  in
+  assert (v' = 75_025);
+  let tr =
+    Nowa.Trace.create ~clock:Nowa.Trace.Virtual ~workers:64 ~capacity:65_536 ()
+  in
+  let r = Nowa_dag.Wsim.simulate ~trace:tr Nowa_dag.Cost_model.nowa ~workers:64 dag in
+  Printf.printf
+    "\nfib 25 replayed on 64 virtual workers: makespan %.3f ms, speedup %.1fx\n"
+    (r.Nowa_dag.Wsim.makespan_ns /. 1e6)
+    r.Nowa_dag.Wsim.speedup;
+  Nowa.Perfetto.write_file ~process_name:"wsim:nowa:fib/64w" "fib-sim.trace.json" tr;
+  Printf.printf "wrote fib-sim.trace.json\n";
+  Format.printf "%a@." Nowa.Trace_analysis.pp (Nowa.Trace_analysis.summarize tr)

@@ -1,5 +1,9 @@
 module Config = Nowa_runtime.Config
 module Metrics = Nowa_runtime.Metrics
+module Trace = Nowa_trace.Trace
+module Trace_event = Nowa_trace.Event
+module Trace_analysis = Nowa_trace.Trace_analysis
+module Perfetto = Nowa_trace.Perfetto
 
 module type RUNTIME = Nowa_runtime.Runtime_intf.S
 

@@ -22,6 +22,18 @@
 module Config = Nowa_runtime.Config
 module Metrics = Nowa_runtime.Metrics
 
+(** {1 Event tracing}
+
+    Set {!Config.t.trace_capacity} > 0 on a run, then fetch the trace
+    with [last_trace ()]; export with {!Perfetto} (opens directly in
+    chrome://tracing / ui.perfetto.dev) or summarise with
+    {!Trace_analysis}. *)
+
+module Trace = Nowa_trace.Trace
+module Trace_event = Nowa_trace.Event
+module Trace_analysis = Nowa_trace.Trace_analysis
+module Perfetto = Nowa_trace.Perfetto
+
 module type RUNTIME = Nowa_runtime.Runtime_intf.S
 
 module Presets = Nowa_runtime.Presets

@@ -96,6 +96,10 @@ let get p = Promise.get ~runtime:name p
 let last_metrics_ref = ref None
 let last_metrics () = !last_metrics_ref
 
+(* The recorder's product is the DAG itself; replay it through
+   [Wsim.simulate ~trace] for a virtual-time event trace. *)
+let last_trace () = None
+
 let record main =
   Guard.enter name;
   Fun.protect

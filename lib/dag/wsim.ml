@@ -82,10 +82,26 @@ end
 let pop_local_ns = 6.0
 (* an uncontended pop_bottom on a lock-free deque *)
 
-let simulate ?(seed = 1) ?(max_events = 200_000_000) (cm : Cost_model.t) ~workers dag =
+module Ev = Nowa_trace.Event
+
+let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
+    ~workers dag =
   let open Cost_model in
   let n = Dag.size dag in
   let rng = Nowa_util.Xoshiro.make ~seed in
+  (* Virtual-time event rings: the same wait-free buffers the real
+     engines fill, timestamped with simulator time, so a simulated
+     256-worker schedule goes through the same Perfetto exporter and
+     Trace_analysis as a real run. *)
+  let rings =
+    Array.init workers (fun w ->
+        match trace with
+        | Some t -> Nowa_trace.Trace.worker t w
+        | None -> Nowa_trace.Ring.disabled)
+  in
+  let emit w t kind arg =
+    Nowa_trace.Ring.emit_at rings.(w) ~ts:(int_of_float t) kind arg
+  in
   let deques = Array.init workers (fun _ -> Intq.create ()) in
   let central = Intq.create () in
   (* FIFO resources in virtual time: free_at per worker deque, per frame
@@ -155,13 +171,18 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) (cm : Cost_model.t) ~worker
      vertices are entered through [arrive]) at time [t]. *)
   let rec exec w t v =
     match Dag.kind dag v with
-    | Dag.Strand -> Heap.push heap (t +. Dag.work dag v) w v
+    | Dag.Strand ->
+      let tf = t +. Dag.work dag v in
+      emit w t Ev.Task_start 0;
+      emit w tf Ev.Task_end 0;
+      Heap.push heap tf w v
     | Dag.Sync ->
       (* Only reached as the successor of a completed sync (proceeding
          past a join directly into the next phase's sync cannot happen:
          the recorder always interposes a strand). *)
       assert false
     | Dag.Spawn -> begin
+      emit w t Ev.Spawn 0;
       let t = t +. cm.spawn_ns in
       match cm.scheme with
       | Continuation_stealing ->
@@ -208,6 +229,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) (cm : Cost_model.t) ~worker
         else begin
           (* Publish the continuation and restore N_r; then suspend. *)
           let t = acquire ~penalty:join_penalty frame_free s t join_hold in
+          emit w t Ev.Suspend 0;
           steal_round w t
         end
       end
@@ -216,12 +238,15 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) (cm : Cost_model.t) ~worker
         match Intq.pop_back deques.(w) with
         | -1 ->
           (* Continuation stolen: implicit sync (one frame op). *)
+          emit w t Ev.Lost_continuation 0;
           let join_penalty = if cm.join_lock_ns > 0.0 then lockp else atomicp in
           let t = acquire ~penalty:join_penalty frame_free s t join_hold in
           pending.(s) <- pending.(s) - 1;
-          if pending.(s) = 0 then
+          if pending.(s) = 0 then begin
             (* Last joiner resumes the suspended frame. *)
+            emit w t Ev.Resume 0;
             exec w (t +. cm.resume_ns) (Dag.succ1 dag s)
+          end
           else steal_round w t
         | k ->
           (* Not stolen: by the top-down stealing invariant [k] is this
@@ -261,6 +286,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) (cm : Cost_model.t) ~worker
       end
       else begin
         (* Help: own tasks first (taskwait / task end alike). *)
+        if main then emit w t Ev.Suspend 0;
         match pop_own w t with
         | Some (t', v) -> exec w t' v
         | None ->
@@ -284,11 +310,15 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) (cm : Cost_model.t) ~worker
     incr steal_attempts;
     match cm.scheme with
     | Central_queue -> begin
+      emit w t Ev.Steal_attempt 0;
       let t = acquire_central t cm.steal_lock_ns in
       match Intq.pop_front central with
-      | -1 -> schedule_retry w t
+      | -1 ->
+        emit w t Ev.Steal_abort 0;
+        schedule_retry w t
       | v ->
         incr steals;
+        emit w t Ev.Steal_commit 0;
         note_progress w;
         exec w (t +. cm.resume_ns) v
     end
@@ -320,14 +350,20 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) (cm : Cost_model.t) ~worker
             (t, v)
         end
       in
+      let traced_attempt victim t =
+        emit w t Ev.Steal_attempt victim;
+        let t', v = try_victim victim t in
+        emit w t' (if v >= 0 then Ev.Steal_commit else Ev.Steal_abort) victim;
+        (t', v)
+      in
       let t = t +. cm.steal_ns in
-      let t, v = try_victim w t in
+      let t, v = traced_attempt w t in
       let t, v =
         if v >= 0 || workers = 1 then (t, v)
         else begin
           let victim = Nowa_util.Xoshiro.int rng workers in
           let victim = if victim = w then (victim + 1) mod workers else victim in
-          try_victim victim (t +. cm.steal_ns)
+          traced_attempt victim (t +. cm.steal_ns)
         end
       in
       if v >= 0 then begin

@@ -35,7 +35,20 @@ type result = {
 }
 
 val simulate :
-  ?seed:int -> ?max_events:int -> Cost_model.t -> workers:int -> Dag.t -> result
+  ?seed:int ->
+  ?max_events:int ->
+  ?trace:Nowa_trace.Trace.t ->
+  Cost_model.t ->
+  workers:int ->
+  Dag.t ->
+  result
 (** [simulate model ~workers dag] replays [dag].  [max_events] (default
     [200_000_000]) bounds runaway simulations; the result is flagged
-    [truncated] when hit. *)
+    [truncated] when hit.
+
+    [trace] (create it with [Trace.create ~clock:Virtual]) receives the
+    schedule as virtual-time scheduler events — strand executions, spawns,
+    steal attempts/commits/aborts, lost continuations, suspensions — one
+    ring per virtual worker, consumable by the same {!Nowa_trace.Perfetto}
+    exporter and {!Nowa_trace.Trace_analysis} summaries as real-engine
+    traces. *)

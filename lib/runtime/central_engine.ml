@@ -14,6 +14,9 @@ end) : Runtime_intf.S = struct
   let name = Id.name
   let description = Id.description
 
+  module Ring = Nowa_trace.Ring
+  module Ev = Nowa_trace.Event
+
   type 'a promise = 'a Promise.t
 
   type frame = { pending : int Atomic.t; exn_slot : exn option Atomic.t }
@@ -21,7 +24,13 @@ end) : Runtime_intf.S = struct
 
   type task = Task of (unit -> unit)
 
-  type worker = { id : int; m : Metrics.worker }
+  type worker = {
+    id : int;
+    m : Metrics.worker;
+    tr : Ring.t;
+    mutable depth : int;  (* task nesting (helping at sync): only the
+                             outermost start/end delimits a busy slice *)
+  }
 
   type pool = {
     conf : Config.t;
@@ -41,16 +50,30 @@ end) : Runtime_intf.S = struct
   let note_exn fr e =
     ignore (Atomic.compare_and_set fr.exn_slot None (Some e))
 
+  (* Task bodies never raise: both [spawn] and the root wrap the thunk in
+     a match, so the straight-line depth bookkeeping is exception-safe. *)
   let run_task w (Task f) =
     w.m.tasks <- w.m.tasks + 1;
-    f ()
+    w.depth <- w.depth + 1;
+    if w.depth = 1 then Ring.emit w.tr Ev.Task_start 0;
+    f ();
+    if w.depth = 1 then Ring.emit w.tr Ev.Task_end 0;
+    w.depth <- w.depth - 1
 
   let poll pool w =
     w.m.steal_attempts <- w.m.steal_attempts + 1;
-    Nowa_deque.Central_queue.pop pool.queue
+    Ring.emit w.tr Ev.Steal_attempt 0;
+    match Nowa_deque.Central_queue.pop pool.queue with
+    | Some _ as r ->
+      Ring.emit w.tr Ev.Steal_commit 0;
+      r
+    | None ->
+      Ring.emit w.tr Ev.Steal_abort 0;
+      None
 
   let wait_for pool w fr =
     w.m.suspensions <- w.m.suspensions + 1;
+    Ring.emit w.tr Ev.Suspend 0;
     let bo = Nowa_util.Backoff.make () in
     while Atomic.get fr.pending > 0 do
       match poll pool w with
@@ -78,6 +101,8 @@ end) : Runtime_intf.S = struct
 
   let last_metrics_ref = ref None
   let last_metrics () = !last_metrics_ref
+  let last_trace_ref = ref None
+  let last_trace () = !last_trace_ref
 
   let run ?conf main =
     let conf = match conf with Some c -> c | None -> Config.default () in
@@ -85,12 +110,24 @@ end) : Runtime_intf.S = struct
     let conf = { conf with Config.workers = nw } in
     Runtime_guard.enter name;
     Runtime_log.Log.debug (fun m -> m "%s: starting %d workers" name nw);
+    let trace =
+      if conf.Config.trace_capacity > 0 then
+        Some
+          (Nowa_trace.Trace.create ~workers:nw
+             ~capacity:conf.Config.trace_capacity ())
+      else None
+    in
+    let ring_for i =
+      match trace with Some t -> Nowa_trace.Trace.worker t i | None -> Ring.disabled
+    in
     let pool =
       {
         conf;
         queue = Nowa_deque.Central_queue.create ();
         finished = Atomic.make false;
-        workers = Array.init nw (fun i -> { id = i; m = Metrics.make_worker i });
+        workers =
+          Array.init nw (fun i ->
+              { id = i; m = Metrics.make_worker i; tr = ring_for i; depth = 0 });
       }
     in
     let result = ref None in
@@ -124,6 +161,7 @@ end) : Runtime_intf.S = struct
         run_task w0 root;
         worker_loop pool w0;
         let elapsed = Unix.gettimeofday () -. t0 in
+        last_trace_ref := trace;
         if conf.Config.collect_metrics then
           last_metrics_ref :=
             Some
@@ -159,6 +197,7 @@ end) : Runtime_intf.S = struct
   let spawn fr thunk =
     let pool, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
+    Ring.emit w.tr Ev.Spawn 0;
     let p = Promise.make () in
     ignore (Atomic.fetch_and_add fr.pending 1);
     let body () =

@@ -33,6 +33,9 @@ module Make
   let name = Id.name
   let description = Id.description
 
+  module Ring = Nowa_trace.Ring
+  module Ev = Nowa_trace.Event
+
   type 'a promise = 'a Promise.t
 
   type frame = { pending : int Atomic.t; exn_slot : exn option Atomic.t }
@@ -51,6 +54,8 @@ module Make
     deque : Q.t;
     rng : Nowa_util.Xoshiro.t;
     m : Metrics.worker;
+    tr : Ring.t;
+    mutable depth : int;  (* task nesting while helping at a taskwait *)
   }
 
   type pool = {
@@ -70,9 +75,15 @@ module Make
   let note_exn fr e =
     ignore (Atomic.compare_and_set fr.exn_slot None (Some e))
 
+  (* Task bodies never raise ([spawn] and the root wrap the thunk), so
+     the depth bookkeeping needs no exception handling. *)
   let run_task w (Task f) =
     w.m.tasks <- w.m.tasks + 1;
-    f ()
+    w.depth <- w.depth + 1;
+    if w.depth = 1 then Ring.emit w.tr Ev.Task_start 0;
+    f ();
+    if w.depth = 1 then Ring.emit w.tr Ev.Task_end 0;
+    w.depth <- w.depth - 1
 
   let no_commit _ = ()
 
@@ -83,11 +94,15 @@ module Make
       w.m.steal_attempts <- w.m.steal_attempts + 1;
       let v = Nowa_util.Xoshiro.int w.rng n in
       let v = if v = w.id then (v + 1) mod n else v in
+      Ring.emit w.tr Ev.Steal_attempt v;
       match Q.steal pool.workers.(v).deque ~on_commit:no_commit with
       | Some t ->
         w.m.steals <- w.m.steals + 1;
+        Ring.emit w.tr Ev.Steal_commit v;
         Some t
-      | None -> None
+      | None ->
+        Ring.emit w.tr Ev.Steal_abort v;
+        None
     end
 
   (* OpenMP taskwait / TBB wait_for_all: execute tasks until the frame's
@@ -95,6 +110,7 @@ module Make
      own subtree most of the time. *)
   let wait_for pool w fr =
     w.m.suspensions <- w.m.suspensions + 1;
+    Ring.emit w.tr Ev.Suspend 0;
     let bo = Nowa_util.Backoff.make () in
     while Atomic.get fr.pending > 0 do
       match Q.pop_bottom w.deque with
@@ -140,6 +156,8 @@ module Make
 
   let last_metrics_ref = ref None
   let last_metrics () = !last_metrics_ref
+  let last_trace_ref = ref None
+  let last_trace () = !last_trace_ref
 
   let run ?conf main =
     let conf = match conf with Some c -> c | None -> Config.default () in
@@ -147,6 +165,16 @@ module Make
     let conf = { conf with Config.workers = nw } in
     Runtime_guard.enter name;
     Runtime_log.Log.debug (fun m -> m "%s: starting %d workers" name nw);
+    let trace =
+      if conf.Config.trace_capacity > 0 then
+        Some
+          (Nowa_trace.Trace.create ~workers:nw
+             ~capacity:conf.Config.trace_capacity ())
+      else None
+    in
+    let ring_for i =
+      match trace with Some t -> Nowa_trace.Trace.worker t i | None -> Ring.disabled
+    in
     let pool =
       {
         conf;
@@ -158,6 +186,8 @@ module Make
                 deque = Q.create ~capacity:conf.Config.deque_capacity ();
                 rng = Nowa_util.Xoshiro.make ~seed:(conf.Config.seed + (i * 7919) + 1);
                 m = Metrics.make_worker i;
+                tr = ring_for i;
+                depth = 0;
               });
       }
     in
@@ -192,6 +222,7 @@ module Make
         run_task w0 root;
         worker_loop pool w0;
         let elapsed = Unix.gettimeofday () -. t0 in
+        last_trace_ref := trace;
         if conf.Config.collect_metrics then
           last_metrics_ref :=
             Some
@@ -233,6 +264,7 @@ module Make
   let spawn fr thunk =
     let _, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
+    Ring.emit w.tr Ev.Spawn 0;
     let p = Promise.make () in
     (* Pending is raised before the task is visible to thieves, so the
        join counter never needs the lock-or-wait-free machinery of the

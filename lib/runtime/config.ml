@@ -15,6 +15,7 @@ type t = {
   local_stack_cache : int;
   stack_limit : int option;
   collect_metrics : bool;
+  trace_capacity : int;
 }
 
 let default () =
@@ -32,6 +33,7 @@ let default () =
     local_stack_cache = 4;
     stack_limit = None;
     collect_metrics = true;
+    trace_capacity = 0;
   }
 
 let with_workers n = { (default ()) with workers = max 1 n }

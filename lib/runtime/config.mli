@@ -41,6 +41,12 @@ type t = {
       (** Maximum number of live stacks; [Some n] models Cilk Plus's
           bounded-stacks behaviour where stealing stalls once exhausted. *)
   collect_metrics : bool;
+  trace_capacity : int;
+      (** Per-worker event-trace ring capacity (rounded up to a power of
+          two); 0 (the default) disables tracing entirely — the engines
+          then pay a single flag check per emission site.  The trace of
+          the last run is available through
+          {!Runtime_intf.S.last_trace}. *)
 }
 
 val default : unit -> t

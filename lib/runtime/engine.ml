@@ -28,6 +28,9 @@ module Make
   let name = Id.name
   let description = Id.description
 
+  module Ring = Nowa_trace.Ring
+  module Ev = Nowa_trace.Event
+
   type 'a promise = 'a Promise.t
 
   type cont = (unit, unit) Effect.Deep.continuation
@@ -53,6 +56,7 @@ module Make
     deque : Q.t;
     rng : Nowa_util.Xoshiro.t;
     m : Metrics.worker;
+    tr : Ring.t;  (* wait-free event ring; Ring.disabled when not tracing *)
     mutable stack : Stack_pool.stack option;
     mutable next_victim : int;  (* Round_robin victim scan position *)
   }
@@ -86,6 +90,7 @@ module Make
     | None ->
       let s = Stack_pool.acquire pool.stacks ~worker:w.id in
       w.m.stack_acquires <- w.m.stack_acquires + 1;
+      Ring.emit w.tr Ev.Stack_acquire 0;
       w.stack <- Some s;
       s
 
@@ -95,6 +100,7 @@ module Make
     | Some s ->
       Stack_pool.release pool.stacks ~worker:w.id s;
       w.m.stack_releases <- w.m.stack_releases + 1;
+      Ring.emit w.tr Ev.Stack_release 0;
       w.stack <- None
 
   (* Resume a frame whose sync condition this caller observed: take the
@@ -109,6 +115,7 @@ module Make
       assert false
     | Some (k, stk) ->
       w.m.resumes <- w.m.resumes + 1;
+      Ring.emit w.tr Ev.Resume 0;
       C.reset fr.counter;
       (match stk with
       | None -> ()
@@ -130,6 +137,7 @@ module Make
     | None ->
       (* The continuation was stolen: implicit sync. *)
       w.m.lost_continuations <- w.m.lost_continuations + 1;
+      Ring.emit w.tr Ev.Lost_continuation 0;
       if C.child_joined fr.counter then resume_frame pool w fr
 
   and exec_child fr thunk =
@@ -147,6 +155,7 @@ module Make
    fun fr thunk k ->
     let pool, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
+    Ring.emit w.tr Ev.Spawn 0;
     (match w.stack with
     | Some s -> Stack_pool.touch s ~pages:1 ~max_pages:pool.conf.Config.stack_pages
     | None -> ());
@@ -172,7 +181,10 @@ module Make
     in
     Atomic.set fr.suspended (Some (k, stk));
     if C.reach_sync fr.counter then resume_frame pool w fr
-    else w.m.suspensions <- w.m.suspensions + 1
+    else begin
+      w.m.suspensions <- w.m.suspensions + 1;
+      Ring.emit w.tr Ev.Suspend 0
+    end
   (* returning without resuming = this strand is suspended; control goes
      back to the scheduler loop, which hunts for work. *)
 
@@ -191,7 +203,14 @@ module Make
     let n = Array.length pool.workers in
     let attempt victim =
       w.m.steal_attempts <- w.m.steal_attempts + 1;
-      Q.steal victim.deque ~on_commit
+      Ring.emit w.tr Ev.Steal_attempt victim.id;
+      match Q.steal victim.deque ~on_commit with
+      | Some _ as r ->
+        Ring.emit w.tr Ev.Steal_commit victim.id;
+        r
+      | None ->
+        Ring.emit w.tr Ev.Steal_abort victim.id;
+        None
     in
     (* Own deque first: it may hold continuations sitting under a frame
        that suspended; converting one into a parallel strand (with the
@@ -218,14 +237,16 @@ module Make
   let execute pool w task =
     w.m.tasks <- w.m.tasks + 1;
     ignore (ensure_stack pool w);
-    match task with
+    Ring.emit w.tr Ev.Task_start 0;
+    (match task with
     | Root f -> f ()
     | Stolen (k, fr) ->
       w.m.steals <- w.m.steals + 1;
       (* Invariant II: α is bumped by the (unique) main-path control flow,
          here, just before the stolen continuation resumes. *)
       C.note_resume fr.counter;
-      Effect.Deep.continue k ()
+      Effect.Deep.continue k ());
+    Ring.emit w.tr Ev.Task_end 0
 
   let worker_loop pool w =
     let bo = Nowa_util.Backoff.make () in
@@ -249,6 +270,8 @@ module Make
 
   let last_metrics_ref = ref None
   let last_metrics () = !last_metrics_ref
+  let last_trace_ref = ref None
+  let last_trace () = !last_trace_ref
 
   let run ?conf main =
     let conf = match conf with Some c -> c | None -> Config.default () in
@@ -256,6 +279,16 @@ module Make
     let conf = { conf with Config.workers = nw } in
     Runtime_guard.enter name;
     Runtime_log.Log.debug (fun m -> m "%s: starting %d workers" name nw);
+    let trace =
+      if conf.Config.trace_capacity > 0 then
+        Some
+          (Nowa_trace.Trace.create ~workers:nw
+             ~capacity:conf.Config.trace_capacity ())
+      else None
+    in
+    let ring_for i =
+      match trace with Some t -> Nowa_trace.Trace.worker t i | None -> Ring.disabled
+    in
     let pool =
       {
         conf;
@@ -268,6 +301,7 @@ module Make
                 deque = Q.create ~capacity:conf.Config.deque_capacity ();
                 rng = Nowa_util.Xoshiro.make ~seed:(conf.Config.seed + (i * 7919) + 1);
                 m = Metrics.make_worker i;
+                tr = ring_for i;
                 stack = None;
                 next_victim = i + 1;
               });
@@ -332,6 +366,9 @@ module Make
         let elapsed = Unix.gettimeofday () -. t0 in
         Runtime_log.Log.debug (fun m ->
             m "%s: computation finished in %.6f s" name elapsed);
+        (* The domains have joined: the rings are quiescent and safe to
+           hand out for draining. *)
+        last_trace_ref := trace;
         if conf.Config.collect_metrics then begin
           let stacks =
             {

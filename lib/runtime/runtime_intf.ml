@@ -47,4 +47,9 @@ module type S = sig
 
   val last_metrics : unit -> Metrics.t option
   (** Metrics of the most recently completed [run], if collected. *)
+
+  val last_trace : unit -> Nowa_trace.Trace.t option
+  (** Per-worker event trace of the most recently completed [run];
+      [None] unless the run's {!Config.t.trace_capacity} was positive
+      (or the runtime does not trace, e.g. the serial elision). *)
 end

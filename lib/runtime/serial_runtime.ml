@@ -7,6 +7,9 @@ type 'a promise = 'a Promise.t
 let last_metrics_ref = ref None
 let last_metrics () = !last_metrics_ref
 
+(* The serial elision has no scheduler events to trace. *)
+let last_trace () = None
+
 let run ?conf main =
   ignore conf;
   Runtime_guard.enter name;

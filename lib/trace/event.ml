@@ -1,0 +1,64 @@
+(** Scheduler event vocabulary for the per-worker trace rings.
+
+    Every event the engines emit maps to one of these kinds plus a single
+    integer argument (victim id for steal events, otherwise 0).  Kinds are
+    stored in the ring as small ints so that the hot-path write touches
+    only int arrays — no allocation, no boxing. *)
+
+type kind =
+  | Task_start  (** a task/strand begins executing on this worker *)
+  | Task_end  (** the task returned control to the scheduler loop *)
+  | Spawn  (** a fork point: continuation made stealable *)
+  | Steal_attempt  (** probe of a victim deque (arg = victim id) *)
+  | Steal_commit  (** successful steal (arg = victim id) *)
+  | Steal_abort  (** failed attempt: victim empty or race lost *)
+  | Lost_continuation  (** own pop missed: the continuation was stolen *)
+  | Suspend  (** strand suspended at an explicit sync *)
+  | Resume  (** a suspended frame's continuation resumed *)
+  | Stack_acquire  (** worker acquired a stack from the pool *)
+  | Stack_release  (** worker released its stack to the pool *)
+
+let to_int = function
+  | Task_start -> 0
+  | Task_end -> 1
+  | Spawn -> 2
+  | Steal_attempt -> 3
+  | Steal_commit -> 4
+  | Steal_abort -> 5
+  | Lost_continuation -> 6
+  | Suspend -> 7
+  | Resume -> 8
+  | Stack_acquire -> 9
+  | Stack_release -> 10
+
+let of_int = function
+  | 0 -> Task_start
+  | 1 -> Task_end
+  | 2 -> Spawn
+  | 3 -> Steal_attempt
+  | 4 -> Steal_commit
+  | 5 -> Steal_abort
+  | 6 -> Lost_continuation
+  | 7 -> Suspend
+  | 8 -> Resume
+  | 9 -> Stack_acquire
+  | 10 -> Stack_release
+  | n -> invalid_arg (Printf.sprintf "Event.of_int: %d" n)
+
+let name = function
+  | Task_start -> "task-start"
+  | Task_end -> "task-end"
+  | Spawn -> "spawn"
+  | Steal_attempt -> "steal-attempt"
+  | Steal_commit -> "steal-commit"
+  | Steal_abort -> "steal-abort"
+  | Lost_continuation -> "lost-continuation"
+  | Suspend -> "suspend"
+  | Resume -> "resume"
+  | Stack_acquire -> "stack-acquire"
+  | Stack_release -> "stack-release"
+
+type t = { ts : int;  (** nanoseconds (wall or virtual) *) worker : int; kind : kind; arg : int }
+
+let pp ppf e =
+  Format.fprintf ppf "%d @ %dns %s(%d)" e.worker e.ts (name e.kind) e.arg

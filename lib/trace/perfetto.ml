@@ -1,0 +1,85 @@
+(** Chrome trace-event / Perfetto JSON exporter.
+
+    Emits the JSON object format ({"traceEvents":[...]}) that both
+    chrome://tracing and ui.perfetto.dev load directly: one row (tid) per
+    worker, task executions as complete slices ("ph":"X"), every other
+    scheduler event as a thread-scoped instant ("ph":"i").  Timestamps
+    are rebased to the earliest event and written in microseconds, as the
+    format requires; virtual-time wsim traces go through unchanged (their
+    "microseconds" are virtual too).
+
+    No JSON library is needed: every value written is an int, a float or
+    a fixed identifier-safe string, so the quoting below is total. *)
+
+let buf_event b ~first ~name ~ph ~ts_us ~pid ~tid extra =
+  if not !first then Buffer.add_string b ",\n";
+  first := false;
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d%s}"
+       name ph ts_us pid tid extra)
+
+let buf_meta b ~first ~name ~pid ?tid value =
+  if not !first then Buffer.add_string b ",\n";
+  first := false;
+  let tid = match tid with None -> "" | Some t -> Printf.sprintf ",\"tid\":%d" t in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d%s,\"args\":{\"name\":\"%s\"}}"
+       name pid tid value)
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+(** Render a trace to a Buffer.  [process_name] labels the single process
+    row ("nowa", "wsim:nowa/256w", ...). *)
+let to_buffer ?(process_name = "nowa") (t : Trace.t) =
+  let b = Buffer.create 65536 in
+  let first = ref true in
+  let pid = 0 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  buf_meta b ~first ~name:"process_name" ~pid process_name;
+  let per_worker = Trace.per_worker_events t in
+  let t0 = Trace.base_ts t in
+  Array.iteri
+    (fun w evs ->
+      if Array.length evs > 0 then
+        buf_meta b ~first ~name:"thread_name" ~pid ~tid:w
+          (Printf.sprintf "worker %d" w);
+      (* Pair task-start/task-end into complete slices; a start lost to
+         ring overwrite leaves its end unmatched, which we drop rather
+         than emit a malformed slice. *)
+      let open_start = ref None in
+      Array.iter
+        (fun e ->
+          let ts_us = us_of_ns (e.Event.ts - t0) in
+          match e.Event.kind with
+          | Event.Task_start -> open_start := Some ts_us
+          | Event.Task_end -> (
+            match !open_start with
+            | Some s ->
+              open_start := None;
+              buf_event b ~first ~name:"task" ~ph:"X" ~ts_us:s ~pid ~tid:w
+                (Printf.sprintf ",\"dur\":%.3f" (Float.max 0.0 (ts_us -. s)))
+            | None -> ())
+          | k ->
+            let args =
+              match k with
+              | Event.Steal_attempt | Event.Steal_commit | Event.Steal_abort ->
+                Printf.sprintf ",\"s\":\"t\",\"args\":{\"victim\":%d}" e.Event.arg
+              | _ -> ",\"s\":\"t\""
+            in
+            buf_event b ~first ~name:(Event.name k) ~ph:"i" ~ts_us ~pid ~tid:w
+              args)
+        evs)
+    per_worker;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  b
+
+let to_string ?process_name t = Buffer.contents (to_buffer ?process_name t)
+
+let write_channel ?process_name oc t =
+  Buffer.output_buffer oc (to_buffer ?process_name t)
+
+let write_file ?process_name path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      write_channel ?process_name oc t)

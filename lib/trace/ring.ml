@@ -1,0 +1,86 @@
+(** Fixed-capacity ring buffer of scheduler events, owned by one worker.
+
+    Wait-freedom is by construction: only the owning worker ever writes,
+    nothing reads until the domains have joined, so an [emit] is a handful
+    of int-array stores and one index bump — no CAS, no lock, no
+    allocation.  When full the ring overwrites the oldest entries
+    (monotonic head index, power-of-two capacity, mask addressing), so a
+    long run keeps the most recent window instead of failing.
+
+    A disabled ring costs a single flag check per emission site and
+    nothing else; engines hold one unconditionally so the hot path has no
+    option match. *)
+
+type t = {
+  enabled : bool;
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  ts : int array;  (* timestamp (ns) per slot *)
+  kinds : int array;  (* Event.to_int per slot *)
+  args : int array;  (* event argument per slot *)
+  mutable head : int;  (* total events ever emitted (not wrapped) *)
+  _pre : int array;  (* Padding spacers: keep this worker's hot state *)
+  _post : int array;  (* on cache lines no other worker's ring shares *)
+}
+
+let disabled =
+  {
+    enabled = false;
+    mask = 0;
+    ts = [| 0 |];
+    kinds = [| 0 |];
+    args = [| 0 |];
+    head = 0;
+    _pre = [||];
+    _post = [||];
+  }
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ~capacity =
+  if capacity <= 0 then disabled
+  else begin
+    let cap = pow2_at_least capacity 16 in
+    (* Allocation order matters: the spacers are born around the hot
+       arrays, separating consecutive workers' rings at minor-heap
+       layout time (same trick as {!Nowa_util.Padding.atomic}). *)
+    let pre = Nowa_util.Padding.int_array 1 in
+    let ts = Array.make cap 0 in
+    let kinds = Array.make cap 0 in
+    let args = Array.make cap 0 in
+    let post = Nowa_util.Padding.int_array 1 in
+    { enabled = true; mask = cap - 1; ts; kinds; args; head = 0; _pre = pre; _post = post }
+  end
+
+let capacity r = if r.enabled then r.mask + 1 else 0
+
+(* Hot path: one predictable branch when disabled; three int stores, an
+   int store of the clock reading and an index bump when enabled. *)
+let[@inline] emit_at r ~ts kind arg =
+  if r.enabled then begin
+    let i = r.head land r.mask in
+    r.ts.(i) <- ts;
+    r.kinds.(i) <- Event.to_int kind;
+    r.args.(i) <- arg;
+    r.head <- r.head + 1
+  end
+
+let[@inline] emit r kind arg =
+  if r.enabled then emit_at r ~ts:(Nowa_util.Clock.now_ns ()) kind arg
+
+let length r = if r.enabled then min r.head (r.mask + 1) else 0
+let emitted r = r.head
+let dropped r = if r.enabled then max 0 (r.head - (r.mask + 1)) else 0
+
+(** Drain to an array, oldest surviving event first.  Only call after the
+    owning worker has quiesced (post-join); there is no synchronisation. *)
+let events r ~worker =
+  let n = length r in
+  let start = r.head - n in
+  Array.init n (fun j ->
+      let i = (start + j) land r.mask in
+      {
+        Event.ts = r.ts.(i);
+        worker;
+        kind = Event.of_int r.kinds.(i);
+        arg = r.args.(i);
+      })

@@ -1,9 +1,21 @@
-(* There is no monotonic clock in the pre-installed package set; on the
-   quiescent benchmark hosts this code targets, [Unix.gettimeofday] step
-   adjustments are the only non-monotonicity and they are negligible over
-   benchmark timescales. *)
+(* There is no monotonic clock in the pre-installed package set, so the
+   base reading is [Unix.gettimeofday], which can step backwards under
+   NTP adjustments.  Trace event ordering and duration math depend on
+   [now_ns] never going backwards, so each domain clamps its readings
+   against the last value it returned: within a domain, consecutive
+   calls are non-decreasing.  (Cross-domain comparisons retain the raw
+   clock's fidelity; only same-domain regressions are flattened.) *)
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let last_ns : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let last = Domain.DLS.get last_ns in
+  if t > !last then begin
+    last := t;
+    t
+  end
+  else !last
 
 let time_it f =
   let t0 = Unix.gettimeofday () in

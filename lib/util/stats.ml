@@ -29,6 +29,19 @@ let median = function
 let minimum = function [] -> nan | l -> List.fold_left min infinity l
 let maximum = function [] -> nan | l -> List.fold_left max neg_infinity l
 
+(* Nearest-rank percentile: for p in (0,100], the value at rank
+   ceil(p/100 * n) of the sorted sample (1-based); p = 0 yields the
+   minimum.  Empty input yields nan. *)
+let percentile p = function
+  | [] -> nan
+  | l ->
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let n = Array.length a in
+    let p = Float.min 100.0 (Float.max 0.0 p) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
 type speedup = { geo : float; sd : float; runs : int }
 
 let speedup_of_runs ~serial_mean times =

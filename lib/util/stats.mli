@@ -14,6 +14,12 @@ val median : float list -> float
 val minimum : float list -> float
 val maximum : float list -> float
 
+val percentile : float -> float list -> float
+(** [percentile p l] is the nearest-rank [p]-th percentile of [l] for
+    [p] in [0, 100]: the element at rank [ceil (p/100 × n)] of the
+    sorted sample (1-based), with [p = 0] yielding the minimum and an
+    empty list yielding [nan].  Out-of-range [p] is clamped. *)
+
 type speedup = {
   geo : float;      (** geometric mean of per-run speedups *)
   sd : float;       (** standard deviation of per-run speedups *)

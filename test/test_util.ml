@@ -45,6 +45,25 @@ let test_ratio_geomean () =
   check_float "ratios" 2.0 (Stats.ratio_geomean [ (4.0, 2.0); (8.0, 4.0) ]);
   check_float "mixed" 1.0 (Stats.ratio_geomean [ (2.0, 1.0); (1.0, 2.0) ])
 
+let test_percentile () =
+  (* Nearest-rank: rank = ceil(p/100 * n), 1-based. *)
+  let l = [ 15.0; 20.0; 35.0; 40.0; 50.0 ] in
+  check_float "p30 of 5" 20.0 (Stats.percentile 30.0 l);
+  check_float "p40 of 5" 20.0 (Stats.percentile 40.0 l);
+  check_float "p50 of 5" 35.0 (Stats.percentile 50.0 l);
+  check_float "p100 is max" 50.0 (Stats.percentile 100.0 l);
+  check_float "p0 is min" 15.0 (Stats.percentile 0.0 l);
+  check_float "unsorted input" 35.0 (Stats.percentile 50.0 [ 50.0; 15.0; 40.0; 20.0; 35.0 ])
+
+let test_percentile_edges () =
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.percentile 50.0 []));
+  check_float "single p0" 7.0 (Stats.percentile 0.0 [ 7.0 ]);
+  check_float "single p50" 7.0 (Stats.percentile 50.0 [ 7.0 ]);
+  check_float "single p100" 7.0 (Stats.percentile 100.0 [ 7.0 ]);
+  (* Out-of-range p clamps rather than raising. *)
+  check_float "p>100 clamps" 9.0 (Stats.percentile 150.0 [ 1.0; 9.0 ]);
+  check_float "p<0 clamps" 1.0 (Stats.percentile (-5.0) [ 1.0; 9.0 ])
+
 (* -- Xoshiro --------------------------------------------------------- *)
 
 let test_xoshiro_deterministic () =
@@ -119,6 +138,17 @@ let test_backoff_steps () =
 
 (* -- Clock ----------------------------------------------------------- *)
 
+let test_clock_never_backwards () =
+  (* The clamp in Clock.now_ns must make rapid consecutive reads
+     non-decreasing even if gettimeofday steps backwards underneath. *)
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 100_000 do
+    let t = Clock.now_ns () in
+    if t < !prev then
+      Alcotest.failf "clock went backwards: %d after %d" t !prev;
+    prev := t
+  done
+
 let test_clock_monotonic_enough () =
   let t0 = Clock.now_ns () in
   let dt, () = Clock.time_it (fun () -> Clock.spin_ns 1_000_000) in
@@ -170,6 +200,8 @@ let () =
           Alcotest.test_case "min/max" `Quick test_min_max;
           Alcotest.test_case "speedup methodology" `Quick test_speedup;
           Alcotest.test_case "ratio geomean" `Quick test_ratio_geomean;
+          Alcotest.test_case "percentile nearest-rank" `Quick test_percentile;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
         ] );
       ( "xoshiro",
         [
@@ -182,7 +214,11 @@ let () =
           qc prop_xoshiro_int_in_bounds;
         ] );
       ("backoff", [ Alcotest.test_case "steps" `Quick test_backoff_steps ]);
-      ("clock", [ Alcotest.test_case "monotonic+spin" `Quick test_clock_monotonic_enough ]);
+      ( "clock",
+        [
+          Alcotest.test_case "never backwards" `Quick test_clock_never_backwards;
+          Alcotest.test_case "monotonic+spin" `Quick test_clock_monotonic_enough;
+        ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
