@@ -331,6 +331,56 @@ let traces ~opts () =
       Format.printf "%a@." Nowa_trace.Trace_analysis.pp summary)
     [ "fib"; "nqueens" ]
 
+(* -- scalability: Cilkview-style burdened analysis vs. the simulator --- *)
+
+(* For each benchmark: burdened work/span analysis of the recorded DAG
+   (burden = the Nowa cost model's strand-migration cost), the
+   work/span-law upper bound and burdened lower estimate per worker
+   count, and the wsim-measured speedup between them — then the top
+   strands on the burdened critical path.  A measured speedup below the
+   lower estimate means overhead the DAG does not capture; burdened
+   parallelism far below plain parallelism means the workload is
+   spawn-granularity-bound. *)
+let scalability ~opts () =
+  section "Scalability profile (Cilkview-style burdened DAG analysis)";
+  let burden = Nowa_dag.Scalability.burden_of_cost_model CM.nowa in
+  let workers = [ 1; 2; 4; 8; 16; 64; 256 ] in
+  List.iter
+    (fun bench ->
+      let dag = recorded_dag ~opts bench in
+      let inst = Registry.find (sim_size_for ~opts bench) bench in
+      let r = Nowa_dag.Scalability.analyze ~burden_ns:burden dag in
+      subsection
+        (Printf.sprintf "%s (%s, burden=%.0f ns/edge)" bench
+           inst.Registry.input_desc burden);
+      Format.printf "%a@." Nowa_dag.Scalability.pp r;
+      let rows =
+        List.map
+          (fun p ->
+            let sim = (sim_speedup ~opts CM.nowa bench p).Nowa_dag.Wsim.speedup in
+            [
+              string_of_int p;
+              fmt_f2 (Nowa_dag.Scalability.bound_lower r ~workers:p);
+              fmt_f2 sim;
+              fmt_f2 (Nowa_dag.Scalability.bound_upper r ~workers:p);
+            ])
+          workers
+      in
+      Nowa_util.Table.print
+        ~header:[ "threads"; "lower est."; "wsim(nowa)"; "upper bound" ]
+        rows;
+      let strands =
+        Nowa_dag.Scalability.critical_strands ~burden_ns:burden ~top:5 dag
+      in
+      Printf.printf "top strands on the burdened critical path:\n";
+      List.iter
+        (fun (s : Nowa_dag.Scalability.strand) ->
+          Printf.printf "  vertex %-9d %10.0f ns  %5.1f%% of burdened span\n"
+            s.Nowa_dag.Scalability.vertex s.Nowa_dag.Scalability.work_ns
+            (100.0 *. s.Nowa_dag.Scalability.share))
+        strands)
+    [ "fib"; "matmul" ]
+
 let all ~opts () =
   table1 ~opts ();
   figure1 ~opts ();
@@ -340,7 +390,8 @@ let all ~opts () =
   figure9 ~opts ();
   figure10 ~opts ();
   table3 ~opts ();
-  ablation ~opts ()
+  ablation ~opts ();
+  scalability ~opts ()
 
 let by_name =
   [
@@ -354,5 +405,6 @@ let by_name =
     ("table3", table3);
     ("ablation", ablation);
     ("traces", traces);
+    ("scalability", scalability);
     ("all", all);
   ]

@@ -42,9 +42,25 @@ let resolve_runtime name : (module Nowa.RUNTIME) =
 
 let trace_capacity = 65_536
 
-let main list bench runtime workers runs size madvise trace verbose =
+let main list bench runtime workers runs size madvise trace metrics_addr
+    metrics_out verbose =
   if list then list_benchmarks ()
   else begin
+    (* Start the exposition endpoint before any run so the registry can
+       be scraped while the benchmark executes. *)
+    let server =
+      match metrics_addr with
+      | None -> None
+      | Some addr -> (
+        match Nowa.Obs.Server.start ~addr () with
+        | Ok s ->
+          Printf.printf "metrics: serving Prometheus text on port %d\n%!"
+            (Nowa.Obs.Server.port s);
+          Some s
+        | Error msg ->
+          Printf.eprintf "metrics: %s\n" msg;
+          exit 1)
+    in
     let size =
       match List.assoc_opt size sizes with
       | Some s -> s
@@ -95,30 +111,74 @@ let main list bench runtime workers runs size madvise trace verbose =
     | Some m when verbose ->
       Format.printf "%a@." Nowa.Metrics.pp m
     | _ -> ());
-    match trace with
+    let summary =
+      match trace with
+      | None -> None
+      | Some file -> (
+        (* The rings hold the last run's events (each run overwrites). *)
+        match R.last_trace () with
+        | Some tr ->
+          (try
+             Nowa.Perfetto.write_file
+               ~process_name:(Printf.sprintf "%s:%s/%dw" R.name bench workers)
+               file tr
+           with Sys_error msg ->
+             Printf.eprintf "trace: cannot write %s\n" msg;
+             exit 1);
+          Printf.printf
+            "trace: wrote %s (%d events kept, %d overwritten; open in \
+             chrome://tracing or ui.perfetto.dev)\n"
+            file
+            (Array.length (Nowa.Trace.events tr))
+            (Nowa.Trace.dropped tr);
+          let s = Nowa.Trace_analysis.summarize tr in
+          Format.printf "%a@." Nowa.Trace_analysis.pp s;
+          Some s
+        | None ->
+          Printf.eprintf "trace: runtime %S produced no trace (serial?)\n"
+            R.name;
+          None)
+    in
+    if verbose then begin
+      (* One-line live-observability digest: scheduler utilization (from
+         the trace when recorded), steal rate of the last run, and the
+         coordination-cost tails from the sync histograms. *)
+      let util =
+        match summary with
+        | Some s ->
+          Printf.sprintf "%.1f%%" (100.0 *. s.Nowa.Trace_analysis.utilization)
+        | None -> "n/a"
+      in
+      let steals_per_s =
+        match R.last_metrics () with
+        | Some m when m.Nowa.Metrics.elapsed_s > 0.0 ->
+          Printf.sprintf "%.0f"
+            (float_of_int
+               (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.steals))
+            /. m.Nowa.Metrics.elapsed_s)
+        | _ -> "n/a"
+      in
+      let p99 h =
+        let v = Nowa.Obs.Histogram.percentile h 0.99 in
+        if Float.is_nan v then "n/a" else Printf.sprintf "%.0f" v
+      in
+      Printf.printf
+        "obs: utilization=%s steals/s=%s wfc-rmw-retry-p99=%s \
+         frame-lock-spin-p99=%s\n"
+        util steals_per_s
+        (p99 Nowa_sync.Sync_metrics.wfc_rmw_retries)
+        (p99 Nowa_sync.Sync_metrics.frame_lock_spins)
+    end;
+    (match metrics_out with
     | None -> ()
-    | Some file -> (
-      (* The rings hold the last run's events (each run overwrites). *)
-      match R.last_trace () with
-      | Some tr ->
-        (try
-           Nowa.Perfetto.write_file
-             ~process_name:(Printf.sprintf "%s:%s/%dw" R.name bench workers)
-             file tr
-         with Sys_error msg ->
-           Printf.eprintf "trace: cannot write %s\n" msg;
-           exit 1);
-        Printf.printf
-          "trace: wrote %s (%d events kept, %d overwritten; open in \
-           chrome://tracing or ui.perfetto.dev)\n"
-          file
-          (Array.length (Nowa.Trace.events tr))
-          (Nowa.Trace.dropped tr);
-        Format.printf "%a@." Nowa.Trace_analysis.pp
-          (Nowa.Trace_analysis.summarize tr)
-      | None ->
-        Printf.eprintf "trace: runtime %S produced no trace (serial?)\n"
-          R.name)
+    | Some "-" -> print_string (Nowa.Obs.Expose.to_prometheus ())
+    | Some file ->
+      (try Nowa.Obs.Expose.write_file file
+       with Sys_error msg ->
+         Printf.eprintf "metrics: cannot write %s\n" msg;
+         exit 1);
+      Printf.printf "metrics: wrote Prometheus dump to %s\n" file);
+    Option.iter Nowa.Obs.Server.stop server
   end
 
 let cmd =
@@ -152,9 +212,28 @@ let cmd =
              write a Perfetto/chrome://tracing JSON timeline to $(docv), \
              plus a strand-level summary on stdout.")
   in
-  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run times and metrics.") in
+  let metrics_addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"[HOST:]PORT"
+          ~doc:
+            "Serve live Prometheus text-format metrics on $(docv) for the \
+             duration of the run (port 0 picks an ephemeral port). \
+             Composable with $(b,--trace).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a final Prometheus text-format dump of the metrics \
+             registry to $(docv) at exit ('-' for stdout).")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run times, metrics and a one-line obs summary.") in
   Cmd.v
     (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
-    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ trace $ verbose)
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ trace $ metrics_addr $ metrics_out $ verbose)
 
 let () = exit (Cmd.eval cmd)

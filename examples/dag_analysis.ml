@@ -29,20 +29,45 @@ let () =
   let t1 = Dag.total_work dag and tinf = Dag.span dag in
   Printf.printf "  work T1 = %.3f ms, span Tinf = %.3f ms, parallelism = %.1f\n"
     (t1 /. 1e6) (tinf /. 1e6) (t1 /. tinf);
+  (* Cilkview-style burdened analysis: what survives scheduling cost. *)
+  let burden = Scalability.burden_of_cost_model Cost_model.nowa in
+  let report = Scalability.analyze ~burden_ns:burden dag in
+  Printf.printf
+    "  burdened span = %.3f ms, burdened parallelism = %.1f (burden %.0f \
+     ns/edge)\n"
+    (report.Scalability.burdened_span_ns /. 1e6)
+    report.Scalability.burdened_parallelism burden;
   print_endline "";
-  print_endline "simulated speedup (discrete-event replay):";
+  print_endline
+    "simulated speedup (discrete-event replay) vs. burdened bounds:";
   let header =
-    "P" :: List.map (fun m -> m.Cost_model.cname) [ Cost_model.nowa; Cost_model.fibril; Cost_model.tbb; Cost_model.gomp ]
+    "P"
+    :: List.map
+         (fun m -> m.Cost_model.cname)
+         [ Cost_model.nowa; Cost_model.fibril; Cost_model.tbb; Cost_model.gomp ]
+    @ [ "lower est."; "upper bound" ]
   in
   let rows =
     List.map
       (fun p ->
-        string_of_int p
+        (string_of_int p
         :: List.map
              (fun m ->
                let r = Wsim.simulate m ~workers:p dag in
                Printf.sprintf "%.2f" r.Wsim.speedup)
              [ Cost_model.nowa; Cost_model.fibril; Cost_model.tbb; Cost_model.gomp ])
+        @ [
+            Printf.sprintf "%.2f" (Scalability.bound_lower report ~workers:p);
+            Printf.sprintf "%.2f" (Scalability.bound_upper report ~workers:p);
+          ])
       [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
   in
-  Nowa_util.Table.print ~header rows
+  Nowa_util.Table.print ~header rows;
+  print_endline "";
+  print_endline "top strands on the burdened critical path:";
+  List.iter
+    (fun (s : Scalability.strand) ->
+      Printf.printf "  vertex %-9d %10.0f ns  %5.1f%% of burdened span\n"
+        s.Scalability.vertex s.Scalability.work_ns
+        (100.0 *. s.Scalability.share))
+    (Scalability.critical_strands ~burden_ns:burden ~top:5 dag)

@@ -22,6 +22,16 @@
 module Config = Nowa_runtime.Config
 module Metrics = Nowa_runtime.Metrics
 
+(** {1 Live observability}
+
+    The metrics registry ({!Obs.Registry}) carries the scheduler, stack
+    and coordination counters while a run is executing: scrape it over
+    TCP ({!Obs.Server}), snapshot it periodically ({!Obs.Sampler}) or
+    dump it as Prometheus text ({!Obs.Expose}).  The engines publish
+    into it automatically ({!Metrics.publish}). *)
+
+module Obs = Nowa_obs
+
 (** {1 Event tracing}
 
     Set {!Config.t.trace_capacity} > 0 on a run, then fetch the trace

@@ -1,0 +1,134 @@
+(* Cilkview-style burdened analysis.  This lives in lib/dag rather than
+   lib/obs because it is DAG analytics, not live monitoring — and because
+   obs sits below the runtime in the library stack (sync and runtime
+   export metrics into it), so it cannot depend on the DAG layer. *)
+
+type report = {
+  burden_ns : float;
+  work_ns : float;
+  span_ns : float;
+  burdened_span_ns : float;
+  parallelism : float;
+  burdened_parallelism : float;
+  spawns : int;
+  syncs : int;
+}
+
+type strand = { vertex : int; work_ns : float; share : float }
+
+(* Roughly one steal commit + counter RMW + continuation resume under the
+   calibrated Nowa cost model — the virtual cost of migrating a strand. *)
+let default_burden_ns = 200.0
+
+let burden_of_cost_model (cm : Cost_model.t) =
+  cm.Cost_model.steal_ns +. cm.Cost_model.atomic_ns +. cm.Cost_model.resume_ns
+
+(* Burden is charged on the two edge classes where coordination can
+   occur: a spawn's continuation edge (the continuation may be stolen
+   and resumed elsewhere) and a child strand's arrival at a sync (the
+   join handshake).  The main path's own arrival at its sync is free —
+   it owns the frame. *)
+let edge_burden dag ~burden_ns u v =
+  (if Dag.kind dag u = Dag.Spawn && v = Dag.succ2 dag u then burden_ns
+   else 0.0)
+  +.
+  if Dag.kind dag v = Dag.Sync && not (Dag.is_main_arrival dag u) then
+    burden_ns
+  else 0.0
+
+(* Kahn traversal over the public DAG API, relaxing longest burdened
+   distances; with burden 0 this is exactly [Dag.span]'s computation.
+   [prev] remembers the predecessor achieving each vertex's distance so
+   the critical path can be walked back from the final vertex. *)
+let longest_paths dag ~burden_ns =
+  let n = Dag.size dag in
+  let dist = Array.make (max n 1) 0.0 in
+  let prev = Array.make (max n 1) (-1) in
+  let remaining = Array.init (max n 1) (fun v -> Dag.pred_count dag v) in
+  let queue = Queue.create () in
+  let longest = ref 0.0 in
+  if n > 0 && Dag.root dag >= 0 then Queue.push (Dag.root dag) queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let d = dist.(v) +. Dag.work dag v in
+    if d > !longest then longest := d;
+    let relax s =
+      if s >= 0 then begin
+        let d' = d +. edge_burden dag ~burden_ns v s in
+        if d' > dist.(s) then begin
+          dist.(s) <- d';
+          prev.(s) <- v
+        end;
+        remaining.(s) <- remaining.(s) - 1;
+        if remaining.(s) = 0 then Queue.push s queue
+      end
+    in
+    relax (Dag.succ1 dag v);
+    relax (Dag.succ2 dag v)
+  done;
+  (dist, prev, !longest)
+
+let analyze ?(burden_ns = default_burden_ns) dag =
+  let work_ns = Dag.total_work dag in
+  let span_ns = Dag.span dag in
+  let _, _, burdened_span_ns = longest_paths dag ~burden_ns in
+  {
+    burden_ns;
+    work_ns;
+    span_ns;
+    burdened_span_ns;
+    parallelism = (if span_ns > 0.0 then work_ns /. span_ns else nan);
+    burdened_parallelism =
+      (if burdened_span_ns > 0.0 then work_ns /. burdened_span_ns else nan);
+    spawns = Dag.count dag Dag.Spawn;
+    syncs = Dag.count dag Dag.Sync;
+  }
+
+(* Speedup bounds in the Cilkview style: the upper bound ignores
+   scheduling cost entirely (work and span laws); the lower estimate
+   assumes perfect load balance of the work but charges the full
+   burdened critical path. *)
+let bound_upper (r : report) ~workers =
+  let p = float_of_int workers in
+  if r.span_ns > 0.0 then Float.min p (r.work_ns /. r.span_ns) else p
+
+let bound_lower (r : report) ~workers =
+  let p = float_of_int workers in
+  if r.work_ns > 0.0 then
+    r.work_ns /. ((r.work_ns /. p) +. r.burdened_span_ns)
+  else 0.0
+
+let critical_strands ?(burden_ns = default_burden_ns) ?(top = 5) dag =
+  let n = Dag.size dag in
+  if n = 0 then []
+  else begin
+    let _, prev, burdened_span = longest_paths dag ~burden_ns in
+    (* Walk the critical path back from the sink and keep its strands. *)
+    let strands = ref [] in
+    let v = ref (Dag.final dag) in
+    while !v >= 0 do
+      if Dag.kind dag !v = Dag.Strand && Dag.work dag !v > 0.0 then
+        strands :=
+          {
+            vertex = !v;
+            work_ns = Dag.work dag !v;
+            share =
+              (if burdened_span > 0.0 then Dag.work dag !v /. burdened_span
+               else 0.0);
+          }
+          :: !strands;
+      v := if !v = Dag.root dag then -1 else prev.(!v)
+    done;
+    let sorted =
+      List.sort (fun a b -> Float.compare b.work_ns a.work_ns) !strands
+    in
+    List.filteri (fun i _ -> i < top) sorted
+  end
+
+let pp ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>work=%.0f ns span=%.0f ns burdened-span=%.0f ns (burden=%.0f \
+     ns/edge)@,parallelism=%.2f burdened-parallelism=%.2f spawns=%d \
+     syncs=%d@]"
+    r.work_ns r.span_ns r.burdened_span_ns r.burden_ns r.parallelism
+    r.burdened_parallelism r.spawns r.syncs

@@ -1,0 +1,59 @@
+(** Cilkview-style scalability profiler (Burdened DAGs; He, Leiserson &
+    Leiserson, "The Cilkview scalability analyzer").
+
+    Work/span analysis answers "how much parallelism is there?";
+    {e burdened} analysis answers "how much survives scheduling cost?".
+    Every edge on which coordination can occur — a spawn's continuation
+    edge (stealable) and a child strand's arrival at a sync (the join
+    handshake) — is charged a constant [burden_ns], and the critical
+    path is recomputed over the burdened DAG.  Burdened parallelism
+    [T₁ / burdened-span] is the scalability ceiling a work-stealing
+    scheduler can actually approach; a workload whose plain parallelism
+    looks ample but whose burdened parallelism collapses is
+    spawn-granularity-bound, not algorithm-bound.
+
+    With [burden_ns = 0] the burdened span equals {!Dag.span} exactly
+    (same traversal); it is monotonically non-decreasing in the
+    burden. *)
+
+type report = {
+  burden_ns : float;  (** the per-edge burden charged *)
+  work_ns : float;  (** T₁ *)
+  span_ns : float;  (** T∞, unburdened *)
+  burdened_span_ns : float;
+  parallelism : float;  (** T₁ / T∞ *)
+  burdened_parallelism : float;  (** T₁ / burdened span *)
+  spawns : int;
+  syncs : int;
+}
+
+type strand = {
+  vertex : int;  (** DAG vertex id *)
+  work_ns : float;
+  share : float;  (** fraction of the burdened span this strand accounts for *)
+}
+
+val default_burden_ns : float
+(** 200 ns — roughly steal + counter RMW + resume under the calibrated
+    Nowa cost model ({!burden_of_cost_model} on {!Cost_model.nowa}). *)
+
+val burden_of_cost_model : Cost_model.t -> float
+(** [steal_ns + atomic_ns + resume_ns]: the model's strand-migration cost. *)
+
+val analyze : ?burden_ns:float -> Dag.t -> report
+
+val bound_upper : report -> workers:int -> float
+(** Work/span-law speedup ceiling: [min P (T₁/T∞)]. *)
+
+val bound_lower : report -> workers:int -> float
+(** Burdened speedup estimate: [T₁ / (T₁/P + burdened span)] — what a
+    greedy work-stealing scheduler should at least achieve; measured
+    speedups falling below it indicate overhead the DAG does not
+    capture. *)
+
+val critical_strands : ?burden_ns:float -> ?top:int -> Dag.t -> strand list
+(** The [top] (default 5) heaviest strands on the {e burdened} critical
+    path, heaviest first — the program points to shorten or parallelise
+    when burdened parallelism is the bottleneck. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,41 @@
+(** Monotonic counter, sharded across domains.
+
+    Each shard is a padded atomic written with an uncontended
+    [fetch_and_add] by whichever domain hashes to it, so an increment is
+    one lock-free RMW on a cache line no other domain is usually
+    touching — zero allocation, wait-free.  Reads ([value]) sum the
+    shards with plain relaxed loads: a snapshot taken while workers are
+    running may miss the last few nanoseconds of increments, which is
+    exactly the staleness a monitoring scrape tolerates (each shard value
+    is itself monotone, so sums never go backwards by more than the
+    in-flight window). *)
+
+type t = {
+  name : string;
+  help : string;
+  shards : int Atomic.t array;
+}
+
+let shard_count = 16 (* power of two *)
+let shard_mask = shard_count - 1
+
+(* Domains are striped over the shards by id.  Two live domains can
+   share a shard; the atomic RMW keeps that correct, merely contended. *)
+let[@inline] slot () = (Domain.self () :> int) land shard_mask
+
+let create ?(help = "") name =
+  {
+    name;
+    help;
+    shards = Array.init shard_count (fun _ -> Nowa_util.Padding.atomic 0);
+  }
+
+let name t = t.name
+let help t = t.help
+
+let[@inline] add t n = ignore (Atomic.fetch_and_add t.shards.(slot ()) n)
+let[@inline] incr t = add t 1
+
+let value t = Array.fold_left (fun acc s -> acc + Atomic.get s) 0 t.shards
+
+let reset t = Array.iter (fun s -> Atomic.set s 0) t.shards

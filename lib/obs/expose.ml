@@ -1,0 +1,53 @@
+(** Prometheus text-format exposition (format version 0.0.4).
+
+    Output is deterministic for a given snapshot: samples arrive
+    name-sorted from {!Registry.snapshot}, numbers with integral values
+    are printed without a fractional part, and histogram buckets are
+    emitted cumulatively up to the last non-empty bucket followed by the
+    conventional [+Inf] bucket. *)
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let add_meta buf name help kind =
+  if help <> "" then
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let add_sample buf (s : Registry.sample) =
+  match s.value with
+  | Registry.Counter v ->
+    add_meta buf s.name s.help "counter";
+    Buffer.add_string buf (Printf.sprintf "%s %s\n" s.name (fnum v))
+  | Registry.Gauge v ->
+    add_meta buf s.name s.help "gauge";
+    Buffer.add_string buf (Printf.sprintf "%s %s\n" s.name (fnum v))
+  | Registry.Histogram h ->
+    add_meta buf s.name s.help "histogram";
+    let last_nonzero = ref 0 in
+    Array.iteri (fun i c -> if c > 0 then last_nonzero := i) h.counts;
+    let cum = ref 0 in
+    for i = 0 to !last_nonzero do
+      cum := !cum + h.counts.(i);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" s.name (fnum h.le.(i))
+           !cum)
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" s.name h.count);
+    Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" s.name (fnum h.sum));
+    Buffer.add_string buf (Printf.sprintf "%s_count %d\n" s.name h.count)
+
+let to_prometheus ?registry () =
+  let buf = Buffer.create 4096 in
+  List.iter (add_sample buf) (Registry.snapshot ?registry ());
+  Buffer.contents buf
+
+let write_channel ?registry oc = output_string oc (to_prometheus ?registry ())
+
+let write_file ?registry file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel ?registry oc)

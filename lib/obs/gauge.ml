@@ -1,0 +1,17 @@
+(** Instantaneous value (can go up and down): one padded atomic int.
+    Gauges are set/adjusted from any domain and read relaxed by
+    monitoring snapshots. *)
+
+type t = { name : string; help : string; cell : int Atomic.t }
+
+let create ?(help = "") name =
+  { name; help; cell = Nowa_util.Padding.atomic 0 }
+
+let name t = t.name
+let help t = t.help
+
+let set t v = Atomic.set t.cell v
+let[@inline] add t n = ignore (Atomic.fetch_and_add t.cell n)
+let[@inline] incr t = add t 1
+let[@inline] decr t = add t (-1)
+let value t = Atomic.get t.cell

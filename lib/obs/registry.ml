@@ -1,0 +1,106 @@
+(** Named-metric registry.
+
+    Metrics register once (at module init or engine start) and are then
+    incremented lock-free from any domain; [snapshot] walks the registry
+    and reads every metric relaxed.  Besides owned metrics, a registry
+    accepts {e collectors}: callbacks that produce samples on demand,
+    which lets the runtime expose counters it already maintains in its
+    own per-worker records (see [Nowa_runtime.Metrics.publish]) without
+    double-counting them into obs-owned cells.
+
+    Registration takes a mutex (cold path); reads and increments never
+    do. *)
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of Histogram.snapshot
+
+type sample = { name : string; help : string; value : value }
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_histogram of Histogram.t
+
+type t = {
+  lock : Mutex.t;
+  mutable metrics : metric list;  (* newest first *)
+  mutable collectors : (unit -> sample list) list;
+}
+
+let create () = { lock = Mutex.create (); metrics = []; collectors = [] }
+
+let default = create ()
+
+let metric_name = function
+  | M_counter c -> Counter.name c
+  | M_gauge g -> Gauge.name g
+  | M_histogram h -> Histogram.name h
+
+let check_fresh t name =
+  if List.exists (fun m -> String.equal (metric_name m) name) t.metrics then
+    invalid_arg (Printf.sprintf "Obs.Registry: duplicate metric %S" name)
+
+let register_metric t m =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      check_fresh t (metric_name m);
+      t.metrics <- m :: t.metrics)
+
+let counter ?(registry = default) ?help name =
+  let c = Counter.create ?help name in
+  register_metric registry (M_counter c);
+  c
+
+let gauge ?(registry = default) ?help name =
+  let g = Gauge.create ?help name in
+  register_metric registry (M_gauge g);
+  g
+
+let histogram ?(registry = default) ?help name =
+  let h = Histogram.create ?help name in
+  register_metric registry (M_histogram h);
+  h
+
+let register_collector ?(registry = default) f =
+  Mutex.lock registry.lock;
+  registry.collectors <- f :: registry.collectors;
+  Mutex.unlock registry.lock
+
+let sample_of_metric = function
+  | M_counter c ->
+    {
+      name = Counter.name c;
+      help = Counter.help c;
+      value = Counter (float_of_int (Counter.value c));
+    }
+  | M_gauge g ->
+    {
+      name = Gauge.name g;
+      help = Gauge.help g;
+      value = Gauge (float_of_int (Gauge.value g));
+    }
+  | M_histogram h ->
+    {
+      name = Histogram.name h;
+      help = Histogram.help h;
+      value = Histogram (Histogram.snapshot h);
+    }
+
+(* Stable (name-sorted) so that exposition output is deterministic
+   regardless of registration order. *)
+let snapshot ?(registry = default) () =
+  let metrics, collectors =
+    Mutex.lock registry.lock;
+    let r = (registry.metrics, registry.collectors) in
+    Mutex.unlock registry.lock;
+    r
+  in
+  let owned = List.map sample_of_metric metrics in
+  let collected = List.concat_map (fun f -> f ()) collectors in
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    (List.rev_append owned collected)

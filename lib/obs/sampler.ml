@@ -1,0 +1,147 @@
+(** Background sampling domain: snapshots a registry every
+    [interval_s] seconds into a bounded ring of time-stamped rows, and
+    folds per-interval counter deltas into online {!Nowa_util.Stats.Welford}
+    accumulators so that mean/σ of rates (steals/s, spawns/s, …) are
+    available without retaining the full series.
+
+    The sampler takes its own mutex only around ring/rate mutation (the
+    scrape path reads under the same mutex); the metrics themselves are
+    read relaxed, never blocking a worker. *)
+
+type row = { ts_ns : int; samples : Registry.sample list }
+
+type t = {
+  registry : Registry.t;
+  interval_s : float;
+  lock : Mutex.t;
+  rows : row option array;  (* ring, [next] is the oldest slot *)
+  mutable next : int;
+  mutable total : int;
+  rates : (string, Nowa_util.Stats.Welford.t) Hashtbl.t;
+  stop_flag : bool Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let scalar (s : Registry.sample) =
+  match s.value with
+  | Registry.Counter v -> Some v
+  | Registry.Gauge _ | Registry.Histogram _ -> None
+
+let record t samples =
+  let ts_ns = Nowa_util.Clock.now_ns () in
+  Mutex.lock t.lock;
+  t.rows.(t.next) <- Some { ts_ns; samples };
+  t.next <- (t.next + 1) mod Array.length t.rows;
+  t.total <- t.total + 1;
+  Mutex.unlock t.lock
+
+let fold_rates t ~prev samples =
+  match prev with
+  | None -> ()
+  | Some prev_samples ->
+    Mutex.lock t.lock;
+    List.iter
+      (fun (s : Registry.sample) ->
+        match scalar s with
+        | None -> ()
+        | Some v -> (
+          match
+            List.find_opt
+              (fun (p : Registry.sample) -> String.equal p.name s.name)
+              prev_samples
+          with
+          | None -> ()
+          | Some p -> (
+            match scalar p with
+            | None -> ()
+            | Some pv ->
+              let w =
+                match Hashtbl.find_opt t.rates s.name with
+                | Some w -> w
+                | None ->
+                  let w = Nowa_util.Stats.Welford.create () in
+                  Hashtbl.add t.rates s.name w;
+                  w
+              in
+              Nowa_util.Stats.Welford.add w ((v -. pv) /. t.interval_s))))
+      samples;
+    Mutex.unlock t.lock
+
+let loop t () =
+  let prev = ref None in
+  while not (Atomic.get t.stop_flag) do
+    (* Sleep in small slices so [stop] is honoured promptly even with a
+       multi-second interval. *)
+    let deadline = Unix.gettimeofday () +. t.interval_s in
+    while
+      (not (Atomic.get t.stop_flag)) && Unix.gettimeofday () < deadline
+    do
+      Unix.sleepf (Float.min 0.01 t.interval_s)
+    done;
+    if not (Atomic.get t.stop_flag) then begin
+      let samples = Registry.snapshot ~registry:t.registry () in
+      record t samples;
+      fold_rates t ~prev:!prev samples;
+      prev := Some samples
+    end
+  done
+
+let start ?(registry = Registry.default) ?(capacity = 512) ~interval_s () =
+  if interval_s <= 0.0 then invalid_arg "Obs.Sampler: interval_s must be > 0";
+  if capacity <= 0 then invalid_arg "Obs.Sampler: capacity must be > 0";
+  let t =
+    {
+      registry;
+      interval_s;
+      lock = Mutex.create ();
+      rows = Array.make capacity None;
+      next = 0;
+      total = 0;
+      rates = Hashtbl.create 32;
+      stop_flag = Atomic.make false;
+      dom = None;
+    }
+  in
+  t.dom <- Some (Domain.spawn (loop t));
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  match t.dom with
+  | None -> ()
+  | Some d ->
+    Domain.join d;
+    t.dom <- None
+
+(** Rows currently retained, oldest first. *)
+let samples t =
+  Mutex.lock t.lock;
+  let n = Array.length t.rows in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match t.rows.((t.next + i) mod n) with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  Mutex.unlock t.lock;
+  !out
+
+(** Total ticks taken (including rows that have since been overwritten). *)
+let ticks t =
+  Mutex.lock t.lock;
+  let v = t.total in
+  Mutex.unlock t.lock;
+  v
+
+(** Per-counter rate statistics accumulated so far, name-sorted.  Each
+    entry is a snapshot copy of the Welford state, safe to read after the
+    sampler keeps running. *)
+let rates t =
+  Mutex.lock t.lock;
+  let l =
+    Hashtbl.fold
+      (fun name w acc -> (name, Nowa_util.Stats.Welford.copy w) :: acc)
+      t.rates []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l

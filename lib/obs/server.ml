@@ -1,0 +1,102 @@
+(** Line-oriented TCP exposition endpoint.
+
+    Speaks just enough HTTP for [curl host:port/metrics] and a
+    Prometheus scraper: read one request line, answer with an HTTP/1.0
+    [200] carrying the text exposition of the registry, close.  The
+    accept loop runs on its own domain and polls with a short [select]
+    timeout so [stop] converges quickly. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stop_flag : bool Atomic.t;
+  dom : unit Domain.t;
+}
+
+(* "HOST:PORT", ":PORT" or bare "PORT"; host defaults to 127.0.0.1. *)
+let parse_addr s =
+  let host, port_s =
+    match String.rindex_opt s ':' with
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> ("", s)
+  in
+  let host = if host = "" then "127.0.0.1" else host in
+  match int_of_string_opt port_s with
+  | Some p when p >= 0 && p <= 65535 -> (
+    match Unix.inet_addr_of_string host with
+    | ip -> Ok (ip, p)
+    | exception _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Error (Printf.sprintf "cannot resolve host %S" host)
+      | h -> Ok (h.Unix.h_addr_list.(0), p)))
+  | _ ->
+    Error
+      (Printf.sprintf "malformed metrics address %S (expected [HOST:]PORT)" s)
+
+let respond registry client =
+  (* Drain the request line; content is irrelevant, every path gets the
+     full exposition. *)
+  (try ignore (Unix.read client (Bytes.create 1024) 0 1024)
+   with Unix.Unix_error _ -> ());
+  let body = Expose.to_prometheus ?registry () in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4\r\n\
+       Content-Length: %d\r\n\
+       \r\n\
+       %s"
+      (String.length body) body
+  in
+  let b = Bytes.of_string resp in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       off := !off + Unix.write client b !off (n - !off)
+     done
+   with Unix.Unix_error _ -> ());
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let accept_loop registry sock stop_flag () =
+  while not (Atomic.get stop_flag) do
+    match Unix.select [ sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept sock with
+      | client, _ -> respond registry client
+      | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ ->
+      (* Listening socket closed by [stop]. *)
+      Atomic.set stop_flag true
+  done
+
+let start ?registry ~addr () =
+  match parse_addr addr with
+  | Error _ as e -> e
+  | Ok (ip, port) -> (
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    match Unix.bind sock (Unix.ADDR_INET (ip, port)) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot bind %s: %s" addr (Unix.error_message e))
+    | () ->
+      Unix.listen sock 16;
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let stop_flag = Atomic.make false in
+      let dom = Domain.spawn (accept_loop registry sock stop_flag) in
+      Ok { sock; port; stop_flag; dom })
+
+let port t = t.port
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  Domain.join t.dom

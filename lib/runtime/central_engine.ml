@@ -130,6 +130,7 @@ end) : Runtime_intf.S = struct
               { id = i; m = Metrics.make_worker i; tr = ring_for i; depth = 0 });
       }
     in
+    Metrics.publish (Array.map (fun w -> w.m) pool.workers);
     let result = ref None in
     let root =
       Task

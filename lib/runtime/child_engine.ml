@@ -191,6 +191,7 @@ module Make
               });
       }
     in
+    Metrics.publish (Array.map (fun w -> w.m) pool.workers);
     let result = ref None in
     let root =
       Task

@@ -307,6 +307,19 @@ module Make
               });
       }
     in
+    (* Expose this run's counters live: scrapes read the worker records
+       and pool getters while the computation runs. *)
+    let stack_stats () =
+      {
+        Metrics.allocated_stacks = Stack_pool.allocated_stacks pool.stacks;
+        live_stacks = Stack_pool.live_stacks pool.stacks;
+        max_rss_pages = Stack_pool.max_rss_pages pool.stacks;
+        madvise_calls = Stack_pool.madvise_calls pool.stacks;
+        pool_hits = Stack_pool.global_pool_hits pool.stacks;
+      }
+    in
+    Metrics.publish ~stacks:stack_stats
+      (Array.map (fun w -> w.m) pool.workers);
     let result = ref None in
     let root =
       Root
@@ -370,14 +383,7 @@ module Make
            hand out for draining. *)
         last_trace_ref := trace;
         if conf.Config.collect_metrics then begin
-          let stacks =
-            {
-              Metrics.live_stacks = Stack_pool.live_stacks pool.stacks;
-              max_rss_pages = Stack_pool.max_rss_pages pool.stacks;
-              madvise_calls = Stack_pool.madvise_calls pool.stacks;
-              pool_hits = Stack_pool.global_pool_hits pool.stacks;
-            }
-          in
+          let stacks = stack_stats () in
           last_metrics_ref :=
             Some
               (Metrics.make ~stacks

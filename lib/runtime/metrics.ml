@@ -13,6 +13,7 @@ type worker = {
 }
 
 type stack_stats = {
+  allocated_stacks : int;
   live_stacks : int;
   max_rss_pages : int;
   madvise_calls : int;
@@ -48,7 +49,7 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>workers=%d elapsed=%.4fs spawns=%d steals=%d attempts=%d \
      lost-conts=%d suspensions=%d fast-syncs=%d resumes=%d tasks=%d \
-     stack-acq=%d@]"
+     stack-acq=%d"
     (Array.length t.workers) t.elapsed_s
     (total t (fun w -> w.spawns))
     (total t (fun w -> w.steals))
@@ -58,4 +59,111 @@ let pp ppf t =
     (total t (fun w -> w.fast_syncs))
     (total t (fun w -> w.resumes))
     (total t (fun w -> w.tasks))
-    (total t (fun w -> w.stack_acquires))
+    (total t (fun w -> w.stack_acquires));
+  (match t.stacks with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf
+      "@,stacks: allocated=%d live=%d max-rss=%d pages madvise=%d \
+       pool-hits=%d"
+      s.allocated_stacks s.live_stacks s.max_rss_pages s.madvise_calls
+      s.pool_hits);
+  Format.fprintf ppf "@]"
+
+(* -- live registry source ------------------------------------------------- *)
+
+(* The engines publish their per-worker records here when a run starts;
+   a collector registered once on [Nowa_obs.Registry.default] reads them
+   on every scrape.  The worker fields are plain mutable ints written by
+   their owning worker; a scrape reads them from another domain without
+   synchronisation, which in the OCaml memory model yields some
+   recently-written value per field (no tearing on immediates) — exactly
+   the relaxed-read contract the obs layer documents.  The source is
+   replaced wholesale per run and deliberately left in place after the
+   join so end-of-process dumps still see the final totals. *)
+
+type source = {
+  src_workers : worker array;
+  src_stacks : (unit -> stack_stats) option;
+}
+
+let live_source : source option Atomic.t = Atomic.make None
+
+let publish ?stacks workers =
+  Atomic.set live_source (Some { src_workers = workers; src_stacks = stacks })
+
+let collect () =
+  match Atomic.get live_source with
+  | None -> []
+  | Some { src_workers; src_stacks } ->
+    let sum f = Array.fold_left (fun acc w -> acc + f w) 0 src_workers in
+    let counter name help f =
+      {
+        Nowa_obs.Registry.name;
+        help;
+        value = Nowa_obs.Registry.Counter (float_of_int (sum f));
+      }
+    in
+    let gauge name help v =
+      {
+        Nowa_obs.Registry.name;
+        help;
+        value = Nowa_obs.Registry.Gauge (float_of_int v);
+      }
+    in
+    let scheduler =
+      [
+        gauge "nowa_scheduler_workers" "Workers in the current/last run."
+          (Array.length src_workers);
+        counter "nowa_scheduler_spawns_total" "Spawn points executed."
+          (fun w -> w.spawns);
+        counter "nowa_scheduler_steals_total" "Successful steals committed."
+          (fun w -> w.steals);
+        counter "nowa_scheduler_steal_attempts_total"
+          "Steal attempts including failures." (fun w -> w.steal_attempts);
+        counter "nowa_scheduler_lost_continuations_total"
+          "Pops that lost their continuation to a thief (implicit syncs)."
+          (fun w -> w.lost_continuations);
+        counter "nowa_scheduler_suspensions_total"
+          "Explicit syncs that had to suspend." (fun w -> w.suspensions);
+        counter "nowa_scheduler_fast_syncs_total"
+          "Explicit syncs satisfied immediately." (fun w -> w.fast_syncs);
+        counter "nowa_scheduler_resumes_total"
+          "Suspended frames resumed." (fun w -> w.resumes);
+        counter "nowa_scheduler_tasks_total"
+          "Tasks executed from the scheduler loop." (fun w -> w.tasks);
+        counter "nowa_scheduler_stack_acquires_total"
+          "Stack-pool acquisitions." (fun w -> w.stack_acquires);
+        counter "nowa_scheduler_stack_releases_total"
+          "Stack-pool releases." (fun w -> w.stack_releases);
+      ]
+    in
+    let stacks =
+      match src_stacks with
+      | None -> []
+      | Some f ->
+        let s = f () in
+        let pool_counter name help v =
+          {
+            Nowa_obs.Registry.name;
+            help;
+            value = Nowa_obs.Registry.Counter (float_of_int v);
+          }
+        in
+        [
+          pool_counter "nowa_stacks_allocated_total"
+            "Simulated cactus stacks ever allocated." s.allocated_stacks;
+          gauge "nowa_stacks_live" "Stacks currently checked out."
+            s.live_stacks;
+          gauge "nowa_stacks_max_rss_pages"
+            "Resident-page watermark of the stack pool." s.max_rss_pages;
+          pool_counter "nowa_stacks_madvise_calls_total"
+            "Simulated madvise() calls." s.madvise_calls;
+          pool_counter "nowa_stacks_pool_hits_total"
+            "Stack acquisitions that crossed the global pool lock."
+            s.pool_hits;
+        ]
+    in
+    scheduler @ stacks
+
+let () = Nowa_obs.Registry.register_collector collect

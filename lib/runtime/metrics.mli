@@ -18,7 +18,8 @@ type worker = {
 }
 
 type stack_stats = {
-  live_stacks : int;  (** stacks ever allocated *)
+  allocated_stacks : int;  (** stacks ever allocated *)
+  live_stacks : int;  (** stacks currently checked out of the pool *)
   max_rss_pages : int;  (** resident-page watermark (Table II) *)
   madvise_calls : int;
   pool_hits : int;  (** acquisitions that crossed the global pool lock *)
@@ -39,3 +40,13 @@ val total : t -> (worker -> int) -> int
 (** Sum a counter over all workers. *)
 
 val pp : Format.formatter -> t -> unit
+
+val publish : ?stacks:(unit -> stack_stats) -> worker array -> unit
+(** Make the given per-worker records (and optionally a stack-stats
+    closure) the live source behind the [nowa_scheduler_*] /
+    [nowa_stacks_*] metrics on {!Nowa_obs.Registry.default}.  Called by
+    an engine when a run starts; scrapes then read the workers' plain
+    mutable counters relaxed, cross-domain — approximate while running,
+    exact once the worker domains have joined.  Each call replaces the
+    previous source; the last run's totals stay visible after the join
+    so end-of-process dumps are meaningful. *)

@@ -11,7 +11,8 @@ type t = {
   mutable global : stack list;  (* protected by [lock] *)
   caches : stack list ref array;  (* owner-only local caches *)
   next_id : int Atomic.t;
-  live : int Atomic.t;
+  allocated : int Atomic.t;  (* stacks ever created; bounds Cilk-style limits *)
+  live : int Atomic.t;  (* stacks currently checked out *)
   rss : int Atomic.t;
   max_rss : int Atomic.t;
   madvises : int Atomic.t;
@@ -19,13 +20,21 @@ type t = {
   pool_hits : int Atomic.t;
 }
 
+(* Pool-lock contention gets its own histogram, distinct from the frame
+   locks': the cholesky bottleneck of Section V-A is exactly this lock. *)
+let lock_spins =
+  Nowa_obs.Registry.histogram "nowa_stacks_lock_spins"
+    ~help:
+      "Spin-relax rounds per contended global stack-pool lock acquisition."
+
 let create conf =
   {
     conf;
-    lock = Nowa_sync.Spinlock.create ();
+    lock = Nowa_sync.Spinlock.create ~spins:lock_spins ();
     global = [];
     caches = Array.init conf.Config.workers (fun _ -> ref []);
     next_id = Atomic.make 0;
+    allocated = Atomic.make 0;
     live = Atomic.make 0;
     rss = Atomic.make 0;
     max_rss = Atomic.make 0;
@@ -65,7 +74,7 @@ let madvise t stack =
   end
 
 let fresh t =
-  ignore (Atomic.fetch_and_add t.live 1);
+  ignore (Atomic.fetch_and_add t.allocated 1);
   let s =
     {
       stack_id = Atomic.fetch_and_add t.next_id 1;
@@ -88,7 +97,7 @@ let refault t s =
     end
   end
 
-let rec acquire t ~worker =
+let rec acquire_stack t ~worker =
   let cache = t.caches.(worker) in
   match !cache with
   | s :: rest ->
@@ -112,14 +121,20 @@ let rec acquire t ~worker =
       s
     | None -> (
       match t.conf.Config.stack_limit with
-      | Some limit when Atomic.get t.live >= limit ->
+      | Some limit when Atomic.get t.allocated >= limit ->
         (* Cilk Plus-style stall: wait until a stack is recirculated. *)
         Domain.cpu_relax ();
         Unix.sleepf 0.0;
-        acquire t ~worker
+        acquire_stack t ~worker
       | _ -> fresh t))
 
+let acquire t ~worker =
+  let s = acquire_stack t ~worker in
+  ignore (Atomic.fetch_and_add t.live 1);
+  s
+
 let release t ~worker stack =
+  ignore (Atomic.fetch_and_add t.live (-1));
   sync_rss t stack;
   if t.conf.Config.madvise then madvise t stack;
   let cache = t.caches.(worker) in
@@ -137,6 +152,7 @@ let suspend t stack =
 
 let reactivate = refault
 
+let allocated_stacks t = Atomic.get t.allocated
 let live_stacks t = Atomic.get t.live
 let current_rss_pages t = Atomic.get t.rss
 let max_rss_pages t = Atomic.get t.max_rss

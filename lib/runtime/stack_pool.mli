@@ -59,7 +59,13 @@ val sync_rss : t -> stack -> unit
     and watermark.  Called at pool-crossing events to keep the hot path
     free of shared-counter traffic. *)
 
+val allocated_stacks : t -> int
+(** Stacks ever created by this pool (never decreases; with a
+    {!Config.t.stack_limit} this is the bounded quantity). *)
+
 val live_stacks : t -> int
+(** Stacks currently checked out ([acquire]d and not yet [release]d). *)
+
 val current_rss_pages : t -> int
 val max_rss_pages : t -> int
 val madvise_calls : t -> int

@@ -16,7 +16,11 @@ type t = { lock : Spinlock.t; mutable count : int }
 
 let name = "lock-based"
 
-let create () = { lock = Spinlock.create (); count = 0 }
+(* Frame locks get their own wait histogram so scrapes can tell frame
+   contention (the Figure 6 race resolved the lock-based way) apart from
+   infrastructure locks like the stack pool's. *)
+let create () =
+  { lock = Spinlock.create ~spins:Sync_metrics.frame_lock_spins (); count = 0 }
 
 let note_steal t =
   Spinlock.acquire t.lock;

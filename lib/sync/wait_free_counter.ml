@@ -32,11 +32,26 @@ let create () = { alpha = 0; counter = Nowa_util.Padding.atomic i_max }
 
 let note_steal _ = ()
 
-let note_resume t = t.alpha <- t.alpha + 1
+(* The Sync_metrics observations below are steal-proportional: each of
+   these operations runs at most once per stolen continuation (plus one
+   restore per forked sync), never on the spawn fast path.  The retry
+   histogram always records 0 — each operation is exactly one RMW — which
+   is the point: scraped side by side with the lock counter's spin
+   histogram it shows the wait-free fast path staying flat under
+   contention (paper Figures 6–8). *)
+let note_resume t =
+  t.alpha <- t.alpha + 1;
+  Nowa_obs.Counter.incr Sync_metrics.wfc_resumes;
+  Nowa_obs.Histogram.observe Sync_metrics.wfc_rmw_retries 0
 
-let child_joined t = Atomic.fetch_and_add t.counter (-1) = 1
+let child_joined t =
+  Nowa_obs.Counter.incr Sync_metrics.wfc_joins;
+  Nowa_obs.Histogram.observe Sync_metrics.wfc_rmw_retries 0;
+  Atomic.fetch_and_add t.counter (-1) = 1
 
 let reach_sync t =
+  Nowa_obs.Counter.incr Sync_metrics.wfc_syncs;
+  Nowa_obs.Histogram.observe Sync_metrics.wfc_rmw_retries 0;
   let delta = t.alpha - i_max in
   Atomic.fetch_and_add t.counter delta + delta = 0
 

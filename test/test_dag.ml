@@ -296,6 +296,87 @@ let test_clamp_work_empty_and_uniform () =
   let d = diamond ~child_work:50.0 ~cont_work:50.0 in
   Alcotest.(check int) "uniform costs unclamped" 0 (D.Dag.clamp_work d)
 
+(* -- scalability (burdened analysis) -------------------------------------- *)
+
+(* In the diamond the burdened critical path is root -> spawn ->(child
+   edge, free) child ->(child sync arrival, +b) sync -> tail, so the
+   burdened span is span + b; the continuation path picks up the
+   spawn-continuation burden instead but stays shorter. *)
+let test_burdened_span_diamond () =
+  let d = diamond ~child_work:100.0 ~cont_work:30.0 in
+  let r0 = D.Scalability.analyze ~burden_ns:0.0 d in
+  Alcotest.(check (float 1e-9)) "burden 0 equals Dag.span" (D.Dag.span d)
+    r0.D.Scalability.burdened_span_ns;
+  Alcotest.(check (float 1e-9)) "burden 0 parallelism" (D.Dag.parallelism d)
+    r0.D.Scalability.burdened_parallelism;
+  let r = D.Scalability.analyze ~burden_ns:50.0 d in
+  Alcotest.(check (float 1e-9)) "burdened span = span + one join burden"
+    (115.0 +. 50.0) r.D.Scalability.burdened_span_ns;
+  Alcotest.(check (float 1e-9)) "work unchanged" 145.0 r.D.Scalability.work_ns
+
+let test_burdened_span_monotone () =
+  let d = diamond ~child_work:100.0 ~cont_work:30.0 in
+  let spans =
+    List.map
+      (fun b -> (D.Scalability.analyze ~burden_ns:b d).D.Scalability.burdened_span_ns)
+      [ 0.0; 10.0; 50.0; 200.0; 1000.0 ]
+  in
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "non-decreasing in burden" true (a <= b);
+      check_sorted rest
+    | _ -> ()
+  in
+  check_sorted spans;
+  Alcotest.(check bool) "burden > 0 is >= span" true
+    (List.for_all (fun s -> s >= D.Dag.span d) spans)
+
+let test_burdened_span_serial_chain () =
+  (* No spawn/sync edges: burden never applies, any burden leaves the
+     span untouched. *)
+  let d = D.Dag.create () in
+  let prev = ref (D.Dag.add_strand d ~work:2.0) in
+  D.Dag.set_root d !prev;
+  for _ = 1 to 100 do
+    let v = D.Dag.add_strand d ~work:2.0 in
+    D.Dag.add_edge d !prev v;
+    prev := v
+  done;
+  D.Dag.set_final d !prev;
+  let r = D.Scalability.analyze ~burden_ns:500.0 d in
+  Alcotest.(check (float 1e-9)) "chain is burden-free" (D.Dag.span d)
+    r.D.Scalability.burdened_span_ns
+
+let test_scalability_bounds () =
+  let d = diamond ~child_work:100.0 ~cont_work:30.0 in
+  let r = D.Scalability.analyze ~burden_ns:50.0 d in
+  (* Upper: min(P, T1/Tinf) with the plain span. *)
+  Alcotest.(check (float 1e-9)) "upper at P=1" 1.0
+    (D.Scalability.bound_upper r ~workers:1);
+  Alcotest.(check (float 1e-6)) "upper saturates at parallelism"
+    (145.0 /. 115.0)
+    (D.Scalability.bound_upper r ~workers:256);
+  (* Lower: T1 / (T1/P + burdened span). *)
+  Alcotest.(check (float 1e-6)) "lower at P=2"
+    (145.0 /. ((145.0 /. 2.0) +. 165.0))
+    (D.Scalability.bound_lower r ~workers:2);
+  Alcotest.(check bool) "lower <= upper" true
+    (D.Scalability.bound_lower r ~workers:8
+    <= D.Scalability.bound_upper r ~workers:8)
+
+let test_critical_strands () =
+  let d = diamond ~child_work:100.0 ~cont_work:30.0 in
+  match D.Scalability.critical_strands ~burden_ns:50.0 ~top:2 d with
+  | first :: _ as strands ->
+    Alcotest.(check int) "at most top" 2 (List.length strands);
+    (* The heaviest strand on the burdened critical path is the child
+       (work 100); its share is 100 / 165. *)
+    Alcotest.(check (float 1e-9)) "heaviest strand work" 100.0
+      first.D.Scalability.work_ns;
+    Alcotest.(check (float 1e-6)) "share of burdened span" (100.0 /. 165.0)
+      first.D.Scalability.share
+  | [] -> Alcotest.fail "critical path must contain strands"
+
 let test_cost_model_registry () =
   Alcotest.(check int) "eight models" 8 (List.length D.Cost_model.all);
   let m = D.Cost_model.find "fibril" in
@@ -312,6 +393,15 @@ let () =
           Alcotest.test_case "diamond analysis" `Quick test_diamond_analysis;
           Alcotest.test_case "validate broken" `Quick test_validate_catches_broken_dags;
           Alcotest.test_case "growth" `Quick test_growth_beyond_initial_capacity;
+        ] );
+      ( "scalability",
+        [
+          Alcotest.test_case "burdened diamond" `Quick test_burdened_span_diamond;
+          Alcotest.test_case "burden monotone" `Quick test_burdened_span_monotone;
+          Alcotest.test_case "serial chain burden-free" `Quick
+            test_burdened_span_serial_chain;
+          Alcotest.test_case "speedup bounds" `Quick test_scalability_bounds;
+          Alcotest.test_case "critical strands" `Quick test_critical_strands;
         ] );
       ( "recorder",
         [

@@ -1,0 +1,250 @@
+(* Tests for the live observability layer: metric primitives, registry
+   snapshots under concurrent writers, Prometheus exposition (golden),
+   the TCP endpoint while a real Nowa computation runs, and the
+   background sampler. *)
+
+module Obs = Nowa_obs
+
+(* -- counters under concurrency ------------------------------------------ *)
+
+let test_counter_concurrent_snapshots () =
+  let registry = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry "test_ops_total" ~help:"ops" in
+  let per_domain = 100_000 and domains = 4 in
+  let value_of_snapshot () =
+    match
+      List.find_opt
+        (fun (s : Obs.Registry.sample) -> s.name = "test_ops_total")
+        (Obs.Registry.snapshot ~registry ())
+    with
+    | Some { value = Obs.Registry.Counter v; _ } -> int_of_float v
+    | _ -> Alcotest.fail "counter sample missing"
+  in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c
+            done))
+  in
+  (* Relaxed snapshots while the writers run: each must be within range
+     and the sequence monotone (counters never go backwards). *)
+  let last = ref 0 in
+  for _ = 1 to 50 do
+    let v = value_of_snapshot () in
+    Alcotest.(check bool) "snapshot in range"
+      true
+      (v >= !last && v <= domains * per_domain);
+    last := v
+  done;
+  List.iter Domain.join ds;
+  (* Quiescent: the sum is exact, nothing was lost to sharding. *)
+  Alcotest.(check int) "exact total after join" (domains * per_domain)
+    (Obs.Counter.value c)
+
+let test_gauge () =
+  let g = Obs.Gauge.create "test_gauge" in
+  Obs.Gauge.set g 42;
+  Obs.Gauge.add g (-2);
+  Alcotest.(check int) "set/add" 40 (Obs.Gauge.value g);
+  Obs.Gauge.decr g;
+  Alcotest.(check int) "decr" 39 (Obs.Gauge.value g)
+
+let test_registry_duplicate_rejected () =
+  let registry = Obs.Registry.create () in
+  let _ = Obs.Registry.counter ~registry "dup" in
+  match Obs.Registry.gauge ~registry "dup" with
+  | _ -> Alcotest.fail "duplicate registration must raise"
+  | exception Invalid_argument _ -> ()
+
+(* -- histogram bucket boundaries ----------------------------------------- *)
+
+let test_histogram_buckets () =
+  let h = Obs.Histogram.create "test_hist" in
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 2; 3; 4; 7; 8 ];
+  let s = Obs.Histogram.snapshot h in
+  (* Bucket i >= 1 covers [2^(i-1), 2^i): 0 | 1 | 2-3 | 4-7 | 8-15. *)
+  Alcotest.(check int) "bucket 0 (v<=0)" 1 s.Obs.Histogram.counts.(0);
+  Alcotest.(check int) "bucket 1 (v=1)" 1 s.Obs.Histogram.counts.(1);
+  Alcotest.(check int) "bucket 2 (2-3)" 2 s.Obs.Histogram.counts.(2);
+  Alcotest.(check int) "bucket 3 (4-7)" 2 s.Obs.Histogram.counts.(3);
+  Alcotest.(check int) "bucket 4 (8-15)" 1 s.Obs.Histogram.counts.(4);
+  Alcotest.(check int) "count" 7 s.Obs.Histogram.count;
+  Alcotest.(check (float 1e-9)) "sum" 25.0 s.Obs.Histogram.sum;
+  (* Inclusive upper bounds are 2^i - 1. *)
+  Alcotest.(check (float 1e-9)) "le(0)" 0.0 s.Obs.Histogram.le.(0);
+  Alcotest.(check (float 1e-9)) "le(3)" 7.0 s.Obs.Histogram.le.(3);
+  (* Median of {0,1,2,3,4,7,8} lies in bucket 2, upper bound 3. *)
+  Alcotest.(check (float 1e-9)) "p50 bucket bound" 3.0
+    (Obs.Histogram.percentile h 0.5);
+  (* Values beyond the last bucket boundary are clamped, not dropped. *)
+  Obs.Histogram.observe h max_int;
+  Alcotest.(check int) "overflow clamped into last bucket" 8
+    (Obs.Histogram.count h)
+
+let test_histogram_empty_percentile () =
+  let h = Obs.Histogram.create "test_empty" in
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Obs.Histogram.percentile h 0.99))
+
+(* -- Prometheus exposition (golden) -------------------------------------- *)
+
+let test_prometheus_golden () =
+  let registry = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry "test_requests_total" ~help:"Total requests." in
+  Obs.Counter.add c 3;
+  let g = Obs.Registry.gauge ~registry "test_temp" in
+  Obs.Gauge.set g 7;
+  let h = Obs.Registry.histogram ~registry "test_lat" ~help:"Latency." in
+  Obs.Histogram.observe h 1;
+  Obs.Histogram.observe h 3;
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP test_lat Latency.";
+        "# TYPE test_lat histogram";
+        "test_lat_bucket{le=\"0\"} 0";
+        "test_lat_bucket{le=\"1\"} 1";
+        "test_lat_bucket{le=\"3\"} 2";
+        "test_lat_bucket{le=\"+Inf\"} 2";
+        "test_lat_sum 4";
+        "test_lat_count 2";
+        "# HELP test_requests_total Total requests.";
+        "# TYPE test_requests_total counter";
+        "test_requests_total 3";
+        "# TYPE test_temp gauge";
+        "test_temp 7";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition" expected
+    (Obs.Expose.to_prometheus ~registry ())
+
+(* -- TCP endpoint while a computation runs ------------------------------- *)
+
+let http_get ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write sock req 0 (Bytes.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents buf)
+
+let rec fib n =
+  if n < 2 then n
+  else
+    Nowa.scope (fun sc ->
+        let a = Nowa.spawn sc (fun () -> fib (n - 1)) in
+        let b = fib (n - 2) in
+        Nowa.sync sc;
+        Nowa.get a + b)
+
+let test_server_scrape_during_run () =
+  match Obs.Server.start ~addr:"127.0.0.1:0" () with
+  | Error e -> Alcotest.failf "server start: %s" e
+  | Ok server ->
+    Fun.protect
+      ~finally:(fun () -> Obs.Server.stop server)
+      (fun () ->
+        let port = Obs.Server.port server in
+        (* Run a real computation on a separate domain and scrape the
+           default registry while its workers are live. *)
+        let runner =
+          Domain.spawn (fun () ->
+              let conf = Nowa.Config.with_workers 2 in
+              Nowa.run ~conf (fun () -> fib 27))
+        in
+        let body = http_get ~port in
+        let result = Domain.join runner in
+        Alcotest.(check int) "computation correct" 196418 result;
+        Alcotest.(check bool) "HTTP 200" true
+          (String.length body > 0
+          && String.sub body 0 15 = "HTTP/1.0 200 OK");
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "serves scheduler counters" true
+          (contains body "nowa_scheduler_spawns_total");
+        Alcotest.(check bool) "serves sync histograms" true
+          (contains body "nowa_sync_wfc_rmw_retries_bucket");
+        (* A second scrape must also succeed (server loops). *)
+        let body2 = http_get ~port in
+        Alcotest.(check bool) "second scrape" true
+          (contains body2 "nowa_scheduler_workers"))
+
+let test_server_malformed_addr () =
+  (match Obs.Server.parse_addr "notaport" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse");
+  (match Obs.Server.parse_addr "127.0.0.1:99999" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range port must not parse");
+  match Obs.Server.parse_addr "9090" with
+  | Ok (_, 9090) -> ()
+  | _ -> Alcotest.fail "bare port must parse"
+
+(* -- sampler -------------------------------------------------------------- *)
+
+let test_sampler_rates () =
+  let registry = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry "test_ticks_total" in
+  let sampler = Obs.Sampler.start ~registry ~interval_s:0.01 () in
+  for _ = 1 to 10 do
+    Obs.Counter.add c 100;
+    Unix.sleepf 0.015
+  done;
+  Obs.Sampler.stop sampler;
+  Alcotest.(check bool) "took several samples" true
+    (Obs.Sampler.ticks sampler >= 3);
+  Alcotest.(check bool) "rows retained" true
+    (List.length (Obs.Sampler.samples sampler) >= 3);
+  match List.assoc_opt "test_ticks_total" (Obs.Sampler.rates sampler) with
+  | None -> Alcotest.fail "no rate accumulated for the counter"
+  | Some w ->
+    Alcotest.(check bool) "rate observations" true
+      (Nowa_util.Stats.Welford.count w >= 1);
+    Alcotest.(check bool) "rate positive" true
+      (Nowa_util.Stats.Welford.mean w > 0.0)
+
+let () =
+  Alcotest.run "nowa_obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "concurrent snapshots" `Quick
+            test_counter_concurrent_snapshots;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_registry_duplicate_rejected;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "empty percentile" `Quick
+            test_histogram_empty_percentile;
+        ] );
+      ( "expose",
+        [ Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden ] );
+      ( "server",
+        [
+          Alcotest.test_case "scrape during run" `Quick
+            test_server_scrape_during_run;
+          Alcotest.test_case "malformed addr" `Quick test_server_malformed_addr;
+        ] );
+      ("sampler", [ Alcotest.test_case "rates" `Quick test_sampler_rates ]);
+    ]
