@@ -381,6 +381,183 @@ let scalability ~opts () =
         strands)
     [ "fib"; "matmul" ]
 
+(* -- causal profile: time ledger, convoys, what-if sensitivity ----------- *)
+
+module Wsim = Nowa_dag.Wsim
+module Convoy = Nowa_dag.Convoy
+module Causal = Nowa_dag.Causal
+
+(* Coarser factor grid than [Causal.default_factors]: the experiment runs
+   |factors| x |knobs| x |models| x |benchmarks| simulations. *)
+let causal_factors = [ 0.0; 0.5; 1.0; 2.0 ]
+
+let causal_models = [ CM.nowa; CM.cilkplus; CM.gomp ]
+let causal_benchmarks = [ "fib"; "nqueens" ]
+
+let conservation_rel_err (l : Wsim.ledger) ~workers =
+  let expect = float_of_int workers *. l.Wsim.horizon_ns in
+  if expect > 0.0 then Float.abs (Wsim.ledger_total l -. expect) /. expect
+  else 0.0
+
+let causal ~opts () =
+  section "Causal profile: time ledger, convoy detection, what-if sensitivity";
+  let workers = List.fold_left max 1 opts.sim_workers in
+  let summary = Buffer.create 1024 in
+  Buffer.add_string summary "[\n";
+  let first_entry = ref true in
+  (* lock-cost zero-gain per (bench, model), for the headline comparison *)
+  let lock_gains = ref [] in
+  List.iter
+    (fun bench ->
+      let dag = recorded_dag ~opts bench in
+      let out = Buffer.create 8192 in
+      Printf.bprintf out "{ \"bench\": %S, \"workers\": %d, \"models\": [\n"
+        bench workers;
+      let first_model = ref true in
+      List.iter
+        (fun (m : CM.t) ->
+          subsection
+            (Printf.sprintf "%s under %s, %d virtual workers" bench m.CM.cname
+               workers);
+          let r = Wsim.simulate ~detail:true m ~workers dag in
+          Format.printf "%a@." Wsim.pp_ledger r.Wsim.ledger;
+          let header =
+            [ "resource"; "acq"; "contended"; "wait (us)"; "hold (us)" ]
+          in
+          let rows =
+            List.filter_map
+              (fun (s : Wsim.resource_stats) ->
+                if s.Wsim.acquisitions = 0 then None
+                else
+                  Some
+                    [
+                      Wsim.resource_class_name s.Wsim.rclass;
+                      string_of_int s.Wsim.acquisitions;
+                      string_of_int s.Wsim.contended;
+                      Printf.sprintf "%.1f" (s.Wsim.wait_ns /. 1e3);
+                      Printf.sprintf "%.1f" (s.Wsim.hold_ns /. 1e3);
+                    ])
+              r.Wsim.resources
+          in
+          Nowa_util.Table.print ~header rows;
+          let convoys = Convoy.detect r.Wsim.acquisitions in
+          if convoys = [] then
+            Printf.printf "no convoys (queue depth never reached 4)\n"
+          else begin
+            Printf.printf "top convoys:\n";
+            List.iter (fun c -> Format.printf "  %a@." Convoy.pp c) convoys
+          end;
+          let knobs =
+            Causal.model_knobs
+            @
+            match Causal.hottest_strand dag with
+            | Some v -> [ Causal.Strand_work v ]
+            | None -> []
+          in
+          let ranking =
+            Causal.rank ~factors:causal_factors m ~workers dag knobs
+          in
+          Printf.printf "what-if sensitivity (virtual speedup of zeroing each cost):\n";
+          List.iter
+            (fun (x : Causal.experiment) ->
+              Printf.printf "  %-12s %+7.2f%%\n"
+                (Causal.knob_name x.Causal.knob)
+                x.Causal.zero_gain_pct)
+            ranking;
+          (match
+             List.find_opt (fun x -> x.Causal.knob = Causal.Lock_cost) ranking
+           with
+          | Some x ->
+            lock_gains := (bench, m.CM.cname, x.Causal.zero_gain_pct) :: !lock_gains
+          | None -> ());
+          (* -- JSON ------------------------------------------------- *)
+          if not !first_model then Buffer.add_string out ",\n";
+          first_model := false;
+          let l = r.Wsim.ledger in
+          let err = conservation_rel_err l ~workers:r.Wsim.workers in
+          Printf.bprintf out
+            "  { \"model\": %S, \"makespan_ns\": %.1f, \"speedup\": %.3f,\n"
+            m.CM.cname r.Wsim.makespan_ns r.Wsim.speedup;
+          Printf.bprintf out "    \"ledger\": { %s },\n"
+            (String.concat ", "
+               (List.map
+                  (fun c ->
+                    Printf.sprintf "%S: %.1f" (Wsim.category_name c)
+                      (Wsim.ledger_category l c))
+                  Wsim.categories));
+          Printf.bprintf out
+            "    \"conservation_rel_err\": %.3e, \"partial\": %b,\n" err
+            l.Wsim.lpartial;
+          Printf.bprintf out "    \"convoys\": [ %s ],\n"
+            (String.concat ", "
+               (List.map
+                  (fun (c : Convoy.t) ->
+                    Printf.sprintf
+                      "{ \"resource\": %S, \"start_ns\": %.1f, \
+                       \"duration_ns\": %.1f, \"peak\": %d, \
+                       \"participants\": %d, \"serialized_ns\": %.1f }"
+                      (Convoy.resource_name c.Convoy.resource)
+                      c.Convoy.start_ns (Convoy.duration_ns c) c.Convoy.peak
+                      c.Convoy.participants c.Convoy.serialized_ns)
+                  convoys));
+          Printf.bprintf out "    \"sensitivity\": [ %s ] }"
+            (String.concat ",\n      "
+               (List.map
+                  (fun (x : Causal.experiment) ->
+                    Printf.sprintf
+                      "{ \"knob\": %S, \"zero_gain_pct\": %.3f, \"points\": [ %s ] }"
+                      (Causal.knob_name x.Causal.knob)
+                      x.Causal.zero_gain_pct
+                      (String.concat ", "
+                         (List.map
+                            (fun (p : Causal.point) ->
+                              Printf.sprintf
+                                "{ \"factor\": %g, \"makespan_ns\": %.1f, \
+                                 \"gain_pct\": %.3f }"
+                                p.Causal.factor p.Causal.makespan_ns
+                                p.Causal.gain_pct)
+                            x.Causal.points)))
+                  ranking));
+          let top =
+            match ranking with
+            | x :: _ -> Causal.knob_name x.Causal.knob
+            | [] -> "none"
+          in
+          let lock_gain =
+            match
+              List.find_opt (fun x -> x.Causal.knob = Causal.Lock_cost) ranking
+            with
+            | Some x -> x.Causal.zero_gain_pct
+            | None -> 0.0
+          in
+          if not !first_entry then Buffer.add_string summary ",\n";
+          first_entry := false;
+          Printf.bprintf summary
+            "  { \"bench\": %S, \"model\": %S, \"workers\": %d, \
+             \"makespan_ns\": %.1f, \"lock_cost_zero_gain_pct\": %.3f, \
+             \"top_knob\": %S, \"convoys\": %d, \"conservation_rel_err\": \
+             %.3e }"
+            bench m.CM.cname workers r.Wsim.makespan_ns lock_gain top
+            (List.length convoys) err)
+        causal_models;
+      Buffer.add_string out "\n] }\n";
+      let file = Printf.sprintf "causal-%s.json" bench in
+      let oc = open_out file in
+      Buffer.output_buffer oc out;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file)
+    causal_benchmarks;
+  Buffer.add_string summary "\n]\n";
+  let oc = open_out "BENCH_causal.json" in
+  Buffer.output_buffer oc summary;
+  close_out oc;
+  Printf.printf "wrote BENCH_causal.json\n";
+  subsection "lock-cost sensitivity across models (virtual speedup of lock_ns -> 0)";
+  List.iter
+    (fun (bench, model, gain) ->
+      Printf.printf "  %-10s %-10s %+7.2f%%\n" bench model gain)
+    (List.rev !lock_gains)
+
 let all ~opts () =
   table1 ~opts ();
   figure1 ~opts ();
@@ -406,5 +583,6 @@ let by_name =
     ("ablation", ablation);
     ("traces", traces);
     ("scalability", scalability);
+    ("causal", causal);
     ("all", all);
   ]

@@ -42,8 +42,109 @@ let resolve_runtime name : (module Nowa.RUNTIME) =
 
 let trace_capacity = 65_536
 
+module W = Nowa_dag.Wsim
+module Convoy = Nowa_dag.Convoy
+module Causal = Nowa_dag.Causal
+
+(* --ledger / --causal: instead of running the benchmark live, record its
+   fork/join DAG (serial instrumented run), replay it through the
+   discrete-event simulator under [model_name] at [workers] virtual
+   workers, and print the causal profile: the exact time ledger, the
+   per-resource contention table, detected lock convoys and — with
+   --causal — the what-if sensitivity ranking.  The profile is also
+   published to the metrics registry, so --metrics-addr / --metrics-out
+   expose it as nowa_wsim_* gauges. *)
+let sim_profile ~inst ~bench ~workers ~model_name ~causal ~trace =
+  let cm =
+    match Nowa_dag.Cost_model.find model_name with
+    | m -> m
+    | exception Not_found ->
+      Printf.eprintf "unknown cost model %S (one of: %s)\n" model_name
+        (String.concat ", "
+           (List.map
+              (fun m -> m.Nowa_dag.Cost_model.cname)
+              Nowa_dag.Cost_model.all));
+      exit 1
+  in
+  Printf.printf "%s (%s): recording DAG (serial instrumented run)...\n%!"
+    bench inst.Nowa_kernels.Registry.input_desc;
+  let thunk =
+    inst.Nowa_kernels.Registry.make_thunk (module Nowa_dag.Recorder)
+  in
+  let dag, _ = Nowa_dag.Recorder.record thunk in
+  ignore (Nowa_dag.Dag.clamp_work dag);
+  let tr =
+    match trace with
+    | None -> None
+    | Some _ ->
+      Some
+        (Nowa.Trace.create ~clock:Nowa.Trace.Virtual ~workers
+           ~capacity:trace_capacity ())
+  in
+  let r = W.simulate ?trace:tr ~detail:true cm ~workers dag in
+  Printf.printf
+    "wsim:%s, %d virtual workers: makespan %.3f ms, speedup %.2f, %d steals%s\n"
+    cm.Nowa_dag.Cost_model.cname workers
+    (r.W.makespan_ns /. 1e6)
+    r.W.speedup r.W.steals
+    (if r.W.truncated then " (TRUNCATED: ledger covers the partial horizon)"
+     else "");
+  Format.printf "%a@." W.pp_ledger r.W.ledger;
+  Printf.printf "resources:\n";
+  List.iter
+    (fun (s : W.resource_stats) ->
+      if s.W.acquisitions > 0 then
+        Printf.printf
+          "  %-8s %9d acq  %9d contended  wait %12.0f ns  hold %12.0f ns\n"
+          (W.resource_class_name s.W.rclass)
+          s.W.acquisitions s.W.contended s.W.wait_ns s.W.hold_ns)
+    r.W.resources;
+  let convoys = Convoy.detect r.W.acquisitions in
+  if convoys = [] then
+    Printf.printf "convoys: none (queue depth never reached 4)\n"
+  else begin
+    Printf.printf "convoys (>=4 workers queued on one resource):\n";
+    List.iter (fun c -> Format.printf "  %a@." Convoy.pp c) convoys
+  end;
+  if causal then begin
+    let knobs =
+      Causal.model_knobs
+      @
+      match Causal.hottest_strand dag with
+      | Some v -> [ Causal.Strand_work v ]
+      | None -> []
+    in
+    let ranking = Causal.rank cm ~workers dag knobs in
+    Printf.printf
+      "what-if sensitivity (virtual speedup of zeroing each cost):\n";
+    List.iter
+      (fun (x : Causal.experiment) ->
+        Printf.printf "  %-12s %+7.2f%%\n"
+          (Causal.knob_name x.Causal.knob)
+          x.Causal.zero_gain_pct)
+      ranking
+  end;
+  Causal.publish r convoys;
+  match (trace, tr) with
+  | Some file, Some tr ->
+    let counters = Convoy.counter_tracks r.W.acquisitions in
+    (try
+       Nowa.Perfetto.write_file
+         ~process_name:
+           (Printf.sprintf "wsim:%s:%s/%dw" cm.Nowa_dag.Cost_model.cname bench
+              workers)
+         ~counters file tr
+     with Sys_error msg ->
+       Printf.eprintf "trace: cannot write %s\n" msg;
+       exit 1);
+    Printf.printf
+      "trace: wrote %s (%d queue-depth counter tracks; open in \
+       ui.perfetto.dev)\n"
+      file (List.length counters)
+  | _ -> ()
+
 let main list bench runtime workers runs size madvise trace metrics_addr
-    metrics_out verbose =
+    metrics_out verbose model ledger causal =
   if list then list_benchmarks ()
   else begin
     (* Start the exposition endpoint before any run so the registry can
@@ -75,6 +176,9 @@ let main list bench runtime workers runs size madvise trace metrics_addr
         Printf.eprintf "unknown benchmark %S (try --list)\n" bench;
         exit 1
     in
+    if ledger || causal then
+      sim_profile ~inst ~bench ~workers ~model_name:model ~causal ~trace
+    else begin
     let (module R : Nowa.RUNTIME) = resolve_runtime runtime in
     let conf =
       {
@@ -168,6 +272,7 @@ let main list bench runtime workers runs size madvise trace metrics_addr
         util steals_per_s
         (p99 Nowa_sync.Sync_metrics.wfc_rmw_retries)
         (p99 Nowa_sync.Sync_metrics.frame_lock_spins)
+    end
     end;
     (match metrics_out with
     | None -> ()
@@ -232,8 +337,38 @@ let cmd =
              registry to $(docv) at exit ('-' for stdout).")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run times, metrics and a one-line obs summary.") in
+  let model =
+    Arg.(
+      value
+      & opt string "nowa"
+      & info [ "model" ] ~docv:"NAME"
+          ~doc:
+            "Cost model for $(b,--ledger)/$(b,--causal) simulation \
+             (nowa|nowa-the|fibril|cilkplus|tbb|lomp-untied|lomp-tied|gomp).")
+  in
+  let ledger =
+    Arg.(
+      value & flag
+      & info [ "ledger" ]
+          ~doc:
+            "Instead of running live: record the benchmark's DAG, replay it \
+             on $(b,-w) virtual workers under $(b,--model), and print the \
+             exact per-worker time ledger, resource contention and detected \
+             lock convoys.  With $(b,--trace), the virtual schedule plus \
+             queue-depth counter tracks are written as Perfetto JSON.")
+  in
+  let causal =
+    Arg.(
+      value & flag
+      & info [ "causal" ]
+          ~doc:
+            "Everything $(b,--ledger) prints, plus what-if virtual-speedup \
+             experiments: each cost-model component (and the hottest strand) \
+             is scaled and the DAG re-simulated, ranking which overhead \
+             limits the makespan.")
+  in
   Cmd.v
     (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
-    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ trace $ metrics_addr $ metrics_out $ verbose)
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal)
 
 let () = exit (Cmd.eval cmd)

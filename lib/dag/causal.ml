@@ -1,0 +1,180 @@
+type knob =
+  | Lock_cost
+  | Steal_cost
+  | Counter_rmw
+  | Spawn_cost
+  | Resume_cost
+  | Contention
+  | Strand_work of int
+
+let model_knobs =
+  [ Lock_cost; Steal_cost; Counter_rmw; Spawn_cost; Resume_cost; Contention ]
+
+let knob_name = function
+  | Lock_cost -> "lock_cost"
+  | Steal_cost -> "steal_cost"
+  | Counter_rmw -> "counter_rmw"
+  | Spawn_cost -> "spawn_cost"
+  | Resume_cost -> "resume_cost"
+  | Contention -> "contention"
+  | Strand_work v -> Printf.sprintf "strand_%d" v
+
+let apply (m : Cost_model.t) knob ~factor =
+  let open Cost_model in
+  match knob with
+  | Lock_cost ->
+    {
+      m with
+      push_lock_ns = m.push_lock_ns *. factor;
+      steal_lock_ns = m.steal_lock_ns *. factor;
+      note_steal_lock_ns = m.note_steal_lock_ns *. factor;
+      join_lock_ns = m.join_lock_ns *. factor;
+      alloc_lock_ns = m.alloc_lock_ns *. factor;
+    }
+  | Steal_cost -> { m with steal_ns = m.steal_ns *. factor }
+  | Counter_rmw -> { m with atomic_ns = m.atomic_ns *. factor }
+  | Spawn_cost ->
+    {
+      m with
+      spawn_ns = m.spawn_ns *. factor;
+      task_alloc_ns = m.task_alloc_ns *. factor;
+    }
+  | Resume_cost -> { m with resume_ns = m.resume_ns *. factor }
+  | Contention ->
+    (* Interpolate the penalties toward 1 (no contention effect); at
+       factor 1 this is exactly the original model. *)
+    {
+      m with
+      lock_contention_penalty =
+        1.0 +. (factor *. (m.lock_contention_penalty -. 1.0));
+      atomic_contention_penalty =
+        1.0 +. (factor *. (m.atomic_contention_penalty -. 1.0));
+    }
+  | Strand_work _ -> m
+
+type point = { factor : float; makespan_ns : float; gain_pct : float }
+
+type experiment = {
+  knob : knob;
+  cname : string;
+  xworkers : int;
+  baseline_ns : float;
+  points : point list;
+  zero_gain_pct : float;
+}
+
+let default_factors = [ 0.0; 0.25; 0.5; 0.75; 1.0; 1.5; 2.0 ]
+
+let run ?(seed = 1) ?(factors = default_factors) (cm : Cost_model.t) ~workers
+    dag knob =
+  let factors = List.sort_uniq compare (0.0 :: 1.0 :: factors) in
+  let simulate_at f =
+    match knob with
+    | Strand_work v ->
+      let saved = Dag.work dag v in
+      Dag.set_work dag v (saved *. f);
+      Fun.protect
+        ~finally:(fun () -> Dag.set_work dag v saved)
+        (fun () -> (Wsim.simulate ~seed cm ~workers dag).Wsim.makespan_ns)
+    | _ ->
+      let m = apply cm knob ~factor:f in
+      (Wsim.simulate ~seed m ~workers dag).Wsim.makespan_ns
+  in
+  let raw = List.map (fun f -> (f, simulate_at f)) factors in
+  let baseline = List.assoc 1.0 raw in
+  let gain m = if baseline > 0.0 then 100.0 *. (baseline -. m) /. baseline else 0.0 in
+  let points =
+    List.map (fun (f, m) -> { factor = f; makespan_ns = m; gain_pct = gain m }) raw
+  in
+  {
+    knob;
+    cname = cm.Cost_model.cname;
+    xworkers = workers;
+    baseline_ns = baseline;
+    points;
+    zero_gain_pct = gain (List.assoc 0.0 raw);
+  }
+
+let rank ?seed ?factors cm ~workers dag knobs =
+  let xs = List.map (run ?seed ?factors cm ~workers dag) knobs in
+  List.sort
+    (fun a b ->
+      match compare b.zero_gain_pct a.zero_gain_pct with
+      | 0 -> compare (knob_name a.knob) (knob_name b.knob)
+      | c -> c)
+    xs
+
+let hottest_strand dag =
+  let best = ref (-1) in
+  let best_w = ref neg_infinity in
+  for v = 0 to Dag.size dag - 1 do
+    if Dag.kind dag v = Dag.Strand && Dag.work dag v > !best_w then begin
+      best := v;
+      best_w := Dag.work dag v
+    end
+  done;
+  if !best >= 0 then Some !best else None
+
+(* -- obs gauges ----------------------------------------------------------- *)
+
+(* Created on first publish (not at module init) so that merely linking
+   nowa_dag never populates the default metrics registry. *)
+let gauges =
+  lazy
+    (let g name help = Nowa_obs.Registry.gauge ~help name in
+     let per_cat =
+       List.map
+         (fun c ->
+           ( c,
+             g
+               ("nowa_wsim_ledger_" ^ Wsim.category_name c ^ "_ns")
+               "Simulated ns across workers charged to this ledger category." ))
+         Wsim.categories
+     in
+     let per_class =
+       List.map
+         (fun cls ->
+           ( cls,
+             g
+               ("nowa_wsim_" ^ Wsim.resource_class_name cls ^ "_wait_ns")
+               "Simulated queueing delay on this resource class." ))
+         [ Wsim.Deque; Wsim.Counter; Wsim.Central; Wsim.Arena ]
+     in
+     ( per_cat,
+       per_class,
+       g "nowa_wsim_makespan_ns" "Makespan of the last simulated schedule.",
+       g "nowa_wsim_convoys" "Convoys detected in the last simulated schedule.",
+       g "nowa_wsim_convoy_serialized_ns"
+         "Total queueing delay inside detected convoy windows." ))
+
+let publish (r : Wsim.result) convoys =
+  let per_cat, per_class, makespan, nconvoys, serialized = Lazy.force gauges in
+  List.iter
+    (fun (c, gauge) ->
+      Nowa_obs.Gauge.set gauge
+        (int_of_float (Wsim.ledger_category r.Wsim.ledger c)))
+    per_cat;
+  List.iter
+    (fun (cls, gauge) ->
+      let wait =
+        List.fold_left
+          (fun acc (s : Wsim.resource_stats) ->
+            if s.Wsim.rclass = cls then acc +. s.Wsim.wait_ns else acc)
+          0.0 r.Wsim.resources
+      in
+      Nowa_obs.Gauge.set gauge (int_of_float wait))
+    per_class;
+  Nowa_obs.Gauge.set makespan (int_of_float r.Wsim.makespan_ns);
+  Nowa_obs.Gauge.set nconvoys (List.length convoys);
+  Nowa_obs.Gauge.set serialized
+    (int_of_float
+       (List.fold_left (fun acc (c : Convoy.t) -> acc +. c.Convoy.serialized_ns) 0.0 convoys))
+
+let pp ppf x =
+  Format.fprintf ppf "%-12s (%s, %d workers): zeroing it is worth %+.2f%%@\n"
+    (knob_name x.knob) x.cname x.xworkers x.zero_gain_pct;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "    x%-5.2f -> %12.0f ns  (%+.2f%%)@\n" p.factor
+        p.makespan_ns p.gain_pct)
+    x.points

@@ -1,0 +1,97 @@
+(** Causal what-if profiling by virtual-speedup experiments.
+
+    Coz-style causal profilers answer "what would speeding this up buy?"
+    by sampling and slowing everything else down; because our schedules
+    come from a deterministic discrete-event simulator ({!Wsim}), we can
+    answer the same question {e exactly}: scale one cost-model component
+    (or one hot strand's work) by a factor, re-simulate with the same
+    seed, and read the makespan delta off a controlled experiment.  The
+    headline use is predictive: zeroing [Lock_cost] under a lock-based
+    model predicts the Nowa-vs-lock speedup delta before the ablation
+    confirms it, and quantifies the synchronization-overhead
+    decomposition Rito & Paulino treat analytically.
+
+    Caveat for [Lock_cost] at factor 0 exactly: a model whose
+    [steal_lock_ns]/[join_lock_ns] reach 0 switches to the CAS-based
+    (wait-free) protocol pricing, so the sensitivity curve may step at
+    the origin — that step {e is} the lock-vs-wait-free delta. *)
+
+type knob =
+  | Lock_cost
+      (** every lock critical section: push, steal, note-steal, join,
+          allocator arena *)
+  | Steal_cost  (** thief-local probe cost *)
+  | Counter_rmw  (** atomic RMW on a shared line (the strand counter) *)
+  | Spawn_cost  (** spawn bookkeeping and task allocation *)
+  | Resume_cost  (** stack switch / resume *)
+  | Contention
+      (** contention penalties, interpolated toward 1 (no penalty) *)
+  | Strand_work of int  (** one strand's recorded work *)
+
+val model_knobs : knob list
+(** The cost-model knobs (everything but [Strand_work]). *)
+
+val knob_name : knob -> string
+
+val apply : Cost_model.t -> knob -> factor:float -> Cost_model.t
+(** Scale the knob's components by [factor] ([Strand_work] leaves the
+    model unchanged — the DAG is rescaled inside {!run} instead).
+    [factor = 1.0] returns a field-for-field identical model. *)
+
+type point = {
+  factor : float;
+  makespan_ns : float;
+  gain_pct : float;  (** makespan reduction vs. factor 1.0, in percent *)
+}
+
+type experiment = {
+  knob : knob;
+  cname : string;  (** cost model the experiment ran under *)
+  xworkers : int;
+  baseline_ns : float;  (** makespan at factor 1.0 *)
+  points : point list;  (** ascending factor; 0.0 and 1.0 always present *)
+  zero_gain_pct : float;
+      (** the virtual speedup of removing this cost entirely — the
+          sensitivity ranking statistic *)
+}
+
+val default_factors : float list
+(** [0.0; 0.25; 0.5; 0.75; 1.0; 1.5; 2.0] *)
+
+val run :
+  ?seed:int ->
+  ?factors:float list ->
+  Cost_model.t ->
+  workers:int ->
+  Dag.t ->
+  knob ->
+  experiment
+(** One sensitivity curve.  Every simulation uses the same [seed], so
+    the only difference between points is the perturbed cost.
+    [Strand_work v] temporarily rescales vertex [v]'s work and restores
+    it before returning. *)
+
+val rank :
+  ?seed:int ->
+  ?factors:float list ->
+  Cost_model.t ->
+  workers:int ->
+  Dag.t ->
+  knob list ->
+  experiment list
+(** Experiments sorted by [zero_gain_pct], largest first: "making the
+    strand counter wait-free is worth X%, shaving spawn overhead is
+    worth Y%". *)
+
+val hottest_strand : Dag.t -> int option
+(** The strand with the largest recorded work — the natural
+    [Strand_work] target. *)
+
+val publish : Wsim.result -> Convoy.t list -> unit
+(** Set the causal-profile gauges in the default {!Nowa_obs.Registry}:
+    per-category ledger nanoseconds ([nowa_wsim_ledger_*_ns]),
+    per-resource-class queueing delay ([nowa_wsim_*_wait_ns]), the
+    makespan, and convoy count / total serialized ns.  Gauges are
+    created on first use and overwritten by later runs. *)
+
+val pp : Format.formatter -> experiment -> unit

@@ -1,0 +1,158 @@
+type resource = { cls : Wsim.resource_class; id : int }
+
+let resource_name r =
+  match r.cls with
+  | Wsim.Central -> "central"
+  | c -> Printf.sprintf "%s[%d]" (Wsim.resource_class_name c) r.id
+
+type t = {
+  resource : resource;
+  start_ns : float;
+  end_ns : float;
+  peak : int;
+  participants : int;
+  serialized_ns : float;
+}
+
+let duration_ns c = c.end_ns -. c.start_ns
+
+let class_index = function
+  | Wsim.Deque -> 0
+  | Wsim.Counter -> 1
+  | Wsim.Central -> 2
+  | Wsim.Arena -> 3
+
+(* Group acquisition indices by resource instance. *)
+let group (acqs : Wsim.acq array) =
+  let tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (a : Wsim.acq) ->
+      let key = (class_index a.Wsim.aclass lsl 32) lor a.Wsim.rid in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := i :: !l
+      | None -> Hashtbl.add tbl key (ref [ i ]))
+    acqs;
+  tbl
+
+(* The +1/-1 sweep events of one resource's acquisitions, time-sorted
+   with releases before arrivals on ties (an acquisition that starts the
+   instant another ends does not overlap it). *)
+let sweep_events (acqs : Wsim.acq array) idxs =
+  let evs =
+    List.concat_map
+      (fun i ->
+        let a = acqs.(i) in
+        [ (a.Wsim.arrive_ns, 1); (a.Wsim.finish_ns, -1) ])
+      idxs
+  in
+  List.sort
+    (fun (ta, da) (tb, db) ->
+      match compare ta tb with 0 -> compare da db | c -> c)
+    evs
+
+let resource_of (a : Wsim.acq) = { cls = a.Wsim.aclass; id = a.Wsim.rid }
+
+(* Maximal windows where the queue depth (holder + waiters) of one
+   resource stays >= k, one sweep per resource. *)
+let windows_of ~k (acqs : Wsim.acq array) idxs =
+  let evs = sweep_events acqs idxs in
+  let out = ref [] in
+  let depth = ref 0 in
+  let w_start = ref nan in
+  let w_peak = ref 0 in
+  List.iter
+    (fun (t, d) ->
+      let was = !depth in
+      depth := !depth + d;
+      if was < k && !depth >= k then begin
+        w_start := t;
+        w_peak := !depth
+      end
+      else if !depth >= k then w_peak := max !w_peak !depth
+      else if was >= k && !depth < k then out := (!w_start, t, !w_peak) :: !out)
+    evs;
+  List.rev !out
+
+let finalize ~resource (acqs : Wsim.acq array) idxs (s, e, peak) =
+  let workers = Hashtbl.create 8 in
+  let serialized = ref 0.0 in
+  List.iter
+    (fun i ->
+      let a = acqs.(i) in
+      if a.Wsim.arrive_ns < e && a.Wsim.finish_ns > s then begin
+        Hashtbl.replace workers a.Wsim.aworker ();
+        (* Queueing delay of this acquisition inside the window. *)
+        let w0 = Float.max a.Wsim.arrive_ns s in
+        let w1 = Float.min a.Wsim.start_ns e in
+        if w1 > w0 then serialized := !serialized +. (w1 -. w0)
+      end)
+    idxs;
+  {
+    resource;
+    start_ns = s;
+    end_ns = e;
+    peak;
+    participants = Hashtbl.length workers;
+    serialized_ns = !serialized;
+  }
+
+let detect ?(k = 4) ?(top = 10) ?(min_duration_ns = 0.0) acqs =
+  if k < 2 then invalid_arg "Convoy.detect: k must be >= 2";
+  let tbl = group acqs in
+  let all = ref [] in
+  Hashtbl.iter
+    (fun _ idxs ->
+      let idxs = !idxs in
+      (* A convoy of depth k needs at least k acquisitions. *)
+      if List.length idxs >= k then begin
+        let resource = resource_of acqs.(List.hd idxs) in
+        List.iter
+          (fun w ->
+            let c = finalize ~resource acqs idxs w in
+            if duration_ns c >= min_duration_ns then all := c :: !all)
+          (windows_of ~k acqs idxs)
+      end)
+    tbl;
+  let cmp a b =
+    match compare b.serialized_ns a.serialized_ns with
+    | 0 -> compare a.start_ns b.start_ns
+    | c -> c
+  in
+  let sorted = List.sort cmp !all in
+  List.filteri (fun i _ -> i < top) sorted
+
+let depth_samples acqs resource =
+  let tbl = group acqs in
+  let key = (class_index resource.cls lsl 32) lor resource.id in
+  match Hashtbl.find_opt tbl key with
+  | None -> [||]
+  | Some idxs ->
+    let evs = sweep_events acqs !idxs in
+    let out = ref [] in
+    let depth = ref 0 in
+    List.iter
+      (fun (t, d) ->
+        depth := !depth + d;
+        out := (int_of_float t, float_of_int !depth) :: !out)
+      evs;
+    Array.of_list (List.rev !out)
+
+let counter_tracks ?k ?(top = 5) acqs =
+  let convoys = detect ?k ~top acqs in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun c ->
+      let name = "queue depth " ^ resource_name c.resource in
+      if Hashtbl.mem seen name then None
+      else begin
+        Hashtbl.add seen name ();
+        Some (name, depth_samples acqs c.resource)
+      end)
+    convoys
+
+let pp ppf c =
+  Format.fprintf ppf
+    "%-12s [%.0f, %.0f] ns  dur %8.0f ns  peak %2d  %d workers  %10.0f ns \
+     serialized"
+    (resource_name c.resource) c.start_ns c.end_ns (duration_ns c) c.peak
+    c.participants c.serialized_ns

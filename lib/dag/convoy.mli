@@ -1,0 +1,55 @@
+(** Lock-convoy detection over simulated schedules.
+
+    The paper's central pathology — lock-based strand arbitration
+    serialising under contention — shows up in a schedule as a {e
+    convoy}: an interval during which several workers are
+    simultaneously queued on one FIFO resource (a deque lock, a frame's
+    strand counter, the central queue, an allocator arena), each
+    admitted only as the previous one releases.  This module makes the
+    effect a first-class, testable artifact: it scans the acquisition
+    log a [Wsim.simulate ~detail:true] run records and reports maximal
+    windows where the queue depth (holder + waiters) of one resource
+    stays at or above [k].
+
+    Convoys never arise on a 1-worker schedule (a worker cannot contend
+    with itself), and under the wait-free Nowa model frame-counter
+    convoys cannot form at all — which is exactly the paper's claim,
+    checkable here per run. *)
+
+type resource = { cls : Wsim.resource_class; id : int }
+
+val resource_name : resource -> string
+(** ["deque[3]"], ["counter[117]"], ["central"], ["arena[0]"]. *)
+
+type t = {
+  resource : resource;
+  start_ns : float;  (** window open: queue depth first reached [k] *)
+  end_ns : float;  (** window close: depth fell below [k] *)
+  peak : int;  (** maximum queue depth inside the window *)
+  participants : int;  (** distinct workers involved *)
+  serialized_ns : float;
+      (** total queueing delay suffered inside the window — the
+          nanoseconds this convoy serialised *)
+}
+
+val duration_ns : t -> float
+
+val detect :
+  ?k:int -> ?top:int -> ?min_duration_ns:float -> Wsim.acq array -> t list
+(** [detect acqs] returns the top convoys, most serialising first.
+    [k] (default 4) is the queue depth (holder + waiters) that opens a
+    window; [top] (default 10) bounds the report; [min_duration_ns]
+    (default 0) drops shorter windows. *)
+
+val depth_samples : Wsim.acq array -> resource -> (int * float) array
+(** Queue-depth step function of one resource over virtual time:
+    [(ts_ns, depth)] at every change, suitable for a Perfetto counter
+    track ({!Nowa_trace.Perfetto.write_file} [?counters]). *)
+
+val counter_tracks :
+  ?k:int -> ?top:int -> Wsim.acq array -> (string * (int * float) array) list
+(** Named queue-depth counter tracks for the resources implicated in
+    the top convoys (deduplicated), ready to pass as [?counters] to the
+    Perfetto exporter. *)
+
+val pp : Format.formatter -> t -> unit

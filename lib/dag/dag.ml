@@ -84,6 +84,12 @@ let kind t v =
   | _ -> Sync
 
 let work t v = t.works.(v)
+
+let set_work t v w =
+  if kind t v <> Strand then invalid_arg "Dag.set_work: not a strand";
+  if not (Float.is_finite w) || w < 0.0 then
+    invalid_arg "Dag.set_work: work must be finite and non-negative";
+  t.works.(v) <- w
 let succ1 t v = t.s1.(v)
 let succ2 t v = t.s2.(v)
 let frame_of t v = t.frames.(v)

@@ -46,6 +46,13 @@ val is_main_arrival : t -> int -> bool
 val size : t -> int
 val kind : t -> int -> kind
 val work : t -> int -> float
+
+val set_work : t -> int -> float -> unit
+(** Overwrite a strand's cost.  The what-if engine ({!Causal}) rescales
+    hot strands through this and restores the original afterwards.
+    Raises [Invalid_argument] on non-strand vertices and non-finite or
+    negative costs. *)
+
 val succ1 : t -> int -> int
 (** -1 if none *)
 

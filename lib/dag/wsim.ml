@@ -1,3 +1,129 @@
+(* -- time-ledger categories ---------------------------------------------- *)
+
+type category =
+  | Strand_work
+  | Spawn_overhead
+  | Deque_access
+  | Deque_wait
+  | Counter_access
+  | Counter_wait
+  | Central_access
+  | Central_wait
+  | Alloc_access
+  | Alloc_wait
+  | Steal_search
+  | Handoff
+  | Idle
+
+(* Ledger array indices.  Wait categories sit at [access + 1] so that the
+   resource-acquisition path can derive one from the other. *)
+let cat_strand = 0
+let cat_spawn = 1
+let cat_deque = 2
+let cat_counter = 4
+let cat_central = 6
+let cat_alloc = 8
+let cat_steal = 10
+let cat_handoff = 11
+let cat_idle = 12
+let ncat = 13
+
+let categories =
+  [
+    Strand_work; Spawn_overhead; Deque_access; Deque_wait; Counter_access;
+    Counter_wait; Central_access; Central_wait; Alloc_access; Alloc_wait;
+    Steal_search; Handoff; Idle;
+  ]
+
+let category_index = function
+  | Strand_work -> cat_strand
+  | Spawn_overhead -> cat_spawn
+  | Deque_access -> cat_deque
+  | Deque_wait -> cat_deque + 1
+  | Counter_access -> cat_counter
+  | Counter_wait -> cat_counter + 1
+  | Central_access -> cat_central
+  | Central_wait -> cat_central + 1
+  | Alloc_access -> cat_alloc
+  | Alloc_wait -> cat_alloc + 1
+  | Steal_search -> cat_steal
+  | Handoff -> cat_handoff
+  | Idle -> cat_idle
+
+let category_name = function
+  | Strand_work -> "strand_work"
+  | Spawn_overhead -> "spawn_overhead"
+  | Deque_access -> "deque_access"
+  | Deque_wait -> "deque_wait"
+  | Counter_access -> "counter_access"
+  | Counter_wait -> "counter_wait"
+  | Central_access -> "central_access"
+  | Central_wait -> "central_wait"
+  | Alloc_access -> "alloc_access"
+  | Alloc_wait -> "alloc_wait"
+  | Steal_search -> "steal_search"
+  | Handoff -> "handoff"
+  | Idle -> "idle"
+
+type ledger = {
+  horizon_ns : float;
+  lpartial : bool;
+  by_worker : float array array;
+}
+
+let ledger_category l c =
+  let i = category_index c in
+  Array.fold_left (fun acc row -> acc +. row.(i)) 0.0 l.by_worker
+
+let ledger_total l =
+  Array.fold_left
+    (fun acc row -> Array.fold_left ( +. ) acc row)
+    0.0 l.by_worker
+
+let pp_ledger ppf l =
+  let total = ledger_total l in
+  let pct v = if total > 0.0 then 100.0 *. v /. total else 0.0 in
+  Format.fprintf ppf "time ledger (%d workers x %.3f ms%s):@\n"
+    (Array.length l.by_worker) (l.horizon_ns /. 1e6)
+    (if l.lpartial then ", PARTIAL" else "");
+  List.iter
+    (fun c ->
+      let v = ledger_category l c in
+      if v > 0.0 then
+        Format.fprintf ppf "  %-15s %14.0f ns  %5.1f%%@\n" (category_name c) v
+          (pct v))
+    categories;
+  Format.fprintf ppf "  %-15s %14.0f ns  (= workers x horizon: %.0f)" "total"
+    total
+    (float_of_int (Array.length l.by_worker) *. l.horizon_ns)
+
+(* -- resource accounting -------------------------------------------------- *)
+
+type resource_class = Deque | Counter | Central | Arena
+
+let resource_class_name = function
+  | Deque -> "deque"
+  | Counter -> "counter"
+  | Central -> "central"
+  | Arena -> "arena"
+
+type resource_stats = {
+  rclass : resource_class;
+  acquisitions : int;
+  contended : int;
+  wait_ns : float;
+  hold_ns : float;
+}
+
+type acq = {
+  aclass : resource_class;
+  rid : int;
+  aworker : int;
+  arrive_ns : float;
+  start_ns : float;
+  finish_ns : float;
+}
+
 type result = {
   workers : int;
   makespan_ns : float;
@@ -8,6 +134,9 @@ type result = {
   steal_attempts : int;
   events : int;
   truncated : bool;
+  ledger : ledger;
+  resources : resource_stats list;
+  acquisitions : acq array;
 }
 
 (* Binary min-heap of events keyed by virtual time.  An event is either
@@ -79,13 +208,73 @@ module Heap = struct
     end
 end
 
+(* Growable log of resource acquisitions (detail mode). *)
+module Acqlog = struct
+  type t = {
+    mutable cls : int array;
+    mutable rid : int array;
+    mutable wkr : int array;
+    mutable arrive : float array;
+    mutable start : float array;
+    mutable finish : float array;
+    mutable n : int;
+  }
+
+  let create () =
+    {
+      cls = Array.make 256 0;
+      rid = Array.make 256 0;
+      wkr = Array.make 256 0;
+      arrive = Array.make 256 0.0;
+      start = Array.make 256 0.0;
+      finish = Array.make 256 0.0;
+      n = 0;
+    }
+
+  let push l c r w a s f =
+    if l.n >= Array.length l.cls then begin
+      let cap = Array.length l.cls in
+      l.cls <- Array.append l.cls (Array.make cap 0);
+      l.rid <- Array.append l.rid (Array.make cap 0);
+      l.wkr <- Array.append l.wkr (Array.make cap 0);
+      l.arrive <- Array.append l.arrive (Array.make cap 0.0);
+      l.start <- Array.append l.start (Array.make cap 0.0);
+      l.finish <- Array.append l.finish (Array.make cap 0.0)
+    end;
+    let i = l.n in
+    l.cls.(i) <- c;
+    l.rid.(i) <- r;
+    l.wkr.(i) <- w;
+    l.arrive.(i) <- a;
+    l.start.(i) <- s;
+    l.finish.(i) <- f;
+    l.n <- i + 1
+
+  let class_of_int = function
+    | 0 -> Deque
+    | 1 -> Counter
+    | 2 -> Central
+    | _ -> Arena
+
+  let to_array l =
+    Array.init l.n (fun i ->
+        {
+          aclass = class_of_int l.cls.(i);
+          rid = l.rid.(i);
+          aworker = l.wkr.(i);
+          arrive_ns = l.arrive.(i);
+          start_ns = l.start.(i);
+          finish_ns = l.finish.(i);
+        })
+end
+
 let pop_local_ns = 6.0
 (* an uncontended pop_bottom on a lock-free deque *)
 
 module Ev = Nowa_trace.Event
 
-let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
-    ~workers dag =
+let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
+    (cm : Cost_model.t) ~workers dag =
   let open Cost_model in
   let n = Dag.size dag in
   let rng = Nowa_util.Xoshiro.make ~seed in
@@ -107,7 +296,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
   (* FIFO resources in virtual time: free_at per worker deque, per frame
      (sync vertex), and one for the central queue. *)
   let deque_free = Array.make workers 0.0 in
-  let central_free = ref 0.0 in
+  let central_free = Array.make 1 0.0 in
   let frame_free = Array.make n 0.0 in
   let arena_free = Array.make (max 1 cm.alloc_arenas) 0.0 in
   let pending = Array.init n (fun v -> Dag.pred_count dag v) in
@@ -131,29 +320,90 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
   let steals = ref 0 in
   let steal_attempts = ref 0 in
   let finish_time = ref nan in
+  (* -- ledger accounting ------------------------------------------------
+     Each worker's timeline is a contiguous alternation of accounted
+     intervals (every virtual-time advance below calls [account]) and
+     idle gaps (filled in when its next event pops).  Intervals are
+     buffered per worker until the worker's next heap pop — which is the
+     proof they lie before the final makespan — and the tail chains
+     still buffered at termination are clamped to the horizon, so the
+     flushed ledger partitions [0, horizon] exactly. *)
+  let led = Array.make_matrix workers ncat 0.0 in
+  let pend_t0 = Array.init workers (fun _ -> Array.make 32 0.0) in
+  let pend_t1 = Array.init workers (fun _ -> Array.make 32 0.0) in
+  let pend_cat = Array.init workers (fun _ -> Array.make 32 0) in
+  let pend_n = Array.make workers 0 in
+  (* End of the last accounted interval: the worker's time frontier. *)
+  let frontier = Array.make workers 0.0 in
+  let account w t0 t1 cat =
+    if t1 > t0 then begin
+      let k = pend_n.(w) in
+      if k >= Array.length pend_cat.(w) then begin
+        let cap = Array.length pend_cat.(w) in
+        pend_t0.(w) <- Array.append pend_t0.(w) (Array.make cap 0.0);
+        pend_t1.(w) <- Array.append pend_t1.(w) (Array.make cap 0.0);
+        pend_cat.(w) <- Array.append pend_cat.(w) (Array.make cap 0)
+      end;
+      pend_t0.(w).(k) <- t0;
+      pend_t1.(w).(k) <- t1;
+      pend_cat.(w).(k) <- cat;
+      pend_n.(w) <- k + 1;
+      if t1 > frontier.(w) then frontier.(w) <- t1
+    end
+  in
+  let flush ?(upto = infinity) w =
+    let row = led.(w) in
+    for i = 0 to pend_n.(w) - 1 do
+      let t0 = pend_t0.(w).(i) in
+      let t1 = Float.min pend_t1.(w).(i) upto in
+      if t1 > t0 then
+        row.(pend_cat.(w).(i)) <- row.(pend_cat.(w).(i)) +. (t1 -. t0)
+    done;
+    pend_n.(w) <- 0
+  in
+  (* Per-class resource totals (always on) and the optional per-
+     acquisition log (detail mode, feeds the convoy detector). *)
+  let res_acq = Array.make 4 0 in
+  let res_contended = Array.make 4 0 in
+  let res_wait = Array.make 4 0.0 in
+  let res_hold = Array.make 4 0.0 in
+  let acqlog = if detail then Some (Acqlog.create ()) else None in
   (* A busy resource costs [penalty × hold]: contended lock handoffs and
-     contended cache lines are much slower than uncontended ones. *)
-  let acquire ~penalty free_at i t hold =
+     contended cache lines are much slower than uncontended ones.
+     [cat] is the ledger access category ([cat + 1] is its wait
+     category); [rc] indexes the resource class (0 deque, 1 counter,
+     2 central, 3 arena). *)
+  let acquire ~penalty ~cat ~rc ~w free_at i t hold =
     let busy = free_at.(i) > t in
     let hold = if busy then hold *. penalty else hold in
     let g = if busy then free_at.(i) else t in
+    if busy then begin
+      account w t g (cat + 1);
+      res_contended.(rc) <- res_contended.(rc) + 1;
+      res_wait.(rc) <- res_wait.(rc) +. (g -. t)
+    end;
+    account w g (g +. hold) cat;
+    res_acq.(rc) <- res_acq.(rc) + 1;
+    res_hold.(rc) <- res_hold.(rc) +. hold;
+    (match acqlog with
+    | Some l -> Acqlog.push l rc i w t g (g +. hold)
+    | None -> ());
     free_at.(i) <- g +. hold;
     g +. hold
   in
-  let acquire_central t hold =
-    let busy = !central_free > t in
-    let hold = if busy then hold *. cm.lock_contention_penalty else hold in
-    let g = if busy then !central_free else t in
-    central_free := g +. hold;
-    g +. hold
+  let acquire_central ~w t hold =
+    acquire ~penalty:cm.lock_contention_penalty ~cat:cat_central ~rc:2 ~w
+      central_free 0 t hold
   in
   let lockp = cm.lock_contention_penalty and atomicp = cm.atomic_contention_penalty in
   (* Task allocation through a shared allocator arena (child stealing /
      central queue only). *)
   let allocate w t =
+    account w t (t +. cm.task_alloc_ns) cat_spawn;
     let t = t +. cm.task_alloc_ns in
     if cm.alloc_arenas > 0 then
-      acquire ~penalty:lockp arena_free (w mod cm.alloc_arenas) t cm.alloc_lock_ns
+      acquire ~penalty:lockp ~cat:cat_alloc ~rc:3 ~w arena_free
+        (w mod cm.alloc_arenas) t cm.alloc_lock_ns
     else t
   in
   let join_hold = if cm.join_lock_ns > 0.0 then cm.join_lock_ns else cm.atomic_ns in
@@ -173,6 +423,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
     match Dag.kind dag v with
     | Dag.Strand ->
       let tf = t +. Dag.work dag v in
+      account w t tf cat_strand;
       emit w t Ev.Task_start 0;
       emit w tf Ev.Task_end 0;
       Heap.push heap tf w v
@@ -183,12 +434,14 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
       assert false
     | Dag.Spawn -> begin
       emit w t Ev.Spawn 0;
+      account w t (t +. cm.spawn_ns) cat_spawn;
       let t = t +. cm.spawn_ns in
       match cm.scheme with
       | Continuation_stealing ->
         let t =
           if cm.push_lock_ns > 0.0 then
-            acquire ~penalty:lockp deque_free w t cm.push_lock_ns
+            acquire ~penalty:lockp ~cat:cat_deque ~rc:0 ~w deque_free w t
+              cm.push_lock_ns
           else t
         in
         Intq.push_back deques.(w) (Dag.succ2 dag v);
@@ -197,14 +450,15 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
         let t = allocate w t in
         let t =
           if cm.push_lock_ns > 0.0 then
-            acquire ~penalty:lockp deque_free w t cm.push_lock_ns
+            acquire ~penalty:lockp ~cat:cat_deque ~rc:0 ~w deque_free w t
+              cm.push_lock_ns
           else t
         in
         Intq.push_back deques.(w) (Dag.succ1 dag v);
         exec w t (Dag.succ2 dag v)
       | Central_queue ->
         let t = allocate w t in
-        let t = acquire_central t cm.push_lock_ns in
+        let t = acquire_central ~w t cm.push_lock_ns in
         Intq.push_back central (Dag.succ1 dag v);
         exec w t (Dag.succ2 dag v)
     end
@@ -221,14 +475,18 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
              stolen, in which case the sync is entirely free. *)
           let t =
             if stolen.(s) > 0 then
-              acquire ~penalty:join_penalty frame_free s t join_hold
+              acquire ~penalty:join_penalty ~cat:cat_counter ~rc:1 ~w
+                frame_free s t join_hold
             else t
           in
           exec w t (Dag.succ1 dag s)
         end
         else begin
           (* Publish the continuation and restore N_r; then suspend. *)
-          let t = acquire ~penalty:join_penalty frame_free s t join_hold in
+          let t =
+            acquire ~penalty:join_penalty ~cat:cat_counter ~rc:1 ~w frame_free
+              s t join_hold
+          in
           emit w t Ev.Suspend 0;
           steal_round w t
         end
@@ -240,11 +498,15 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
           (* Continuation stolen: implicit sync (one frame op). *)
           emit w t Ev.Lost_continuation 0;
           let join_penalty = if cm.join_lock_ns > 0.0 then lockp else atomicp in
-          let t = acquire ~penalty:join_penalty frame_free s t join_hold in
+          let t =
+            acquire ~penalty:join_penalty ~cat:cat_counter ~rc:1 ~w frame_free
+              s t join_hold
+          in
           pending.(s) <- pending.(s) - 1;
           if pending.(s) = 0 then begin
             (* Last joiner resumes the suspended frame. *)
             emit w t Ev.Resume 0;
+            account w t (t +. cm.resume_ns) cat_handoff;
             exec w (t +. cm.resume_ns) (Dag.succ1 dag s)
           end
           else steal_round w t
@@ -255,8 +517,12 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
           pending.(s) <- pending.(s) - 1;
           let t =
             if cm.push_lock_ns > 0.0 then
-              acquire ~penalty:lockp deque_free w t cm.push_lock_ns
-            else t +. pop_local_ns
+              acquire ~penalty:lockp ~cat:cat_deque ~rc:0 ~w deque_free w t
+                cm.push_lock_ns
+            else begin
+              account w t (t +. pop_local_ns) cat_deque;
+              t +. pop_local_ns
+            end
           in
           exec w t k
       end
@@ -269,7 +535,9 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
          free until it has to wait. *)
       let t =
         if main then t
-        else acquire ~penalty:atomicp frame_free s t cm.atomic_ns
+        else
+          acquire ~penalty:atomicp ~cat:cat_counter ~rc:1 ~w frame_free s t
+            cm.atomic_ns
       in
       pending.(s) <- pending.(s) - 1;
       if pending.(s) = 0 then begin
@@ -302,16 +570,21 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
     | v ->
       let t =
         if cm.push_lock_ns > 0.0 then
-          acquire ~penalty:lockp deque_free w t cm.push_lock_ns
-        else t +. pop_local_ns
+          acquire ~penalty:lockp ~cat:cat_deque ~rc:0 ~w deque_free w t
+            cm.push_lock_ns
+        else begin
+          account w t (t +. pop_local_ns) cat_deque;
+          t +. pop_local_ns
+        end
       in
+      account w t (t +. cm.resume_ns) cat_handoff;
       Some (t +. cm.resume_ns, v)
   and steal_round w t =
     incr steal_attempts;
     match cm.scheme with
     | Central_queue -> begin
       emit w t Ev.Steal_attempt 0;
-      let t = acquire_central t cm.steal_lock_ns in
+      let t = acquire_central ~w t cm.steal_lock_ns in
       match Intq.pop_front central with
       | -1 ->
         emit w t Ev.Steal_abort 0;
@@ -320,6 +593,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
         incr steals;
         emit w t Ev.Steal_commit 0;
         note_progress w;
+        account w t (t +. cm.resume_ns) cat_handoff;
         exec w (t +. cm.resume_ns) v
     end
     | Continuation_stealing | Child_stealing _ -> begin
@@ -329,14 +603,17 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
         if cm.steal_lock_ns > 0.0 then begin
           (* THE-style: the lock is taken before the emptiness check, so
              even failed attempts occupy the victim's deque. *)
-          let t = acquire ~penalty:lockp deque_free victim t cm.steal_lock_ns in
+          let t =
+            acquire ~penalty:lockp ~cat:cat_deque ~rc:0 ~w deque_free victim t
+              cm.steal_lock_ns
+          in
           match Intq.pop_front deques.(victim) with
           | -1 -> (t, -1)
           | v ->
             let t =
               if cm.note_steal_lock_ns > 0.0 && frame_hint.(v) >= 0 then
-                acquire ~penalty:lockp frame_free frame_hint.(v) t
-                  cm.note_steal_lock_ns
+                acquire ~penalty:lockp ~cat:cat_counter ~rc:1 ~w frame_free
+                  frame_hint.(v) t cm.note_steal_lock_ns
               else t
             in
             (t, v)
@@ -346,7 +623,10 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
           | -1 -> (t, -1)
           | v ->
             (* CAS commit on the victim's top pointer. *)
-            let t = acquire ~penalty:atomicp deque_free victim t cm.atomic_ns in
+            let t =
+              acquire ~penalty:atomicp ~cat:cat_deque ~rc:0 ~w deque_free
+                victim t cm.atomic_ns
+            in
             (t, v)
         end
       in
@@ -356,6 +636,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
         emit w t' (if v >= 0 then Ev.Steal_commit else Ev.Steal_abort) victim;
         (t', v)
       in
+      account w t (t +. cm.steal_ns) cat_steal;
       let t = t +. cm.steal_ns in
       let t, v = traced_attempt w t in
       let t, v =
@@ -363,6 +644,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
         else begin
           let victim = Nowa_util.Xoshiro.int rng workers in
           let victim = if victim = w then (victim + 1) mod workers else victim in
+          account w t (t +. cm.steal_ns) cat_steal;
           traced_attempt victim (t +. cm.steal_ns)
         end
       in
@@ -370,6 +652,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
         incr steals;
         if frame_hint.(v) >= 0 then stolen.(frame_hint.(v)) <- stolen.(frame_hint.(v)) + 1;
         note_progress w;
+        account w t (t +. cm.resume_ns) cat_handoff;
         exec w (t +. cm.resume_ns) v
       end
       else schedule_retry w t
@@ -391,22 +674,62 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
         truncated := true;
         running := false
       end
-      else if v = -1 then steal_round w t
       else begin
-        (* Strand [v] finished on [w]. *)
-        let s = Dag.succ1 dag v in
-        if s = -1 then begin
-          finish_time := t;
-          running := false
+        (* The worker's previous chain is complete and this pop proves
+           every buffered interval precedes the final makespan: flush it,
+           then charge the gap since its frontier as idle time. *)
+        flush w;
+        account w frontier.(w) t cat_idle;
+        if v = -1 then steal_round w t
+        else begin
+          (* Strand [v] finished on [w]. *)
+          let s = Dag.succ1 dag v in
+          if s = -1 then begin
+            finish_time := t;
+            running := false
+          end
+          else
+            match Dag.kind dag s with
+            | Dag.Sync -> arrive w t ~prev:v s
+            | Dag.Strand | Dag.Spawn -> exec w t s
         end
-        else
-          match Dag.kind dag s with
-          | Dag.Sync -> arrive w t ~prev:v s
-          | Dag.Strand | Dag.Spawn -> exec w t s
       end
   done;
   let t1 = Dag.total_work dag in
-  let makespan = if Float.is_nan !finish_time then infinity else !finish_time in
+  let finished = not (Float.is_nan !finish_time) in
+  (* Horizon: the completion time, or — when the event cap cut the run
+     short — the furthest instant any worker accounted.  Tail chains
+     still buffered are clamped to it (a thief probing past the finish
+     keeps probing past the join in a real runtime too; those
+     nanoseconds fall outside the measured window). *)
+  let horizon =
+    if finished then !finish_time
+    else Array.fold_left Float.max 0.0 frontier
+  in
+  for w = 0 to workers - 1 do
+    flush ~upto:horizon w;
+    (* Fill each worker's timeline out to the horizon with idle time so
+       the rows partition [0, horizon] exactly. *)
+    let covered = Float.min frontier.(w) horizon in
+    if horizon > covered then
+      led.(w).(cat_idle) <- led.(w).(cat_idle) +. (horizon -. covered)
+  done;
+  let ledger =
+    { horizon_ns = horizon; lpartial = not finished; by_worker = led }
+  in
+  let resources =
+    List.mapi
+      (fun i rclass ->
+        {
+          rclass;
+          acquisitions = res_acq.(i);
+          contended = res_contended.(i);
+          wait_ns = res_wait.(i);
+          hold_ns = res_hold.(i);
+        })
+      [ Deque; Counter; Central; Arena ]
+  in
+  let makespan = if finished || !truncated then horizon else infinity in
   {
     workers;
     makespan_ns = makespan;
@@ -417,4 +740,8 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace (cm : Cost_model.t)
     steal_attempts = !steal_attempts;
     events = !events;
     truncated = !truncated;
+    ledger;
+    resources;
+    acquisitions =
+      (match acqlog with Some l -> Acqlog.to_array l | None -> [||]);
   }

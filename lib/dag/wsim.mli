@@ -13,6 +13,17 @@
     cache-line serialisation emerge at scale exactly as they do on real
     hardware.
 
+    {b Determinism.}  [simulate] is a pure function of
+    [(seed, model, workers, dag, max_events)]: the only source of
+    randomness is victim selection, drawn from a {!Nowa_util.Xoshiro}
+    generator seeded with [seed], and every other decision (heap
+    tie-breaking, blocked-worker wake order) is structurally fixed.  Two
+    calls with equal arguments return identical results — makespan,
+    steal counts and victims, event counts, the full time ledger, and
+    the acquisition log all match bit for bit.  This is what makes the
+    causal what-if experiments ({!Causal}) exact: re-simulating with one
+    perturbed cost is a controlled experiment, not a sample.
+
     Known divergences from a real machine, by design: memory locality is
     not modelled, and the DAG (hence total work) is fixed by the
     recording, so order-dependent-work benchmarks (knapsack's
@@ -22,9 +33,92 @@
     parent; tied-task waiters are modelled by blocking the worker until
     its sync resolves. *)
 
+(** {1 Time ledger}
+
+    Every virtual worker's timeline is fully partitioned into the
+    categories below: each nanosecond of [workers × horizon] virtual
+    time is charged to exactly one category, so the ledger {e conserves}
+    — [ledger_total l = float workers *. l.horizon_ns] up to float
+    rounding.  This is the accounting Coz-style causal profilers
+    approximate by sampling; here it is exact by construction. *)
+
+type category =
+  | Strand_work  (** executing strand (application) work *)
+  | Spawn_overhead  (** spawn-point bookkeeping and task allocation *)
+  | Deque_access  (** holding a deque: push/pop/steal critical sections *)
+  | Deque_wait  (** queued on a busy deque *)
+  | Counter_access  (** holding a frame's strand counter (join, note-steal) *)
+  | Counter_wait  (** queued on a busy strand counter *)
+  | Central_access  (** holding the central queue *)
+  | Central_wait  (** queued on the central queue's lock *)
+  | Alloc_access  (** holding an allocator arena *)
+  | Alloc_wait  (** queued on a busy allocator arena *)
+  | Steal_search  (** thief-local victim probing *)
+  | Handoff  (** stack switch / resume after a steal or pop *)
+  | Idle  (** no work and not probing: backoff sleep, start-up stagger *)
+
+val categories : category list
+(** All categories, in ledger-index order. *)
+
+val category_index : category -> int
+val category_name : category -> string
+(** Stable snake_case name ("strand_work", "deque_wait", ...), safe for
+    metric names and JSON keys. *)
+
+type ledger = {
+  horizon_ns : float;
+      (** accounting end time: the makespan, or for partial ledgers the
+          furthest accounted instant *)
+  lpartial : bool;
+      (** the simulation did not run to completion (event cap hit):
+          totals cover only [0, horizon_ns] *)
+  by_worker : float array array;
+      (** [by_worker.(w).(category_index c)] = ns worker [w] spent in
+          [c]; every row sums to [horizon_ns] *)
+}
+
+val ledger_category : ledger -> category -> float
+(** Total ns across workers charged to one category. *)
+
+val ledger_total : ledger -> float
+(** Σ over workers and categories; equals [workers × horizon_ns]. *)
+
+val pp_ledger : Format.formatter -> ledger -> unit
+
+(** {1 Resource accounting} *)
+
+type resource_class =
+  | Deque  (** per-worker deques *)
+  | Counter  (** per-frame strand counters *)
+  | Central  (** the central task queue *)
+  | Arena  (** allocator arenas *)
+
+val resource_class_name : resource_class -> string
+
+type resource_stats = {
+  rclass : resource_class;
+  acquisitions : int;
+  contended : int;  (** acquisitions that found the resource busy *)
+  wait_ns : float;  (** total queueing delay *)
+  hold_ns : float;  (** total occupancy, incl. contention penalties *)
+}
+
+type acq = {
+  aclass : resource_class;
+  rid : int;  (** instance: worker id, sync-vertex id, arena index, 0 *)
+  aworker : int;  (** the acquiring worker *)
+  arrive_ns : float;  (** when the worker requested the resource *)
+  start_ns : float;  (** when it was granted ([> arrive_ns] iff contended) *)
+  finish_ns : float;  (** when it released *)
+}
+(** One resource acquisition, recorded when [simulate ~detail:true];
+    the raw material of convoy detection ({!Convoy}). *)
+
 type result = {
   workers : int;
   makespan_ns : float;
+      (** completion time; for truncated runs, the partial horizon
+          actually simulated (a lower bound on the true makespan) *)
   t1_ns : float;  (** Σ strand work — the serial-elision time *)
   span_ns : float;  (** critical path (work only) *)
   speedup : float;  (** t1 / makespan, the paper's speedup statistic *)
@@ -32,19 +126,35 @@ type result = {
   steal_attempts : int;
   events : int;
   truncated : bool;  (** hit the event cap before completing *)
+  ledger : ledger;
+  resources : resource_stats list;  (** one entry per resource class *)
+  acquisitions : acq array;
+      (** every resource acquisition in virtual-time order of request;
+          [[||]] unless [detail] was set *)
 }
 
 val simulate :
   ?seed:int ->
   ?max_events:int ->
   ?trace:Nowa_trace.Trace.t ->
+  ?detail:bool ->
   Cost_model.t ->
   workers:int ->
   Dag.t ->
   result
 (** [simulate model ~workers dag] replays [dag].  [max_events] (default
-    [200_000_000]) bounds runaway simulations; the result is flagged
-    [truncated] when hit.
+    [200_000_000]) bounds runaway simulations; when hit, the result is
+    flagged [truncated], [makespan_ns] is the horizon reached (not the
+    true makespan), the trace rings contain everything emitted up to
+    that horizon, and [ledger.lpartial] is set — the ledger still
+    conserves over the partial horizon.
+
+    [seed] (default 1) fixes victim selection; see the determinism
+    guarantee above.
+
+    [detail] (default false) records every resource acquisition into
+    [acquisitions] for convoy detection; leave it off for large
+    parameter sweeps (the log grows with steal attempts).
 
     [trace] (create it with [Trace.create ~clock:Virtual]) receives the
     schedule as virtual-time scheduler events — strand executions, spawns,

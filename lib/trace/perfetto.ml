@@ -30,8 +30,10 @@ let buf_meta b ~first ~name ~pid ?tid value =
 let us_of_ns ns = float_of_int ns /. 1e3
 
 (** Render a trace to a Buffer.  [process_name] labels the single process
-    row ("nowa", "wsim:nowa/256w", ...). *)
-let to_buffer ?(process_name = "nowa") (t : Trace.t) =
+    row ("nowa", "wsim:nowa/256w", ...).  [counters] adds named counter
+    tracks ("ph":"C") — e.g. the queue-depth-per-resource tracks of the
+    convoy detector — rebased onto the same timeline as the events. *)
+let to_buffer ?(process_name = "nowa") ?(counters = []) (t : Trace.t) =
   let b = Buffer.create 65536 in
   let first = ref true in
   let pid = 0 in
@@ -71,15 +73,30 @@ let to_buffer ?(process_name = "nowa") (t : Trace.t) =
               args)
         evs)
     per_worker;
+  List.iter
+    (fun (name, samples) ->
+      Array.iter
+        (fun (ts, value) ->
+          if not !first then Buffer.add_string b ",\n";
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"args\":{\"value\":%g}}"
+               name
+               (us_of_ns (ts - t0))
+               pid value))
+        samples)
+    counters;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   b
 
-let to_string ?process_name t = Buffer.contents (to_buffer ?process_name t)
+let to_string ?process_name ?counters t =
+  Buffer.contents (to_buffer ?process_name ?counters t)
 
-let write_channel ?process_name oc t =
-  Buffer.output_buffer oc (to_buffer ?process_name t)
+let write_channel ?process_name ?counters oc t =
+  Buffer.output_buffer oc (to_buffer ?process_name ?counters t)
 
-let write_file ?process_name path t =
+let write_file ?process_name ?counters path t =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      write_channel ?process_name oc t)
+      write_channel ?process_name ?counters oc t)

@@ -1,0 +1,485 @@
+(* Tests for the causal profiler: the time ledger's conservation law,
+   convoy detection, and the what-if virtual-speedup engine. *)
+
+module D = Nowa_dag
+module Wsim = Nowa_dag.Wsim
+module Convoy = Nowa_dag.Convoy
+module Causal = Nowa_dag.Causal
+module CM = Nowa_dag.Cost_model
+
+(* -- recorded DAGs --------------------------------------------------------- *)
+
+let record bench =
+  let inst = Nowa_kernels.Registry.find Nowa_kernels.Registry.Test bench in
+  let thunk =
+    inst.Nowa_kernels.Registry.make_thunk (module Nowa_dag.Recorder)
+  in
+  let dag, _ = D.Recorder.record thunk in
+  ignore (D.Dag.clamp_work dag);
+  dag
+
+let fib_dag = lazy (record "fib")
+let nqueens_dag = lazy (record "nqueens")
+
+(* -- hand-built DAGs ------------------------------------------------------- *)
+
+(* A one-frame fan-out: root -> chain of [n] spawns, each child a strand
+   of [child_work] ns, all joining one sync.  Under the central-queue
+   model every child goes through the single global lock, which is the
+   textbook convoy generator. *)
+let wide_dag ~n ~child_work =
+  let d = D.Dag.create () in
+  let root = D.Dag.add_strand d ~work:10.0 in
+  D.Dag.set_root d root;
+  let sync = D.Dag.add_sync d in
+  let prev = ref root in
+  for i = 1 to n do
+    let sp = D.Dag.add_spawn d ~frame:sync in
+    D.Dag.add_edge d !prev sp;
+    let child = D.Dag.add_strand d ~work:child_work in
+    D.Dag.add_edge d sp child;
+    D.Dag.add_edge d child sync;
+    let cont = D.Dag.add_strand d ~work:1.0 in
+    D.Dag.add_edge d sp cont;
+    if i = n then D.Dag.mark_main_arrival d cont;
+    prev := cont
+  done;
+  D.Dag.add_edge d !prev sync;
+  let tail = D.Dag.add_strand d ~work:5.0 in
+  D.Dag.add_edge d sync tail;
+  D.Dag.set_final d tail;
+  d
+
+(* -- ledger: structure ----------------------------------------------------- *)
+
+let test_category_names_and_indices () =
+  List.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Wsim.category_name c ^ " index")
+        i (Wsim.category_index c))
+    Wsim.categories;
+  let names = List.map Wsim.category_name Wsim.categories in
+  Alcotest.(check int) "names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun n ->
+      String.iter
+        (fun ch ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S is metric-safe" n)
+            true
+            ((ch >= 'a' && ch <= 'z') || ch = '_'))
+        n)
+    names
+
+let check_conserves ?(tol = 1e-6) (r : Wsim.result) =
+  let l = r.Wsim.ledger in
+  let expect = float_of_int r.Wsim.workers *. l.Wsim.horizon_ns in
+  let total = Wsim.ledger_total l in
+  let scale = Float.max 1.0 expect in
+  if Float.abs (total -. expect) /. scale > tol then
+    Alcotest.failf "ledger leaks: total %.6f vs workers x horizon %.6f" total
+      expect;
+  Array.iteri
+    (fun w row ->
+      let s = Array.fold_left ( +. ) 0.0 row in
+      if Float.abs (s -. l.Wsim.horizon_ns) /. scale > tol then
+        Alcotest.failf "worker %d row sums to %.6f, horizon %.6f" w s
+          l.Wsim.horizon_ns;
+      Array.iter
+        (fun v ->
+          if v < -1e-9 then Alcotest.failf "worker %d has negative category" w)
+        row)
+    l.Wsim.by_worker
+
+let test_ledger_conserves_basic () =
+  let dag = Lazy.force fib_dag in
+  List.iter
+    (fun (m, workers) -> check_conserves (Wsim.simulate m ~workers dag))
+    [
+      (CM.nowa, 1); (CM.nowa, 7); (CM.nowa, 64);
+      (CM.cilkplus, 16); (CM.fibril, 32); (CM.gomp, 16); (CM.lomp_tied, 8);
+    ]
+
+(* The acceptance property: conservation across seeds, worker counts
+   1..64, and both recorded DAG shapes, under wait-free, lock-based and
+   central-queue models. *)
+let prop_ledger_conserves =
+  QCheck.Test.make ~name:"ledger conserves (random seed/workers/model/dag)"
+    ~count:40
+    QCheck.(triple (int_range 0 5) (int_range 1 64) (int_range 0 10_000))
+    (fun (sel, workers, seed) ->
+      let model = List.nth [ CM.nowa; CM.cilkplus; CM.gomp ] (sel mod 3) in
+      let dag = Lazy.force (if sel < 3 then fib_dag else nqueens_dag) in
+      let r = Wsim.simulate ~seed model ~workers dag in
+      check_conserves r;
+      true)
+
+let test_ledger_strand_work_is_t1 () =
+  (* All strand work is executed exactly once, whatever the schedule. *)
+  let dag = Lazy.force fib_dag in
+  List.iter
+    (fun workers ->
+      let r = Wsim.simulate CM.cilkplus ~workers dag in
+      Alcotest.(check (float 1.0)) "strand_work = T1" r.Wsim.t1_ns
+        (Wsim.ledger_category r.Wsim.ledger Wsim.Strand_work))
+    [ 1; 8; 32 ]
+
+(* -- determinism ----------------------------------------------------------- *)
+
+let test_determinism_full () =
+  let dag = Lazy.force fib_dag in
+  let run () = Wsim.simulate ~seed:42 ~detail:true CM.fibril ~workers:24 dag in
+  let a = run () and b = run () in
+  Alcotest.(check (float 0.0)) "makespan" a.Wsim.makespan_ns b.Wsim.makespan_ns;
+  Alcotest.(check int) "steals" a.Wsim.steals b.Wsim.steals;
+  Alcotest.(check int) "steal attempts" a.Wsim.steal_attempts
+    b.Wsim.steal_attempts;
+  Alcotest.(check int) "events" a.Wsim.events b.Wsim.events;
+  Alcotest.(check bool) "ledger identical" true
+    (a.Wsim.ledger.Wsim.by_worker = b.Wsim.ledger.Wsim.by_worker);
+  Alcotest.(check bool) "acquisition log identical" true
+    (a.Wsim.acquisitions = b.Wsim.acquisitions);
+  let c = Wsim.simulate ~seed:43 ~detail:true CM.fibril ~workers:24 dag in
+  Alcotest.(check bool) "different seed, different schedule" true
+    (a.Wsim.acquisitions <> c.Wsim.acquisitions
+    || a.Wsim.makespan_ns <> c.Wsim.makespan_ns)
+
+(* -- truncation ------------------------------------------------------------ *)
+
+let test_truncated_ledger_is_partial_and_conserves () =
+  let dag = Lazy.force fib_dag in
+  let tr =
+    Nowa_trace.Trace.create ~clock:Nowa_trace.Trace.Virtual ~workers:8
+      ~capacity:4096 ()
+  in
+  let r = Wsim.simulate ~max_events:500 ~trace:tr CM.nowa ~workers:8 dag in
+  Alcotest.(check bool) "truncated" true r.Wsim.truncated;
+  Alcotest.(check bool) "ledger marked partial" true
+    r.Wsim.ledger.Wsim.lpartial;
+  Alcotest.(check bool) "partial horizon is finite" true
+    (Float.is_finite r.Wsim.makespan_ns);
+  Alcotest.(check (float 1e-9)) "makespan = partial horizon"
+    r.Wsim.ledger.Wsim.horizon_ns r.Wsim.makespan_ns;
+  Alcotest.(check bool) "partial trace flushed" true
+    (Array.length (Nowa_trace.Trace.events tr) > 0);
+  check_conserves r
+
+let test_complete_ledger_not_partial () =
+  let dag = Lazy.force fib_dag in
+  let r = Wsim.simulate CM.nowa ~workers:8 dag in
+  Alcotest.(check bool) "not partial" false r.Wsim.ledger.Wsim.lpartial;
+  Alcotest.(check (float 1e-9)) "horizon = makespan"
+    r.Wsim.makespan_ns r.Wsim.ledger.Wsim.horizon_ns
+
+(* -- convoy detector: synthetic log ---------------------------------------- *)
+
+let acq ~w ~arrive ~start ~finish =
+  {
+    Wsim.aclass = Wsim.Counter;
+    rid = 7;
+    aworker = w;
+    arrive_ns = arrive;
+    start_ns = start;
+    finish_ns = finish;
+  }
+
+(* Four workers pile onto one counter: w0 holds [0,100); w1..w3 arrive at
+   10/20/30 and are admitted FIFO.  Queue depth reaches 4 at t=30 and
+   drops below 4 at t=100 (w0's release), so the window is [30,100),
+   everyone participates, and the queueing delay inside the window is
+   3 workers x 70 ns. *)
+let convoy_acqs =
+  [|
+    acq ~w:0 ~arrive:0.0 ~start:0.0 ~finish:100.0;
+    acq ~w:1 ~arrive:10.0 ~start:100.0 ~finish:200.0;
+    acq ~w:2 ~arrive:20.0 ~start:200.0 ~finish:300.0;
+    acq ~w:3 ~arrive:30.0 ~start:300.0 ~finish:400.0;
+  |]
+
+let test_convoy_synthetic_exact () =
+  match Convoy.detect ~k:4 convoy_acqs with
+  | [ c ] ->
+    Alcotest.(check string) "resource" "counter[7]"
+      (Convoy.resource_name c.Convoy.resource);
+    Alcotest.(check (float 1e-9)) "start" 30.0 c.Convoy.start_ns;
+    Alcotest.(check (float 1e-9)) "end" 100.0 c.Convoy.end_ns;
+    Alcotest.(check (float 1e-9)) "duration" 70.0 (Convoy.duration_ns c);
+    Alcotest.(check int) "peak" 4 c.Convoy.peak;
+    Alcotest.(check int) "participants" 4 c.Convoy.participants;
+    Alcotest.(check (float 1e-9)) "serialized" 210.0 c.Convoy.serialized_ns
+  | l -> Alcotest.failf "expected exactly one convoy, got %d" (List.length l)
+
+let test_convoy_threshold_and_filters () =
+  (* k=5 can never be reached by 4 acquisitions. *)
+  Alcotest.(check int) "k=5 finds nothing" 0
+    (List.length (Convoy.detect ~k:5 convoy_acqs));
+  (* k=2 opens earlier (t=10) and closes when the queue finally drains
+     below 2, i.e. at w2's release admitting the last waiter. *)
+  (match Convoy.detect ~k:2 convoy_acqs with
+  | [ c ] ->
+    Alcotest.(check (float 1e-9)) "k=2 start" 10.0 c.Convoy.start_ns;
+    Alcotest.(check (float 1e-9)) "k=2 end" 300.0 c.Convoy.end_ns
+  | l -> Alcotest.failf "expected one k=2 convoy, got %d" (List.length l));
+  Alcotest.(check int) "min_duration filters" 0
+    (List.length (Convoy.detect ~k:4 ~min_duration_ns:1e6 convoy_acqs));
+  Alcotest.(check int) "empty log" 0 (List.length (Convoy.detect [||]))
+
+let test_convoy_counter_tracks () =
+  let tracks = Convoy.counter_tracks ~k:4 convoy_acqs in
+  match tracks with
+  | [ (name, samples) ] ->
+    Alcotest.(check string) "track name" "queue depth counter[7]" name;
+    let peak =
+      Array.fold_left (fun m (_, d) -> Float.max m d) 0.0 samples
+    in
+    Alcotest.(check (float 1e-9)) "peak depth sampled" 4.0 peak;
+    Alcotest.(check (float 1e-9)) "drains to zero" 0.0
+      (snd samples.(Array.length samples - 1))
+  | l -> Alcotest.failf "expected one track, got %d" (List.length l)
+
+(* -- convoy detector: end-to-end through the simulator ---------------------- *)
+
+let test_convoy_end_to_end_central_queue () =
+  let dag = wide_dag ~n:16 ~child_work:5000.0 in
+  (match D.Dag.validate dag with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "wide dag invalid: %s" e);
+  let r = Wsim.simulate ~detail:true CM.gomp ~workers:4 dag in
+  check_conserves r;
+  match Convoy.detect ~k:4 r.Wsim.acquisitions with
+  | [] -> Alcotest.fail "central-queue model at 4 workers must convoy"
+  | c :: _ ->
+    Alcotest.(check bool) "convoy is on the central queue" true
+      (c.Convoy.resource.Convoy.cls = Wsim.Central);
+    Alcotest.(check int) "all four workers participate" 4
+      c.Convoy.participants;
+    Alcotest.(check bool) "serialized time positive" true
+      (c.Convoy.serialized_ns > 0.0)
+
+let test_convoy_lock_model_flags_serial_clean () =
+  let dag = Lazy.force fib_dag in
+  (* Lock-based model at high worker count: at least one convoy. *)
+  let hot = Wsim.simulate ~detail:true CM.gomp ~workers:32 dag in
+  Alcotest.(check bool) "lock model at 32 workers convoys" true
+    (Convoy.detect hot.Wsim.acquisitions <> []);
+  (* Any model on one worker: a worker cannot contend with itself. *)
+  List.iter
+    (fun m ->
+      let r = Wsim.simulate ~detail:true m ~workers:1 dag in
+      Alcotest.(check int)
+        (m.CM.cname ^ " serial run has no contention")
+        0
+        (List.fold_left
+           (fun acc (s : Wsim.resource_stats) -> acc + s.Wsim.contended)
+           0 r.Wsim.resources);
+      Alcotest.(check bool)
+        (m.CM.cname ^ " serial run has no convoys")
+        true
+        (Convoy.detect r.Wsim.acquisitions = []))
+    [ CM.nowa; CM.cilkplus; CM.gomp ]
+
+let test_detail_flag_gates_acquisition_log () =
+  let dag = Lazy.force fib_dag in
+  let off = Wsim.simulate CM.cilkplus ~workers:8 dag in
+  Alcotest.(check int) "no detail, no log" 0
+    (Array.length off.Wsim.acquisitions);
+  let on = Wsim.simulate ~detail:true CM.cilkplus ~workers:8 dag in
+  Alcotest.(check bool) "detail records acquisitions" true
+    (Array.length on.Wsim.acquisitions > 0);
+  (* The always-on per-class stats must agree with the detailed log. *)
+  let logged = Array.length on.Wsim.acquisitions in
+  let counted =
+    List.fold_left
+      (fun acc (s : Wsim.resource_stats) -> acc + s.Wsim.acquisitions)
+      0 on.Wsim.resources
+  in
+  Alcotest.(check int) "stats and log agree" counted logged
+
+(* -- what-if engine --------------------------------------------------------- *)
+
+let test_apply_factor_one_is_identity () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun knob ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s at 1.0" m.CM.cname (Causal.knob_name knob))
+            true
+            (Causal.apply m knob ~factor:1.0 = m))
+        Causal.model_knobs)
+    CM.all
+
+let test_causal_run_shape () =
+  let dag = Lazy.force fib_dag in
+  let x =
+    Causal.run ~factors:[ 0.5; 2.0 ] CM.cilkplus ~workers:16 dag
+      Causal.Steal_cost
+  in
+  let factors = List.map (fun (p : Causal.point) -> p.Causal.factor) x.Causal.points in
+  Alcotest.(check (list (float 1e-9))) "0 and 1 forced in, sorted"
+    [ 0.0; 0.5; 1.0; 2.0 ] factors;
+  let at f =
+    List.find (fun (p : Causal.point) -> p.Causal.factor = f) x.Causal.points
+  in
+  Alcotest.(check (float 1e-9)) "baseline is the factor-1 point"
+    x.Causal.baseline_ns (at 1.0).Causal.makespan_ns;
+  Alcotest.(check (float 1e-9)) "gain at 1.0 is zero" 0.0 (at 1.0).Causal.gain_pct;
+  Alcotest.(check (float 1e-9)) "zero_gain matches the factor-0 point"
+    x.Causal.zero_gain_pct (at 0.0).Causal.gain_pct;
+  Alcotest.(check string) "model recorded" "cilkplus" x.Causal.cname;
+  Alcotest.(check int) "workers recorded" 16 x.Causal.xworkers
+
+(* The acceptance ranking: on fib, zeroing lock costs must matter more
+   under the lock-based models than under wait-free Nowa (where every
+   lock field is already 0, so the knob is exactly inert). *)
+let test_lock_sensitivity_ranking_across_models () =
+  let dag = Lazy.force fib_dag in
+  let lock_gain m =
+    (Causal.run ~factors:[] m ~workers:32 dag Causal.Lock_cost)
+      .Causal.zero_gain_pct
+  in
+  let nowa = lock_gain CM.nowa in
+  let cilk = lock_gain CM.cilkplus in
+  let gomp = lock_gain CM.gomp in
+  Alcotest.(check (float 1e-9)) "nowa has no lock cost to remove" 0.0 nowa;
+  Alcotest.(check bool) "cilkplus gains from lock removal" true (cilk > 1.0);
+  Alcotest.(check bool) "lock model ranks above nowa" true
+    (cilk > nowa && gomp > nowa)
+
+let test_rank_sorted_and_complete () =
+  let dag = Lazy.force fib_dag in
+  let ranking =
+    Causal.rank ~factors:[] CM.cilkplus ~workers:16 dag Causal.model_knobs
+  in
+  Alcotest.(check int) "one experiment per knob"
+    (List.length Causal.model_knobs)
+    (List.length ranking);
+  let gains = List.map (fun x -> x.Causal.zero_gain_pct) ranking in
+  Alcotest.(check bool) "sorted descending" true
+    (List.sort (fun a b -> compare b a) gains = gains)
+
+let test_strand_work_knob () =
+  let dag = Lazy.force fib_dag in
+  let v =
+    match Causal.hottest_strand dag with
+    | Some v -> v
+    | None -> Alcotest.fail "fib has strands"
+  in
+  Alcotest.(check bool) "hottest is a strand" true
+    (D.Dag.kind dag v = D.Dag.Strand);
+  let saved = D.Dag.work dag v in
+  let x =
+    Causal.run ~factors:[ 0.0; 1.0 ] CM.nowa ~workers:8 dag
+      (Causal.Strand_work v)
+  in
+  Alcotest.(check (float 1e-9)) "work restored after the experiment" saved
+    (D.Dag.work dag v);
+  Alcotest.(check string) "knob name" (Printf.sprintf "strand_%d" v)
+    (Causal.knob_name x.Causal.knob);
+  let baseline = (Wsim.simulate CM.nowa ~workers:8 dag).Wsim.makespan_ns in
+  Alcotest.(check (float 1e-9)) "factor-1 point is undisturbed" baseline
+    x.Causal.baseline_ns
+
+let test_set_work_guards () =
+  let dag = Lazy.force fib_dag in
+  let spawn =
+    let rec find v =
+      if D.Dag.kind dag v = D.Dag.Spawn then v else find (v + 1)
+    in
+    find 0
+  in
+  Alcotest.check_raises "spawn vertex rejected"
+    (Invalid_argument "Dag.set_work: not a strand") (fun () ->
+      D.Dag.set_work dag spawn 1.0);
+  let strand =
+    match Causal.hottest_strand dag with Some v -> v | None -> assert false
+  in
+  Alcotest.check_raises "negative work rejected"
+    (Invalid_argument "Dag.set_work: work must be finite and non-negative")
+    (fun () -> D.Dag.set_work dag strand (-1.0));
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Dag.set_work: work must be finite and non-negative")
+    (fun () -> D.Dag.set_work dag strand Float.nan)
+
+let test_publish_sets_gauges () =
+  let dag = Lazy.force fib_dag in
+  let r = Wsim.simulate ~detail:true CM.cilkplus ~workers:8 dag in
+  let convoys = Convoy.detect r.Wsim.acquisitions in
+  Causal.publish r convoys;
+  let samples = Nowa_obs.Registry.snapshot () in
+  let value name =
+    match
+      List.find_opt (fun s -> s.Nowa_obs.Registry.name = name) samples
+    with
+    | Some { Nowa_obs.Registry.value = Nowa_obs.Registry.Gauge v; _ } -> v
+    | _ -> Alcotest.failf "gauge %s missing from the default registry" name
+  in
+  Alcotest.(check (float 1.0)) "strand_work gauge"
+    (Float.of_int
+       (int_of_float (Wsim.ledger_category r.Wsim.ledger Wsim.Strand_work)))
+    (value "nowa_wsim_ledger_strand_work_ns");
+  Alcotest.(check (float 1.0)) "makespan gauge"
+    (Float.of_int (int_of_float r.Wsim.makespan_ns))
+    (value "nowa_wsim_makespan_ns");
+  Alcotest.(check (float 0.0)) "convoy count gauge"
+    (float_of_int (List.length convoys))
+    (value "nowa_wsim_convoys");
+  (* Publishing again must overwrite, not re-register. *)
+  Causal.publish r convoys;
+  Alcotest.(check (float 0.0)) "idempotent re-publish"
+    (float_of_int (List.length convoys))
+    (value "nowa_wsim_convoys")
+
+let () =
+  Alcotest.run "nowa_causal"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "category layout" `Quick
+            test_category_names_and_indices;
+          Alcotest.test_case "conserves (fixed grid)" `Quick
+            test_ledger_conserves_basic;
+          QCheck_alcotest.to_alcotest prop_ledger_conserves;
+          Alcotest.test_case "strand work = T1" `Quick
+            test_ledger_strand_work_is_t1;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "bit-identical replay" `Quick test_determinism_full ]
+      );
+      ( "truncation",
+        [
+          Alcotest.test_case "partial ledger" `Quick
+            test_truncated_ledger_is_partial_and_conserves;
+          Alcotest.test_case "complete ledger" `Quick
+            test_complete_ledger_not_partial;
+        ] );
+      ( "convoys",
+        [
+          Alcotest.test_case "synthetic 4-worker convoy" `Quick
+            test_convoy_synthetic_exact;
+          Alcotest.test_case "thresholds and filters" `Quick
+            test_convoy_threshold_and_filters;
+          Alcotest.test_case "counter tracks" `Quick test_convoy_counter_tracks;
+          Alcotest.test_case "central queue end-to-end" `Quick
+            test_convoy_end_to_end_central_queue;
+          Alcotest.test_case "lock model flags, serial clean" `Quick
+            test_convoy_lock_model_flags_serial_clean;
+          Alcotest.test_case "detail flag" `Quick
+            test_detail_flag_gates_acquisition_log;
+        ] );
+      ( "what-if",
+        [
+          Alcotest.test_case "factor 1.0 identity" `Quick
+            test_apply_factor_one_is_identity;
+          Alcotest.test_case "experiment shape" `Quick test_causal_run_shape;
+          Alcotest.test_case "lock sensitivity ranking" `Quick
+            test_lock_sensitivity_ranking_across_models;
+          Alcotest.test_case "rank sorted" `Quick test_rank_sorted_and_complete;
+          Alcotest.test_case "strand-work knob" `Quick test_strand_work_knob;
+          Alcotest.test_case "set_work guards" `Quick test_set_work_guards;
+          Alcotest.test_case "publish gauges" `Quick test_publish_sets_gauges;
+        ] );
+    ]
