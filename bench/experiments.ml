@@ -558,6 +558,163 @@ let causal ~opts () =
       Printf.printf "  %-10s %-10s %+7.2f%%\n" bench model gain)
     (List.rev !lock_gains)
 
+(* -- elastic idle path: what do idle workers cost? ----------------------- *)
+
+(* CPU-time accounting of the three idle policies ([Config.idle_policy]).
+   Serial-heavy phase: one worker spins inside the runtime for a fixed
+   interval while the others have nothing to steal — the per-policy CPU
+   delta (Unix.times, the getrusage stand-in) is the cost of keeping the
+   idle workers around: a spinning worker burns a full core, a parked one
+   ~nothing.  Saturated phase: fib keeps every worker busy, checking that
+   the park machinery costs no wall-clock when there is no idle time to
+   elide.  Also dumps a Perfetto trace of a park-heavy run so the
+   Park/Unpark slices can be inspected. *)
+
+let idle_policies =
+  [
+    ("spin", Nowa.Config.Spin);
+    ("yield", Nowa.Config.Yield_after 512);
+    ("park", Nowa.Config.Park_after 512);
+  ]
+
+let idle ~opts () =
+  section "Idle experiment: spin vs yield vs park (elastic idle path)";
+  let module R = Nowa.Presets.Nowa in
+  let serial_ns = 50_000_000 in
+  let worker_counts =
+    match List.filter (fun w -> w > 1) opts.real_workers with
+    | [] -> [ 4 ]
+    | ws -> ws
+  in
+  let out = Buffer.create 4096 in
+  Buffer.add_string out "[\n";
+  let first = ref true in
+  let record ~mode ~policy ~workers ~wall ~cpu ~parks ~wakeups =
+    if not !first then Buffer.add_string out ",\n";
+    first := false;
+    Printf.bprintf out
+      "  { \"mode\": %S, \"policy\": %S, \"workers\": %d, \"wall_s\": %.6f, \
+       \"cpu_s\": %.6f, \"cpu_per_worker_s\": %.6f, \"parks\": %d, \
+       \"wakeups\": %d }"
+      mode policy workers wall cpu
+      (cpu /. float_of_int workers)
+      parks wakeups
+  in
+  let parks_wakeups () =
+    match R.last_metrics () with
+    | Some m ->
+      ( Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.parks),
+        Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.wakeups) )
+    | None -> (0, 0)
+  in
+  subsection
+    (Printf.sprintf "serial-heavy: %.0f ms of work on one worker, the rest idle"
+       (float_of_int serial_ns /. 1e6));
+  let header =
+    [ "policy"; "workers"; "wall (s)"; "cpu (s)"; "cpu/worker"; "parks"; "wakeups" ]
+  in
+  let rows = ref [] in
+  let serial_cpu = ref [] in
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun (pname, policy) ->
+          let conf =
+            {
+              (Nowa.Config.with_workers workers) with
+              Nowa.Config.idle_policy = policy;
+            }
+          in
+          R.run ~conf (fun () -> ()) (* warm-up: domain spawn paths *);
+          let cpu0 = Nowa_util.Cpu.process_cpu_time () in
+          let wall, () =
+            Nowa_util.Clock.time_it (fun () ->
+                R.run ~conf (fun () -> Nowa_util.Clock.spin_ns serial_ns))
+          in
+          let cpu = Nowa_util.Cpu.process_cpu_time () -. cpu0 in
+          let parks, wakeups = parks_wakeups () in
+          serial_cpu := ((pname, workers), cpu) :: !serial_cpu;
+          rows :=
+            [
+              pname; string_of_int workers;
+              Printf.sprintf "%.4f" wall;
+              Printf.sprintf "%.4f" cpu;
+              Printf.sprintf "%.4f" (cpu /. float_of_int workers);
+              string_of_int parks; string_of_int wakeups;
+            ]
+            :: !rows;
+          record ~mode:"serial" ~policy:pname ~workers ~wall ~cpu ~parks
+            ~wakeups)
+        idle_policies)
+    worker_counts;
+  Nowa_util.Table.print ~header (List.rev !rows);
+  List.iter
+    (fun workers ->
+      match
+        ( List.assoc_opt ("spin", workers) !serial_cpu,
+          List.assoc_opt ("park", workers) !serial_cpu )
+      with
+      | Some spin, Some park when park > 0.0 ->
+        Printf.printf
+          "  %d workers: parked idle CPU is %.2fx the spinning idle CPU \
+           (%.4f s vs %.4f s)\n"
+          workers (park /. spin) park spin
+      | _ -> ())
+    worker_counts;
+  subsection "saturated: fib keeps every worker busy (wall-clock parity check)";
+  let rows = ref [] in
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun (pname, policy) ->
+          let patch c = { c with Nowa.Config.idle_policy = policy } in
+          let cpu0 = Nowa_util.Cpu.process_cpu_time () in
+          let times = measure_real ~patch ~opts (module R) "fib" workers in
+          (* the CPU delta covers warm-up + runs repetitions *)
+          let cpu =
+            (Nowa_util.Cpu.process_cpu_time () -. cpu0)
+            /. float_of_int (opts.runs + 1)
+          in
+          let wall = Stats.mean times in
+          let parks, wakeups = parks_wakeups () in
+          rows :=
+            [
+              pname; string_of_int workers;
+              Printf.sprintf "%.4f" wall;
+              Printf.sprintf "%.4f" cpu;
+              Printf.sprintf "%.4f" (cpu /. float_of_int workers);
+              string_of_int parks; string_of_int wakeups;
+            ]
+            :: !rows;
+          record ~mode:"saturated" ~policy:pname ~workers ~wall ~cpu ~parks
+            ~wakeups)
+        idle_policies)
+    worker_counts;
+  Nowa_util.Table.print ~header (List.rev !rows);
+  Buffer.add_string out "\n]\n";
+  let oc = open_out "BENCH_idle.json" in
+  Buffer.output_buffer oc out;
+  close_out oc;
+  Printf.printf "wrote BENCH_idle.json\n";
+  (* A park-heavy traced run: the serial phase under an aggressive park
+     threshold guarantees Park/Unpark events in the Perfetto output. *)
+  let workers = List.fold_left max 2 worker_counts in
+  let conf =
+    {
+      (Nowa.Config.with_workers workers) with
+      Nowa.Config.idle_policy = Nowa.Config.Park_after 64;
+      trace_capacity = default_trace_capacity;
+    }
+  in
+  ignore (R.run ~conf (fun () -> Nowa_util.Clock.spin_ns serial_ns));
+  (match R.last_trace () with
+  | Some tr ->
+    Nowa_trace.Perfetto.write_file
+      ~process_name:(Printf.sprintf "nowa:idle-park/%dw" workers)
+      "idle-park.trace.json" tr;
+    Printf.printf "wrote idle-park.trace.json\n"
+  | None -> Printf.eprintf "idle: runtime produced no trace\n")
+
 let all ~opts () =
   table1 ~opts ();
   figure1 ~opts ();
@@ -584,5 +741,6 @@ let by_name =
     ("traces", traces);
     ("scalability", scalability);
     ("causal", causal);
+    ("idle", idle);
     ("all", all);
   ]

@@ -143,8 +143,16 @@ let sim_profile ~inst ~bench ~workers ~model_name ~causal ~trace =
       file (List.length counters)
   | _ -> ()
 
-let main list bench runtime workers runs size madvise trace metrics_addr
-    metrics_out verbose model ledger causal =
+let parse_idle_policy = function
+  | "spin" -> Nowa.Config.Spin
+  | "yield" -> Nowa.Config.Yield_after 512
+  | "park" -> Nowa.Config.Park_after 512
+  | s ->
+    Printf.eprintf "unknown idle policy %S (spin|yield|park)\n" s;
+    exit 1
+
+let main list bench runtime workers runs size madvise idle_policy steal_sweep
+    trace metrics_addr metrics_out verbose model ledger causal =
   if list then list_benchmarks ()
   else begin
     (* Start the exposition endpoint before any run so the registry can
@@ -185,6 +193,8 @@ let main list bench runtime workers runs size madvise trace metrics_addr
         (Nowa.Config.with_workers workers) with
         Nowa.Config.madvise;
         trace_capacity = (if trace = None then 0 else trace_capacity);
+        idle_policy = parse_idle_policy idle_policy;
+        steal_sweep = max 1 steal_sweep;
       }
     in
     let reference = Nowa_kernels.Registry.reference size bench in
@@ -307,6 +317,29 @@ let cmd =
   let madvise =
     Arg.(value & flag & info [ "madvise" ] ~doc:"Enable the simulated madvise() stack-page release.")
   in
+  let idle_policy =
+    Arg.(
+      value
+      & opt string "park"
+      & info [ "idle-policy" ] ~docv:"POLICY"
+          ~doc:
+            "What an out-of-work worker does: $(b,spin) (busy-wait with \
+             backoff, burns a core), $(b,yield) (also yields the OS \
+             timeslice), or $(b,park) (the default: block on the worker's \
+             condition variable behind the wait-free sleeper registry). \
+             Composable with $(b,--trace) (Park/Unpark slices), \
+             $(b,--metrics-out) (nowa_scheduler_parks_total etc.) and \
+             $(b,--ledger).")
+  in
+  let steal_sweep =
+    Arg.(
+      value
+      & opt int (Nowa.Config.default ()).Nowa.Config.steal_sweep
+      & info [ "steal-sweep" ] ~docv:"N"
+          ~doc:
+            "Victims probed per steal round (batched steal width on the \
+             child-stealing and central baselines).")
+  in
   let trace =
     Arg.(
       value
@@ -369,6 +402,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
-    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal)
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal)
 
 let () = exit (Cmd.eval cmd)

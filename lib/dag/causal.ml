@@ -5,6 +5,7 @@ type knob =
   | Spawn_cost
   | Resume_cost
   | Contention
+  | Wake_latency
   | Strand_work of int
 
 let model_knobs =
@@ -17,6 +18,7 @@ let knob_name = function
   | Spawn_cost -> "spawn_cost"
   | Resume_cost -> "resume_cost"
   | Contention -> "contention"
+  | Wake_latency -> "wake_latency"
   | Strand_work v -> Printf.sprintf "strand_%d" v
 
 let apply (m : Cost_model.t) knob ~factor =
@@ -50,6 +52,8 @@ let apply (m : Cost_model.t) knob ~factor =
       atomic_contention_penalty =
         1.0 +. (factor *. (m.atomic_contention_penalty -. 1.0));
     }
+  | Wake_latency ->
+    { m with park_ns = m.park_ns *. factor; unpark_ns = m.unpark_ns *. factor }
   | Strand_work _ -> m
 
 type point = { factor : float; makespan_ns : float; gain_pct : float }

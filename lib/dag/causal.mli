@@ -26,10 +26,16 @@ type knob =
   | Resume_cost  (** stack switch / resume *)
   | Contention
       (** contention penalties, interpolated toward 1 (no penalty) *)
+  | Wake_latency
+      (** park-entry and unpark (wake-up) latency of the elastic idle
+          path.  Only moves the makespan under models with
+          [Cost_model.park_after > 0]; not in {!model_knobs} so stock
+          rankings are unchanged *)
   | Strand_work of int  (** one strand's recorded work *)
 
 val model_knobs : knob list
-(** The cost-model knobs (everything but [Strand_work]). *)
+(** The cost-model knobs, excluding [Strand_work] (per-strand, needs a
+    vertex) and [Wake_latency] (inert unless parking is enabled). *)
 
 val knob_name : knob -> string
 

@@ -20,6 +20,9 @@ type t = {
   steal_retry_ns : float;
   lock_contention_penalty : float;
   atomic_contention_penalty : float;
+  park_after : int;
+  park_ns : float;
+  unpark_ns : float;
 }
 
 (* Magnitudes follow published microbenchmarks of the modelled systems: a
@@ -46,6 +49,12 @@ let base =
     steal_retry_ns = 150.0;
     lock_contention_penalty = 4.0;
     atomic_contention_penalty = 1.5;
+    (* park_after = 0 disables parking, keeping every pre-existing model
+       bit-identical; the latencies price the announce+re-check sweep and
+       a futex wake respectively when a variant turns parking on. *)
+    park_after = 0;
+    park_ns = 1_500.0;
+    unpark_ns = 8_000.0;
   }
 
 let nowa = { base with cname = "nowa" }

@@ -51,6 +51,18 @@ type t = {
   atomic_contention_penalty : float;
       (** same for contended atomic RMWs (smaller: a CAS retries but
           never convoys) *)
+  park_after : int;
+      (** > 0: a virtual worker parks after this many consecutive failed
+          steal rounds once no ready task exists anywhere; its blocked
+          span lands in the ledger's [parked] category instead of [idle].
+          0 (every stock model) disables parking and leaves simulations
+          bit-identical to the pre-parking simulator *)
+  park_ns : float;
+      (** park-entry cost: sleeper-registry announce plus the full
+          re-check sweep, paid before blocking *)
+  unpark_ns : float;
+      (** wake-up latency from a spawner's signal to the worker stealing
+          again (futex wake + scheduler latency) *)
 }
 
 val nowa : t

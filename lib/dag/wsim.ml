@@ -14,6 +14,7 @@ type category =
   | Steal_search
   | Handoff
   | Idle
+  | Parked
 
 (* Ledger array indices.  Wait categories sit at [access + 1] so that the
    resource-acquisition path can derive one from the other. *)
@@ -26,13 +27,14 @@ let cat_alloc = 8
 let cat_steal = 10
 let cat_handoff = 11
 let cat_idle = 12
-let ncat = 13
+let cat_parked = 13
+let ncat = 14
 
 let categories =
   [
     Strand_work; Spawn_overhead; Deque_access; Deque_wait; Counter_access;
     Counter_wait; Central_access; Central_wait; Alloc_access; Alloc_wait;
-    Steal_search; Handoff; Idle;
+    Steal_search; Handoff; Idle; Parked;
   ]
 
 let category_index = function
@@ -49,6 +51,7 @@ let category_index = function
   | Steal_search -> cat_steal
   | Handoff -> cat_handoff
   | Idle -> cat_idle
+  | Parked -> cat_parked
 
 let category_name = function
   | Strand_work -> "strand_work"
@@ -64,6 +67,7 @@ let category_name = function
   | Steal_search -> "steal_search"
   | Handoff -> "handoff"
   | Idle -> "idle"
+  | Parked -> "parked"
 
 type ledger = {
   horizon_ns : float;
@@ -314,6 +318,18 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
     end
   done;
   let retry_interval = Array.make workers cm.steal_retry_ns in
+  (* -- elastic idle state ------------------------------------------------
+     [ready_tasks] counts tasks sitting in some queue; a virtual worker
+     parks only after [park_after] consecutive failed rounds AND when
+     this count is zero — mirroring the real registry's announce-then-
+     sweep guarantee that no pushed task is stranded with every worker
+     asleep.  Parked workers wake FIFO on the next push, paying
+     [unpark_ns] of wake latency; their blocked spans land in the
+     [parked] ledger category instead of [idle]. *)
+  let ready_tasks = ref 0 in
+  let fails = Array.make workers 0 in
+  let is_parked = Array.make workers false in
+  let parked_q = Queue.create () in
   let blocked : (int, int list) Hashtbl.t = Hashtbl.create 64 in
   let heap = Heap.create () in
   let events = ref 0 in
@@ -416,7 +432,43 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
        against simulation event count. *)
     retry_interval.(w) <- Float.min (retry_interval.(w) *. 2.0) 1_000.0
   in
-  let note_progress w = retry_interval.(w) <- cm.steal_retry_ns in
+  let note_progress w =
+    retry_interval.(w) <- cm.steal_retry_ns;
+    fails.(w) <- 0
+  in
+  let wake_parked t =
+    match Queue.take_opt parked_q with
+    | None -> ()
+    | Some pw ->
+      is_parked.(pw) <- false;
+      (* The max keeps intervals disjoint when the waking push sits
+         earlier in virtual time than the park entry (chains advance
+         local clocks past heap order). *)
+      let resume_t = Float.max (t +. cm.unpark_ns) frontier.(pw) in
+      account pw frontier.(pw) resume_t cat_parked;
+      emit pw resume_t Ev.Unpark 0;
+      note_progress pw;
+      Heap.push heap resume_t pw (-1)
+  in
+  let push_task q t v =
+    Intq.push_back q v;
+    incr ready_tasks;
+    wake_parked t
+  in
+  let idle_retry w t =
+    fails.(w) <- fails.(w) + 1;
+    if cm.park_after > 0 && fails.(w) >= cm.park_after && !ready_tasks = 0
+    then begin
+      (* Park entry: pay the announce + full re-check sweep, then block.
+         No retry event is scheduled — only a push can wake us. *)
+      account w t (t +. cm.park_ns) cat_steal;
+      emit w (t +. cm.park_ns) Ev.Park 0;
+      is_parked.(w) <- true;
+      fails.(w) <- 0;
+      Queue.push w parked_q
+    end
+    else schedule_retry w t
+  in
   (* [exec w t v]: worker [w] starts vertex [v] (a strand or spawn; sync
      vertices are entered through [arrive]) at time [t]. *)
   let rec exec w t v =
@@ -444,7 +496,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
               cm.push_lock_ns
           else t
         in
-        Intq.push_back deques.(w) (Dag.succ2 dag v);
+        push_task deques.(w) t (Dag.succ2 dag v);
         exec w t (Dag.succ1 dag v)
       | Child_stealing _ ->
         let t = allocate w t in
@@ -454,12 +506,12 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
               cm.push_lock_ns
           else t
         in
-        Intq.push_back deques.(w) (Dag.succ1 dag v);
+        push_task deques.(w) t (Dag.succ1 dag v);
         exec w t (Dag.succ2 dag v)
       | Central_queue ->
         let t = allocate w t in
         let t = acquire_central ~w t cm.push_lock_ns in
-        Intq.push_back central (Dag.succ1 dag v);
+        push_task central t (Dag.succ1 dag v);
         exec w t (Dag.succ2 dag v)
     end
   (* Strand [prev] on worker [w] ran into sync vertex [s]. *)
@@ -514,6 +566,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
           (* Not stolen: by the top-down stealing invariant [k] is this
              very frame's continuation; discard-and-proceed, no counter
              operation at all. *)
+          decr ready_tasks;
           pending.(s) <- pending.(s) - 1;
           let t =
             if cm.push_lock_ns > 0.0 then
@@ -568,6 +621,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
     match Intq.pop_back deques.(w) with
     | -1 -> None
     | v ->
+      decr ready_tasks;
       let t =
         if cm.push_lock_ns > 0.0 then
           acquire ~penalty:lockp ~cat:cat_deque ~rc:0 ~w deque_free w t
@@ -588,8 +642,9 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
       match Intq.pop_front central with
       | -1 ->
         emit w t Ev.Steal_abort 0;
-        schedule_retry w t
+        idle_retry w t
       | v ->
+        decr ready_tasks;
         incr steals;
         emit w t Ev.Steal_commit 0;
         note_progress w;
@@ -610,6 +665,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
           match Intq.pop_front deques.(victim) with
           | -1 -> (t, -1)
           | v ->
+            decr ready_tasks;
             let t =
               if cm.note_steal_lock_ns > 0.0 && frame_hint.(v) >= 0 then
                 acquire ~penalty:lockp ~cat:cat_counter ~rc:1 ~w frame_free
@@ -622,6 +678,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
           match Intq.pop_front deques.(victim) with
           | -1 -> (t, -1)
           | v ->
+            decr ready_tasks;
             (* CAS commit on the victim's top pointer. *)
             let t =
               acquire ~penalty:atomicp ~cat:cat_deque ~rc:0 ~w deque_free
@@ -655,7 +712,7 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
         account w t (t +. cm.resume_ns) cat_handoff;
         exec w (t +. cm.resume_ns) v
       end
-      else schedule_retry w t
+      else idle_retry w t
     end
   in
   (* Launch: worker 0 starts at the root; the rest go thieving. *)
@@ -711,8 +768,11 @@ let simulate ?(seed = 1) ?(max_events = 200_000_000) ?trace ?(detail = false)
     (* Fill each worker's timeline out to the horizon with idle time so
        the rows partition [0, horizon] exactly. *)
     let covered = Float.min frontier.(w) horizon in
-    if horizon > covered then
-      led.(w).(cat_idle) <- led.(w).(cat_idle) +. (horizon -. covered)
+    if horizon > covered then begin
+      (* Workers still parked at the finish stay parked to the horizon. *)
+      let cat = if is_parked.(w) then cat_parked else cat_idle in
+      led.(w).(cat) <- led.(w).(cat) +. (horizon -. covered)
+    end
   done;
   let ledger =
     { horizon_ns = horizon; lpartial = not finished; by_worker = led }

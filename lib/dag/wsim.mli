@@ -56,6 +56,11 @@ type category =
   | Steal_search  (** thief-local victim probing *)
   | Handoff  (** stack switch / resume after a steal or pop *)
   | Idle  (** no work and not probing: backoff sleep, start-up stagger *)
+  | Parked
+      (** blocked on the (simulated) per-worker condition variable: the
+          elastic idle path's sleeping state.  Only models with
+          [Cost_model.park_after > 0] ever charge it; it splits what was
+          previously all [Idle] into spinning vs sleeping time *)
 
 val categories : category list
 (** All categories, in ledger-index order. *)

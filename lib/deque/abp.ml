@@ -81,6 +81,18 @@ struct
       else None
     end
 
+  (* The age word admits only single-element CAS transfers, so a batch is
+     [max] independent steals ending at the first empty/raced attempt. *)
+  let steal_batch t ~max:max_take ~on_commit =
+    let rec go n acc =
+      if n >= max_take then List.rev acc
+      else
+        match steal t ~on_commit with
+        | None -> List.rev acc
+        | Some v -> go (n + 1) (v :: acc)
+    in
+    go 0 []
+
   let size t =
     let b = Atomic.get t.bot in
     let _, top = unpack (Atomic.get t.age) in

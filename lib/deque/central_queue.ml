@@ -13,6 +13,17 @@ let pop t =
   Mutex.unlock t.lock;
   r
 
+let pop_batch t ~max:max_take =
+  Mutex.lock t.lock;
+  let out = ref [] in
+  let n = ref 0 in
+  while !n < max_take && not (Queue.is_empty t.q) do
+    out := Queue.pop t.q :: !out;
+    incr n
+  done;
+  Mutex.unlock t.lock;
+  List.rev !out
+
 let size t =
   Mutex.lock t.lock;
   let n = Queue.length t.q in

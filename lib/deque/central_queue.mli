@@ -15,4 +15,9 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 (** Dequeue from the front; [None] if empty. *)
 
+val pop_batch : 'a t -> max:int -> 'a list
+(** Dequeue up to [max] elements from the front under one lock
+    acquisition, preserving FIFO order.  Amortises the lock cost when a
+    worker drains several tasks at once; [[]] if empty. *)
+
 val size : 'a t -> int

@@ -108,6 +108,18 @@ struct
       end
       else None
 
+  (* No multi-element CAS on [top], so a batch is [max] independent
+     steals; the first empty/raced attempt ends the sweep. *)
+  let steal_batch t ~max:max_take ~on_commit =
+    let rec go n acc =
+      if n >= max_take then List.rev acc
+      else
+        match steal t ~on_commit with
+        | None -> List.rev acc
+        | Some v -> go (n + 1) (v :: acc)
+    in
+    go 0 []
+
   let size t =
     let b = Atomic.get t.bottom in
     let tp = Atomic.get t.top in

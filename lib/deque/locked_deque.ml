@@ -76,5 +76,29 @@ struct
     Mutex.unlock t.lock;
     r
 
+  (* steal_half under a single lock acquisition: take up to [max] elements
+     but never more than half the deque (rounded up), leaving the owner the
+     newer half to keep working on locally. *)
+  let steal_batch t ~max:max_take ~on_commit =
+    Mutex.lock t.lock;
+    let avail = t.tail - t.head in
+    let take = min max_take ((avail + 1) / 2) in
+    let r =
+      if take <= 0 then []
+      else begin
+        let out = ref [] in
+        for _ = 1 to take do
+          let v = t.slots.(t.head land t.mask) in
+          t.slots.(t.head land t.mask) <- E.dummy;
+          t.head <- t.head + 1;
+          on_commit v;
+          out := v :: !out
+        done;
+        List.rev !out
+      end
+    in
+    Mutex.unlock t.lock;
+    r
+
   let size t = max 0 (t.tail - t.head)
 end

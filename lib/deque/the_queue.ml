@@ -106,6 +106,34 @@ struct
       Some v
     end
 
+  (* Batched grab under one lock acquisition: repeat the THE steal
+     protocol while the lock is held, so the per-steal lock cost is paid
+     once for the whole batch.  Capped at half the visible elements so
+     the owner keeps its newer half. *)
+  let steal_batch t ~max:max_take ~on_commit =
+    Mutex.lock t.lock;
+    let avail = max 0 (Atomic.get t.tail - Atomic.get t.head) in
+    let take = min max_take ((avail + 1) / 2) in
+    let out = ref [] in
+    (try
+       for _ = 1 to take do
+         let head = Atomic.get t.head in
+         Atomic.set t.head (head + 1);
+         let tail = Atomic.get t.tail in
+         if head + 1 > tail then begin
+           Atomic.set t.head head;
+           raise Exit
+         end
+         else begin
+           let v = t.slots.(head land t.mask) in
+           on_commit v;
+           out := v :: !out
+         end
+       done
+     with Exit -> ());
+    Mutex.unlock t.lock;
+    List.rev !out
+
   let size t =
     let tail = Atomic.get t.tail and head = Atomic.get t.head in
     max 0 (tail - head)

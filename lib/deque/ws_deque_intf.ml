@@ -48,6 +48,15 @@ module type S = sig
 
   val size : t -> int
   (** Approximate number of elements; exact when quiescent. *)
+
+  val steal_batch : t -> max:int -> on_commit:(elt -> unit) -> elt list
+  (** Thief operation: take up to [max] elements from the top in FIFO
+      order, oldest first.  [on_commit] runs once per element actually
+      transferred, under the same guarantee as {!steal}.  Lock-based
+      deques take the whole batch under one critical section (the
+      [steal_half] idiom: one lock acquisition amortised over the batch);
+      CAS-based deques degrade to [max] independent {!steal}s, stopping
+      at the first failure.  Returns [[]] when nothing could be taken. *)
 end
 
 (** A deque implementation, abstracted over its element type. *)

@@ -30,6 +30,10 @@ end) : Runtime_intf.S = struct
     tr : Ring.t;
     mutable depth : int;  (* task nesting (helping at sync): only the
                              outermost start/end delimits a busy slice *)
+    mutable stash : task list;
+        (* surplus of the last batched grab, served before the lock is
+           touched again — the steal_half-style amortisation for the
+           central queue *)
   }
 
   type pool = {
@@ -37,6 +41,7 @@ end) : Runtime_intf.S = struct
     queue : task Nowa_deque.Central_queue.t;
     workers : worker array;
     finished : bool Atomic.t;
+    sleepers : Sleepers.t;
   }
 
   let current : (pool * worker) option Domain.DLS.key =
@@ -61,15 +66,24 @@ end) : Runtime_intf.S = struct
     w.depth <- w.depth - 1
 
   let poll pool w =
-    w.m.steal_attempts <- w.m.steal_attempts + 1;
-    Ring.emit w.tr Ev.Steal_attempt 0;
-    match Nowa_deque.Central_queue.pop pool.queue with
-    | Some _ as r ->
-      Ring.emit w.tr Ev.Steal_commit 0;
-      r
-    | None ->
-      Ring.emit w.tr Ev.Steal_abort 0;
-      None
+    match w.stash with
+    | t :: rest ->
+      w.stash <- rest;
+      Some t
+    | [] -> (
+      w.m.steal_attempts <- w.m.steal_attempts + 1;
+      Ring.emit w.tr Ev.Steal_attempt 0;
+      match
+        Nowa_deque.Central_queue.pop_batch pool.queue
+          ~max:(max 1 pool.conf.Config.steal_sweep)
+      with
+      | [] ->
+        Ring.emit w.tr Ev.Steal_abort 0;
+        None
+      | head :: rest ->
+        Ring.emit w.tr Ev.Steal_commit 0;
+        w.stash <- rest;
+        Some head)
 
   let wait_for pool w fr =
     w.m.suspensions <- w.m.suspensions + 1;
@@ -83,19 +97,79 @@ end) : Runtime_intf.S = struct
       | None -> Nowa_util.Backoff.once bo
     done
 
+  (* Pre-park re-check: the stash is owner-local and the central pop is
+     mutex-synchronised, so this one probe is the whole-system sweep —
+     the queue is the only place work can hide. *)
+  let sweep_all pool w =
+    match w.stash with
+    | t :: rest ->
+      w.stash <- rest;
+      Some t
+    | [] -> Nowa_deque.Central_queue.pop pool.queue
+
+  let park_round pool w =
+    ignore (Sleepers.announce pool.sleepers ~worker:w.id);
+    let cancel () =
+      if not (Sleepers.cancel pool.sleepers ~worker:w.id) then
+        w.m.wake_retries <- w.m.wake_retries + 1
+    in
+    match sweep_all pool w with
+    | Some _ as r ->
+      cancel ();
+      r
+    | None ->
+      if Atomic.get pool.finished then cancel ()
+      else begin
+        w.m.parks <- w.m.parks + 1;
+        Ring.emit w.tr Ev.Park 0;
+        let t0 = Nowa_util.Clock.now_ns () in
+        Sleepers.park pool.sleepers ~worker:w.id;
+        w.m.parked_ns <- w.m.parked_ns + (Nowa_util.Clock.now_ns () - t0);
+        Ring.emit w.tr Ev.Unpark 0
+      end;
+      None
+
+  (* Three-phase elastic idle path (spin, yield, park), as in the
+     work-stealing engines. *)
   let worker_loop pool w =
     let bo = Nowa_util.Backoff.make () in
+    let spin_budget, can_park =
+      match pool.conf.Config.idle_policy with
+      | Config.Spin -> (max_int, false)
+      | Config.Yield_after n -> (max 1 n, false)
+      | Config.Park_after n -> (max 1 n, true)
+    in
+    let can_park = can_park && w.id < Sleepers.mask_bits in
+    let rounds = ref 0 in
     let rec go () =
       if Atomic.get pool.finished then ()
       else
         match poll pool w with
         | Some t ->
           Nowa_util.Backoff.reset bo;
+          rounds := 0;
           run_task w t;
           go ()
         | None ->
-          Nowa_util.Backoff.once bo;
-          go ()
+          incr rounds;
+          if !rounds <= spin_budget then begin
+            Nowa_util.Backoff.once bo;
+            go ()
+          end
+          else if (not can_park) || !rounds <= 2 * spin_budget then begin
+            Unix.sleepf 0.0;
+            go ()
+          end
+          else begin
+            (match park_round pool w with
+            | Some t ->
+              Nowa_util.Backoff.reset bo;
+              run_task w t
+            | None -> ());
+            Nowa_util.Backoff.reset bo;
+            rounds := 0;
+            go ()
+          end
     in
     go ()
 
@@ -125,9 +199,16 @@ end) : Runtime_intf.S = struct
         conf;
         queue = Nowa_deque.Central_queue.create ();
         finished = Atomic.make false;
+        sleepers = Sleepers.create ~workers:nw;
         workers =
           Array.init nw (fun i ->
-              { id = i; m = Metrics.make_worker i; tr = ring_for i; depth = 0 });
+              {
+                id = i;
+                m = Metrics.make_worker i;
+                tr = ring_for i;
+                depth = 0;
+                stash = [];
+              });
       }
     in
     Metrics.publish (Array.map (fun w -> w.m) pool.workers);
@@ -138,7 +219,8 @@ end) : Runtime_intf.S = struct
           (match main () with
           | v -> result := Some (Ok v)
           | exception e -> result := Some (Error e));
-          Atomic.set pool.finished true)
+          Atomic.set pool.finished true;
+          Sleepers.wake_all pool.sleepers)
     in
     let t0 = Unix.gettimeofday () in
     let domains =
@@ -155,6 +237,7 @@ end) : Runtime_intf.S = struct
     let teardown () =
       Domain.DLS.set current None;
       Atomic.set pool.finished true;
+      Sleepers.wake_all pool.sleepers;
       List.iter Domain.join domains;
       Runtime_guard.exit ()
     in
@@ -210,6 +293,8 @@ end) : Runtime_intf.S = struct
       ignore (Atomic.fetch_and_add fr.pending (-1))
     in
     Nowa_deque.Central_queue.push pool.queue (Task body);
+    (* One load when nobody sleeps; CAS + signal only for a sleeper. *)
+    if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1;
     p
 
   let get p = Promise.get ~runtime:name p

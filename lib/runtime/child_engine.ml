@@ -62,6 +62,7 @@ module Make
     conf : Config.t;
     workers : worker array;
     finished : bool Atomic.t;
+    sleepers : Sleepers.t;
   }
 
   let current : (pool * worker) option Domain.DLS.key =
@@ -87,22 +88,47 @@ module Make
 
   let no_commit _ = ()
 
+  (* Sweep up to [steal_sweep] distinct victims; each probe is a batched
+     ([steal_half]-style) grab of up to [steal_sweep] tasks under one
+     acquisition.  The head is returned to run now; the surplus moves to
+     the thief's own deque so the next LIFO pops serve it without
+     touching the victim again.  Tasks are plain closures here, so
+     re-homing them is always legal (no continuation ownership). *)
   let try_steal pool w =
     let n = Array.length pool.workers in
     if n = 1 then None
     else begin
-      w.m.steal_attempts <- w.m.steal_attempts + 1;
-      let v = Nowa_util.Xoshiro.int w.rng n in
-      let v = if v = w.id then (v + 1) mod n else v in
-      Ring.emit w.tr Ev.Steal_attempt v;
-      match Q.steal pool.workers.(v).deque ~on_commit:no_commit with
-      | Some t ->
-        w.m.steals <- w.m.steals + 1;
-        Ring.emit w.tr Ev.Steal_commit v;
-        Some t
-      | None ->
-        Ring.emit w.tr Ev.Steal_abort v;
-        None
+      let sweep = min (max 1 pool.conf.Config.steal_sweep) (n - 1) in
+      let start = Nowa_util.Xoshiro.int w.rng (n - 1) in
+      let rec probe i =
+        if i >= sweep then begin
+          Nowa_obs.Histogram.observe Metrics.sweep_length sweep;
+          None
+        end
+        else begin
+          let v = (w.id + 1 + ((start + i) mod (n - 1))) mod n in
+          w.m.steal_attempts <- w.m.steal_attempts + 1;
+          Ring.emit w.tr Ev.Steal_attempt v;
+          match
+            Q.steal_batch pool.workers.(v).deque ~max:sweep
+              ~on_commit:no_commit
+          with
+          | [] ->
+            Ring.emit w.tr Ev.Steal_abort v;
+            probe (i + 1)
+          | head :: extra ->
+            w.m.steals <- w.m.steals + 1 + List.length extra;
+            Ring.emit w.tr Ev.Steal_commit v;
+            List.iter
+              (fun t ->
+                try Q.push_bottom w.deque t
+                with Nowa_deque.Ws_deque_intf.Full -> run_task w t)
+              extra;
+            Nowa_obs.Histogram.observe Metrics.sweep_length (i + 1);
+            Some head
+        end
+      in
+      probe 0
     end
 
   (* OpenMP taskwait / TBB wait_for_all: execute tasks until the frame's
@@ -128,29 +154,102 @@ module Make
           | None -> Nowa_util.Backoff.once bo))
     done
 
+  (* Pre-park re-check: real steal probes over every deque (no size
+     reads — they are unsynchronised on the locked deque), starting with
+     the worker's own.  See {!Engine.sweep_all} for the ordering
+     argument; it is identical here. *)
+  let sweep_all pool w =
+    match Q.pop_bottom w.deque with
+    | Some t -> Some t
+    | None ->
+      let n = Array.length pool.workers in
+      let rec go i =
+        if i >= n then None
+        else begin
+          let v = (w.id + i) mod n in
+          w.m.steal_attempts <- w.m.steal_attempts + 1;
+          match Q.steal pool.workers.(v).deque ~on_commit:no_commit with
+          | Some t ->
+            w.m.steals <- w.m.steals + 1;
+            Ring.emit w.tr Ev.Steal_commit v;
+            Some t
+          | None -> go (i + 1)
+        end
+      in
+      go 0
+
+  let park_round pool w =
+    ignore (Sleepers.announce pool.sleepers ~worker:w.id);
+    let cancel () =
+      if not (Sleepers.cancel pool.sleepers ~worker:w.id) then
+        w.m.wake_retries <- w.m.wake_retries + 1
+    in
+    match sweep_all pool w with
+    | Some _ as r ->
+      cancel ();
+      r
+    | None ->
+      if Atomic.get pool.finished then cancel ()
+      else begin
+        w.m.parks <- w.m.parks + 1;
+        Ring.emit w.tr Ev.Park 0;
+        let t0 = Nowa_util.Clock.now_ns () in
+        Sleepers.park pool.sleepers ~worker:w.id;
+        w.m.parked_ns <- w.m.parked_ns + (Nowa_util.Clock.now_ns () - t0);
+        Ring.emit w.tr Ev.Unpark 0
+      end;
+      None
+
+  (* Same three-phase elastic idle path as the continuation-stealing
+     engine: spin with backoff, then yield the timeslice, then park via
+     the sleeper registry. *)
   let worker_loop pool w =
     let bo = Nowa_util.Backoff.make () in
-    let failures = ref 0 in
+    let spin_budget, can_park =
+      match pool.conf.Config.idle_policy with
+      | Config.Spin -> (max_int, false)
+      | Config.Yield_after n -> (max 1 n, false)
+      | Config.Park_after n -> (max 1 n, true)
+    in
+    let can_park = can_park && w.id < Sleepers.mask_bits in
+    let rounds = ref 0 in
     let rec go () =
       if Atomic.get pool.finished then ()
       else
         match Q.pop_bottom w.deque with
         | Some t ->
           Nowa_util.Backoff.reset bo;
+          rounds := 0;
           run_task w t;
           go ()
         | None -> (
           match try_steal pool w with
           | Some t ->
             Nowa_util.Backoff.reset bo;
-            failures := 0;
+            rounds := 0;
             run_task w t;
             go ()
           | None ->
-            incr failures;
-            if !failures mod pool.conf.Config.steal_attempts = 0 then
-              Nowa_util.Backoff.once bo;
-            go ())
+            incr rounds;
+            if !rounds <= spin_budget then begin
+              if !rounds mod pool.conf.Config.steal_attempts = 0 then
+                Nowa_util.Backoff.once bo;
+              go ()
+            end
+            else if (not can_park) || !rounds <= 2 * spin_budget then begin
+              Unix.sleepf 0.0;
+              go ()
+            end
+            else begin
+              (match park_round pool w with
+              | Some t ->
+                Nowa_util.Backoff.reset bo;
+                run_task w t
+              | None -> ());
+              Nowa_util.Backoff.reset bo;
+              rounds := 0;
+              go ()
+            end)
     in
     go ()
 
@@ -179,6 +278,7 @@ module Make
       {
         conf;
         finished = Atomic.make false;
+        sleepers = Sleepers.create ~workers:nw;
         workers =
           Array.init nw (fun i ->
               {
@@ -199,7 +299,8 @@ module Make
           (match main () with
           | v -> result := Some (Ok v)
           | exception e -> result := Some (Error e));
-          Atomic.set pool.finished true)
+          Atomic.set pool.finished true;
+          Sleepers.wake_all pool.sleepers)
     in
     let t0 = Unix.gettimeofday () in
     let domains =
@@ -216,6 +317,7 @@ module Make
     let teardown () =
       Domain.DLS.set current None;
       Atomic.set pool.finished true;
+      Sleepers.wake_all pool.sleepers;
       List.iter Domain.join domains;
       Runtime_guard.exit ()
     in
@@ -263,7 +365,7 @@ module Make
     | None -> ()
 
   let spawn fr thunk =
-    let _, w = get_current () in
+    let pool, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
     Ring.emit w.tr Ev.Spawn 0;
     let p = Promise.make () in
@@ -280,6 +382,8 @@ module Make
       ignore (Atomic.fetch_and_add fr.pending (-1))
     in
     Q.push_bottom w.deque (Task body);
+    (* One load when nobody sleeps; CAS + signal only for a sleeper. *)
+    if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1;
     p
 
   let get p = Promise.get ~runtime:name p

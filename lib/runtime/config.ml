@@ -1,5 +1,6 @@
 type victim_policy = Random | Round_robin
 type madvise_mode = Madv_free | Madv_dontneed
+type idle_policy = Spin | Yield_after of int | Park_after of int
 
 type t = {
   workers : int;
@@ -16,6 +17,8 @@ type t = {
   stack_limit : int option;
   collect_metrics : bool;
   trace_capacity : int;
+  idle_policy : idle_policy;
+  steal_sweep : int;
 }
 
 let default () =
@@ -34,6 +37,8 @@ let default () =
     stack_limit = None;
     collect_metrics = true;
     trace_capacity = 0;
+    idle_policy = Park_after 512;
+    steal_sweep = 2;
   }
 
 let with_workers n = { (default ()) with workers = max 1 n }

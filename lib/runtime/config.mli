@@ -4,6 +4,19 @@ type victim_policy =
   | Random  (** randomised work stealing (the default, Blumofe-Leiserson) *)
   | Round_robin  (** cyclic victim scan — an ablation knob *)
 
+type idle_policy =
+  | Spin  (** pure busy-wait with exponential backoff — the pre-elastic
+              behaviour; burns a core per idle worker *)
+  | Yield_after of int
+      (** after that many consecutive failed steal rounds, each further
+          round also yields the OS timeslice (cooperative step; never
+          blocks) *)
+  | Park_after of int
+      (** after that many failed rounds spinning and as many again
+          yielding, announce in the sleeper registry, re-check every
+          deque, and block on the worker's condition variable until a
+          spawner wakes it (the default) *)
+
 type madvise_mode =
   | Madv_free
       (** lazy page reclamation: pages are freed at the modelled syscall
@@ -47,6 +60,16 @@ type t = {
           then pay a single flag check per emission site.  The trace of
           the last run is available through
           {!Runtime_intf.S.last_trace}. *)
+  idle_policy : idle_policy;
+      (** What an out-of-work worker does: see {!idle_policy}.  Parking
+          never touches the spawn/join hot path — spawners pay one atomic
+          load unless a sleeper actually exists. *)
+  steal_sweep : int;
+      (** Victims probed per steal round (clamped to the victim count).
+          Continuation-stealing engines sweep this many distinct randomised
+          victims before counting the round as failed; the child-stealing
+          and central baselines additionally grab up to this many tasks in
+          one batched ([steal_half]-style) acquisition. *)
 }
 
 val default : unit -> t

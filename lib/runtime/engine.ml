@@ -66,6 +66,7 @@ module Make
     workers : worker array;
     stacks : Stack_pool.t;
     finished : bool Atomic.t;
+    sleepers : Sleepers.t;
   }
 
   type _ Effect.t +=
@@ -160,6 +161,9 @@ module Make
     | Some s -> Stack_pool.touch s ~pages:1 ~max_pages:pool.conf.Config.stack_pages
     | None -> ());
     Q.push_bottom w.deque (Stolen (k, fr));
+    (* One atomic load when nobody sleeps — the spawn path stays
+       wait-free; the CAS + signal run only against an actual sleeper. *)
+    if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1;
     exec_child fr thunk
 
   and handle_sync : frame -> cont -> unit =
@@ -220,18 +224,34 @@ module Make
     | None ->
       if n = 1 then None
       else begin
-        let v =
+        (* Sweep up to [steal_sweep] distinct victims before counting the
+           round as failed.  Victims are addressed as offsets in
+           [0, n-2] rotated past the thief's own id, so the sweep never
+           probes itself and never repeats a victim. *)
+        let sweep = min (max 1 pool.conf.Config.steal_sweep) (n - 1) in
+        let start =
           match pool.conf.Config.victim_policy with
-          | Config.Random ->
-            let v = Nowa_util.Xoshiro.int w.rng n in
-            if v = w.id then (v + 1) mod n else v
+          | Config.Random -> Nowa_util.Xoshiro.int w.rng (n - 1)
           | Config.Round_robin ->
-            let v = w.next_victim mod n in
-            let v = if v = w.id then (v + 1) mod n else v in
-            w.next_victim <- v + 1;
+            let v = w.next_victim mod (n - 1) in
+            w.next_victim <- v + sweep;
             v
         in
-        attempt pool.workers.(v)
+        let rec probe i =
+          if i >= sweep then begin
+            Nowa_obs.Histogram.observe Metrics.sweep_length sweep;
+            None
+          end
+          else begin
+            let v = (w.id + 1 + ((start + i) mod (n - 1))) mod n in
+            match attempt pool.workers.(v) with
+            | Some _ as r ->
+              Nowa_obs.Histogram.observe Metrics.sweep_length (i + 1);
+              r
+            | None -> probe (i + 1)
+          end
+        in
+        probe 0
       end
 
   let execute pool w task =
@@ -248,23 +268,105 @@ module Make
       Effect.Deep.continue k ());
     Ring.emit w.tr Ev.Task_end 0
 
+  (* Pre-park re-check: a deterministic sweep over EVERY deque (own
+     included) using real steal operations.  Size reads would not do —
+     the locked deque's [size] reads plain mutable fields without the
+     lock — whereas [steal] synchronises properly on every
+     implementation.  Because the caller has already announced its
+     sleeper bit, sequential consistency gives: any task pushed before
+     the spawner's registry load is visible to this sweep, or was taken
+     by a racing thief that is itself awake and holding work. *)
+  let sweep_all pool w =
+    let n = Array.length pool.workers in
+    let rec go i =
+      if i >= n then None
+      else begin
+        let victim = pool.workers.((w.id + i) mod n) in
+        w.m.steal_attempts <- w.m.steal_attempts + 1;
+        match Q.steal victim.deque ~on_commit with
+        | Some _ as r ->
+          Ring.emit w.tr Ev.Steal_commit victim.id;
+          r
+        | None -> go (i + 1)
+      end
+    in
+    go 0
+
+  (* One park round: announce, re-check everything, then either run what
+     the re-check found, bail out on shutdown, or block until a spawner
+     posts a token.  Returns work if the re-check produced any. *)
+  let park_round pool w =
+    ignore (Sleepers.announce pool.sleepers ~worker:w.id);
+    let cancel () =
+      if not (Sleepers.cancel pool.sleepers ~worker:w.id) then
+        (* A waker claimed our bit first: its token is in flight and the
+           next park will consume it immediately. *)
+        w.m.wake_retries <- w.m.wake_retries + 1
+    in
+    match sweep_all pool w with
+    | Some _ as r ->
+      cancel ();
+      r
+    | None ->
+      if Atomic.get pool.finished then cancel ()
+      else begin
+        w.m.parks <- w.m.parks + 1;
+        Ring.emit w.tr Ev.Park 0;
+        let t0 = Nowa_util.Clock.now_ns () in
+        Sleepers.park pool.sleepers ~worker:w.id;
+        w.m.parked_ns <- w.m.parked_ns + (Nowa_util.Clock.now_ns () - t0);
+        Ring.emit w.tr Ev.Unpark 0
+      end;
+      None
+
+  (* Three-phase elastic idle path: [spin_budget] rounds of pure
+     spinning (with the existing truncated backoff), the same again
+     yielding the OS timeslice each round, then parking.  [finished] is
+     checked on every iteration of every phase, and shutdown wakes all
+     parked workers, so exit is prompt in all phases. *)
   let worker_loop pool w =
     let bo = Nowa_util.Backoff.make () in
-    let failures = ref 0 in
+    let spin_budget, can_park =
+      match pool.conf.Config.idle_policy with
+      | Config.Spin -> (max_int, false)
+      | Config.Yield_after n -> (max 1 n, false)
+      | Config.Park_after n -> (max 1 n, true)
+    in
+    (* Workers beyond the registry's bitmask width degrade to yield. *)
+    let can_park = can_park && w.id < Sleepers.mask_bits in
+    let rounds = ref 0 in
     let rec go () =
       if Atomic.get pool.finished then ()
       else
         match try_steal pool w with
         | Some t ->
           Nowa_util.Backoff.reset bo;
-          failures := 0;
+          rounds := 0;
           execute pool w t;
           go ()
         | None ->
-          incr failures;
-          if !failures mod pool.conf.Config.steal_attempts = 0 then
-            Nowa_util.Backoff.once bo;
-          go ()
+          incr rounds;
+          if !rounds <= spin_budget then begin
+            if !rounds mod pool.conf.Config.steal_attempts = 0 then
+              Nowa_util.Backoff.once bo;
+            go ()
+          end
+          else if (not can_park) || !rounds <= 2 * spin_budget then begin
+            Unix.sleepf 0.0;
+            go ()
+          end
+          else begin
+            (match park_round pool w with
+            | Some t ->
+              Nowa_util.Backoff.reset bo;
+              execute pool w t
+            | None -> ());
+            (* Fresh spin phase after an unpark (work just appeared) or
+               a shutdown wake (the [finished] check above exits). *)
+            Nowa_util.Backoff.reset bo;
+            rounds := 0;
+            go ()
+          end
     in
     go ()
 
@@ -294,6 +396,7 @@ module Make
         conf;
         stacks = Stack_pool.create conf;
         finished = Atomic.make false;
+        sleepers = Sleepers.create ~workers:nw;
         workers =
           Array.init nw (fun i ->
               {
@@ -329,11 +432,13 @@ module Make
               retc =
                 (fun v ->
                   result := Some (Ok v);
-                  Atomic.set pool.finished true);
+                  Atomic.set pool.finished true;
+                  Sleepers.wake_all pool.sleepers);
               exnc =
                 (fun e ->
                   result := Some (Error e);
-                  Atomic.set pool.finished true);
+                  Atomic.set pool.finished true;
+                  Sleepers.wake_all pool.sleepers);
               effc;
             })
     in
@@ -354,8 +459,9 @@ module Make
       if not !joined then begin
         joined := true;
         (* Make sure helper domains can terminate even if worker 0 died
-           on a scheduler bug. *)
+           on a scheduler bug; parked workers need the explicit wake. *)
         Atomic.set pool.finished true;
+        Sleepers.wake_all pool.sleepers;
         List.iter Domain.join domains
       end
     in

@@ -10,6 +10,10 @@ type worker = {
   mutable tasks : int;
   mutable stack_acquires : int;
   mutable stack_releases : int;
+  mutable parks : int;
+  mutable parked_ns : int;
+  mutable wakeups : int;
+  mutable wake_retries : int;
 }
 
 type stack_stats = {
@@ -39,9 +43,20 @@ let make_worker id =
     tasks = 0;
     stack_acquires = 0;
     stack_releases = 0;
+    parks = 0;
+    parked_ns = 0;
+    wakeups = 0;
+    wake_retries = 0;
   }
 
 let make ?stacks workers ~elapsed_s = { workers; elapsed_s; stacks }
+
+(* Victims probed per failed-then-successful steal round; observed by the
+   engines at the end of each sweep.  A wide distribution here means the
+   sweep width ([Config.steal_sweep]) is doing real work. *)
+let sweep_length =
+  Nowa_obs.Registry.histogram "nowa_scheduler_steal_sweep_length"
+    ~help:"Victims probed per steal round before success or give-up."
 
 let total t f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers
 
@@ -49,7 +64,7 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>workers=%d elapsed=%.4fs spawns=%d steals=%d attempts=%d \
      lost-conts=%d suspensions=%d fast-syncs=%d resumes=%d tasks=%d \
-     stack-acq=%d"
+     stack-acq=%d parks=%d parked=%.2fms wakeups=%d wake-retries=%d"
     (Array.length t.workers) t.elapsed_s
     (total t (fun w -> w.spawns))
     (total t (fun w -> w.steals))
@@ -59,7 +74,11 @@ let pp ppf t =
     (total t (fun w -> w.fast_syncs))
     (total t (fun w -> w.resumes))
     (total t (fun w -> w.tasks))
-    (total t (fun w -> w.stack_acquires));
+    (total t (fun w -> w.stack_acquires))
+    (total t (fun w -> w.parks))
+    (float_of_int (total t (fun w -> w.parked_ns)) /. 1e6)
+    (total t (fun w -> w.wakeups))
+    (total t (fun w -> w.wake_retries));
   (match t.stacks with
   | None -> ()
   | Some s ->
@@ -136,6 +155,18 @@ let collect () =
           "Stack-pool acquisitions." (fun w -> w.stack_acquires);
         counter "nowa_scheduler_stack_releases_total"
           "Stack-pool releases." (fun w -> w.stack_releases);
+        counter "nowa_scheduler_parks_total"
+          "Times an idle worker blocked on its condition variable."
+          (fun w -> w.parks);
+        counter "nowa_scheduler_parked_ns_total"
+          "Nanoseconds workers spent parked (not consuming CPU)."
+          (fun w -> w.parked_ns);
+        counter "nowa_scheduler_wakeups_total"
+          "Sleeper-registry wake-ups issued by spawners."
+          (fun w -> w.wakeups);
+        counter "nowa_scheduler_wake_retries_total"
+          "Park cancellations that raced a wake (token consumed late)."
+          (fun w -> w.wake_retries);
       ]
     in
     let stacks =

@@ -15,6 +15,12 @@ type worker = {
   mutable tasks : int;  (** tasks executed from the scheduler loop *)
   mutable stack_acquires : int;
   mutable stack_releases : int;
+  mutable parks : int;  (** times this worker blocked on its condvar *)
+  mutable parked_ns : int;  (** nanoseconds spent parked (zero CPU) *)
+  mutable wakeups : int;  (** wake-ups this worker issued as a spawner *)
+  mutable wake_retries : int;
+      (** park cancellations that raced a wake; the stray token makes a
+          later park return immediately (lost-wakeup retry, benign) *)
 }
 
 type stack_stats = {
@@ -35,6 +41,10 @@ type t = {
 
 val make_worker : int -> worker
 val make : ?stacks:stack_stats -> worker array -> elapsed_s:float -> t
+
+val sweep_length : Nowa_obs.Histogram.t
+(** [nowa_scheduler_steal_sweep_length]: victims probed per steal round
+    before success or give-up; observed by the engines per sweep. *)
 
 val total : t -> (worker -> int) -> int
 (** Sum a counter over all workers. *)

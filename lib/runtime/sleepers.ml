@@ -1,0 +1,110 @@
+let mask_bits = 48
+
+let mask_all = (1 lsl mask_bits) - 1
+let epoch_one = 1 lsl mask_bits
+
+(* Per-worker counting semaphore.  [tokens] only moves under [mu]; it can
+   exceed 1 transiently when a wake races a cancel, which just makes the
+   next park return immediately. *)
+type slot = { mu : Mutex.t; cv : Condition.t; mutable tokens : int }
+
+type t = { word : int Atomic.t; slots : slot array }
+
+let create ~workers =
+  {
+    word = Atomic.make 0;
+    slots =
+      Array.init workers (fun _ ->
+          { mu = Mutex.create (); cv = Condition.create (); tokens = 0 });
+  }
+
+let announce t ~worker =
+  if worker >= mask_bits then false
+  else begin
+    let bit = 1 lsl worker in
+    let rec go () =
+      let cur = Atomic.get t.word in
+      if Atomic.compare_and_set t.word cur (cur lor bit) then ()
+      else go ()
+    in
+    go ();
+    true
+  end
+
+let cancel t ~worker =
+  let bit = 1 lsl worker in
+  let rec go () =
+    let cur = Atomic.get t.word in
+    if cur land bit = 0 then false (* a waker claimed us first *)
+    else if Atomic.compare_and_set t.word cur (cur lxor bit) then true
+    else go ()
+  in
+  go ()
+
+let post slot =
+  Mutex.lock slot.mu;
+  slot.tokens <- slot.tokens + 1;
+  Condition.signal slot.cv;
+  Mutex.unlock slot.mu
+
+let park t ~worker =
+  let slot = t.slots.(worker) in
+  Mutex.lock slot.mu;
+  while slot.tokens = 0 do
+    Condition.wait slot.cv slot.mu
+  done;
+  slot.tokens <- slot.tokens - 1;
+  Mutex.unlock slot.mu
+
+(* Lowest set bit index; the mask is never 0 when called. *)
+let ctz m =
+  let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+let wake_one t =
+  (* Single load on the fast path: the spawn-side cost when nobody
+     sleeps.  Everything below only runs with a sleeper present. *)
+  if Atomic.get t.word land mask_all = 0 then false
+  else begin
+    let rec go () =
+      let cur = Atomic.get t.word in
+      let mask = cur land mask_all in
+      if mask = 0 then false
+      else begin
+        let w = ctz mask in
+        let next = (cur lxor (1 lsl w)) + epoch_one in
+        if Atomic.compare_and_set t.word cur next then begin
+          post t.slots.(w);
+          true
+        end
+        else go ()
+      end
+    in
+    go ()
+  end
+
+let wake_all t =
+  let rec go () =
+    let cur = Atomic.get t.word in
+    let mask = cur land mask_all in
+    if mask = 0 then ()
+    else if Atomic.compare_and_set t.word cur (cur - mask + epoch_one) then begin
+      let rec signal m =
+        if m <> 0 then begin
+          let w = ctz m in
+          post t.slots.(w);
+          signal (m lxor (1 lsl w))
+        end
+      in
+      signal mask
+    end
+    else go ()
+  in
+  go ()
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
+let sleepers t = popcount (Atomic.get t.word land mask_all)
+let epoch t = (Atomic.get t.word lsr mask_bits) land 0x7fff

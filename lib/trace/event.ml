@@ -17,6 +17,8 @@ type kind =
   | Resume  (** a suspended frame's continuation resumed *)
   | Stack_acquire  (** worker acquired a stack from the pool *)
   | Stack_release  (** worker released its stack to the pool *)
+  | Park  (** idle worker blocked on its condition variable *)
+  | Unpark  (** parked worker woke up and rejoined stealing *)
 
 let to_int = function
   | Task_start -> 0
@@ -30,6 +32,8 @@ let to_int = function
   | Resume -> 8
   | Stack_acquire -> 9
   | Stack_release -> 10
+  | Park -> 11
+  | Unpark -> 12
 
 let of_int = function
   | 0 -> Task_start
@@ -43,6 +47,8 @@ let of_int = function
   | 8 -> Resume
   | 9 -> Stack_acquire
   | 10 -> Stack_release
+  | 11 -> Park
+  | 12 -> Unpark
   | n -> invalid_arg (Printf.sprintf "Event.of_int: %d" n)
 
 let name = function
@@ -57,6 +63,8 @@ let name = function
   | Resume -> "resume"
   | Stack_acquire -> "stack-acquire"
   | Stack_release -> "stack-release"
+  | Park -> "park"
+  | Unpark -> "unpark"
 
 type t = { ts : int;  (** nanoseconds (wall or virtual) *) worker : int; kind : kind; arg : int }
 

@@ -50,6 +50,9 @@ let to_buffer ?(process_name = "nowa") ?(counters = []) (t : Trace.t) =
          ring overwrite leaves its end unmatched, which we drop rather
          than emit a malformed slice. *)
       let open_start = ref None in
+      (* Park/unpark pair the same way into "parked" slices, so the idle
+         troughs are visible as filled spans rather than instant pairs. *)
+      let open_park = ref None in
       Array.iter
         (fun e ->
           let ts_us = us_of_ns (e.Event.ts - t0) in
@@ -62,6 +65,16 @@ let to_buffer ?(process_name = "nowa") ?(counters = []) (t : Trace.t) =
               buf_event b ~first ~name:"task" ~ph:"X" ~ts_us:s ~pid ~tid:w
                 (Printf.sprintf ",\"dur\":%.3f" (Float.max 0.0 (ts_us -. s)))
             | None -> ())
+          | Event.Park -> open_park := Some ts_us
+          | Event.Unpark -> (
+            match !open_park with
+            | Some s ->
+              open_park := None;
+              buf_event b ~first ~name:"parked" ~ph:"X" ~ts_us:s ~pid ~tid:w
+                (Printf.sprintf ",\"dur\":%.3f" (Float.max 0.0 (ts_us -. s)))
+            | None ->
+              buf_event b ~first ~name:"unpark" ~ph:"i" ~ts_us ~pid ~tid:w
+                ",\"s\":\"t\"")
           | k ->
             let args =
               match k with

@@ -22,6 +22,8 @@ type worker_summary = {
   steals : int;
   steal_attempts : int;
   suspends : int;
+  parks : int;
+  parked_ns : int;  (** time spent blocked on the worker's condvar *)
   busy_ns : int;
   sched_ns : int;
   utilization : float;  (** busy / span of the whole trace *)
@@ -69,8 +71,10 @@ let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
   ignore t0;
   let tasks = ref 0 and spawns = ref 0 and steals = ref 0 in
   let attempts = ref 0 and suspends = ref 0 in
+  let parks = ref 0 and parked = ref 0 in
   let busy = ref 0 in
   let open_start = ref None in
+  let park_since = ref None in
   let idle_since = ref None in
   let latencies = ref [] and gaps = ref [] in
   Array.iter
@@ -101,6 +105,15 @@ let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
         | Some t -> latencies := float_of_int (e.Event.ts - t) :: !latencies
         | None -> ())
       | Event.Suspend -> incr suspends
+      | Event.Park ->
+        incr parks;
+        park_since := Some e.Event.ts
+      | Event.Unpark ->
+        (match !park_since with
+        | Some t ->
+          parked := !parked + (e.Event.ts - t);
+          park_since := None
+        | None -> ())
       | Event.Steal_abort | Event.Lost_continuation | Event.Resume
       | Event.Stack_acquire | Event.Stack_release ->
         ())
@@ -116,6 +129,8 @@ let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
     steals = !steals;
     steal_attempts = !attempts;
     suspends = !suspends;
+    parks = !parks;
+    parked_ns = !parked;
     busy_ns = busy;
     sched_ns = max 0 (span_ns - busy);
     utilization = float_of_int busy /. float_of_int span;
@@ -189,6 +204,11 @@ let pp ppf t =
          events=%d%s@,"
         w.worker (100.0 *. w.utilization) w.tasks w.spawns w.steals
         w.steal_attempts w.suspends w.events
-        (if w.dropped > 0 then Printf.sprintf " dropped=%d" w.dropped else ""))
+        ((if w.parks > 0 then
+            Printf.sprintf " parks=%d/%.2fms" w.parks
+              (float_of_int w.parked_ns /. 1e6)
+          else "")
+        ^
+        if w.dropped > 0 then Printf.sprintf " dropped=%d" w.dropped else ""))
     t.workers;
   Format.fprintf ppf "@]"

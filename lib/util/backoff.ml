@@ -23,3 +23,4 @@ let once t =
   else t.current <- t.current * 2
 
 let steps t = t.count
+let spins t = t.current

@@ -1,3 +1,7 @@
 let available_cores () = Domain.recommended_domain_count ()
 
 let default_workers () = max 1 (available_cores ())
+
+let process_cpu_time () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime

@@ -7,3 +7,9 @@ val default_workers : unit -> int
 (** Worker count used when a runtime is started without an explicit count:
     the available cores, capped so test machines with a single core still
     exercise multi-worker code paths deterministically. *)
+
+val process_cpu_time : unit -> float
+(** Process-wide CPU seconds consumed so far (user + system, all threads),
+    via [Unix.times] — the portable stand-in for [getrusage].  Sampling it
+    around a run and subtracting gives the CPU cost of that run; a parked
+    worker contributes ~0 to the delta, a spinning one a full core. *)

@@ -117,6 +117,68 @@ let prop_ledger_conserves =
       check_conserves r;
       true)
 
+(* Parking models: conservation must survive the parked category, parked
+   time must actually appear, and the stock (park_after = 0) simulation
+   must stay bit-identical to a model that merely carries different
+   park latencies. *)
+let test_parked_model_conserves () =
+  let dag = Lazy.force fib_dag in
+  List.iter
+    (fun (park_after, workers, seed) ->
+      let m = { CM.nowa with CM.park_after } in
+      let r = Wsim.simulate ~seed m ~workers dag in
+      check_conserves r;
+      let parked = Wsim.ledger_category r.Wsim.ledger Wsim.Parked in
+      if park_after = 0 then
+        Alcotest.(check (float 0.0)) "no parking when disabled" 0.0 parked)
+    [ (0, 16, 1); (4, 16, 1); (1, 64, 3); (16, 8, 7); (4, 32, 42) ]
+
+let test_parked_time_appears () =
+  (* A wide serial-ish DAG at high worker counts leaves most virtual
+     workers idle; with an aggressive threshold that idle time must be
+     (partly) charged to the parked category. *)
+  let dag = wide_dag ~n:4 ~child_work:50_000.0 in
+  let m = { CM.nowa with CM.park_after = 2 } in
+  let r = Wsim.simulate m ~workers:32 dag in
+  check_conserves r;
+  Alcotest.(check bool) "parked time recorded" true
+    (Wsim.ledger_category r.Wsim.ledger Wsim.Parked > 0.0)
+
+let test_park_after_zero_bit_identical () =
+  let dag = Lazy.force fib_dag in
+  let a = Wsim.simulate CM.nowa ~workers:16 dag in
+  let b =
+    Wsim.simulate
+      { CM.nowa with CM.park_ns = 9_999.0; unpark_ns = 77_777.0 }
+      ~workers:16 dag
+  in
+  Alcotest.(check (float 0.0)) "same makespan" a.Wsim.makespan_ns b.Wsim.makespan_ns;
+  Alcotest.(check int) "same steals" a.Wsim.steals b.Wsim.steals;
+  Alcotest.(check int) "same events" a.Wsim.events b.Wsim.events
+
+let test_wake_latency_knob () =
+  (* Scales only the park latencies: identity on stock models at any
+     factor, and not part of the default ranking set. *)
+  let m = Causal.apply CM.nowa Causal.Wake_latency ~factor:0.0 in
+  Alcotest.(check (float 0.0)) "park_ns scaled" 0.0 m.CM.park_ns;
+  Alcotest.(check (float 0.0)) "unpark_ns scaled" 0.0 m.CM.unpark_ns;
+  Alcotest.(check (float 0.0)) "spawn untouched" CM.nowa.CM.spawn_ns m.CM.spawn_ns;
+  Alcotest.(check bool) "not in model_knobs" false
+    (List.mem Causal.Wake_latency Causal.model_knobs);
+  let dag = Lazy.force fib_dag in
+  let x =
+    Causal.run ~factors:[ 0.0; 1.0; 2.0 ]
+      { CM.nowa with CM.park_after = 2 }
+      ~workers:32 dag Causal.Wake_latency
+  in
+  Alcotest.(check string) "knob name" "wake_latency"
+    (Causal.knob_name x.Causal.knob);
+  List.iter
+    (fun (p : Causal.point) ->
+      Alcotest.(check bool) "finite makespan" true
+        (Float.is_finite p.Causal.makespan_ns))
+    x.Causal.points
+
 let test_ledger_strand_work_is_t1 () =
   (* All strand work is executed exactly once, whatever the schedule. *)
   let dag = Lazy.force fib_dag in
@@ -445,6 +507,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_ledger_conserves;
           Alcotest.test_case "strand work = T1" `Quick
             test_ledger_strand_work_is_t1;
+          Alcotest.test_case "parked models conserve" `Quick
+            test_parked_model_conserves;
+          Alcotest.test_case "parked time appears" `Quick
+            test_parked_time_appears;
+          Alcotest.test_case "park_after 0 bit-identical" `Quick
+            test_park_after_zero_bit_identical;
+          Alcotest.test_case "wake latency knob" `Quick test_wake_latency_knob;
         ] );
       ( "determinism",
         [ Alcotest.test_case "bit-identical replay" `Quick test_determinism_full ]

@@ -73,6 +73,28 @@ module Battery (Q : Ws_deque_intf.S with type elt = int) = struct
     Alcotest.(check (option int)) "steal single" (Some 2) (Q.steal q ~on_commit:no_commit);
     Alcotest.(check int) "size zero" 0 (Q.size q)
 
+  (* With [max] no larger than half the queue, every implementation must
+     return exactly the oldest [max] elements in steal (FIFO) order —
+     the lock-based deques because half rounds up past [max], the
+     CAS-based ones because no steal fails sequentially. *)
+  let test_steal_batch_prefix () =
+    let q = Q.create () in
+    Alcotest.(check (list int))
+      "empty" []
+      (Q.steal_batch q ~max:4 ~on_commit:no_commit);
+    for i = 1 to 10 do
+      Q.push_bottom q i
+    done;
+    let calls = ref [] in
+    let got = Q.steal_batch q ~max:4 ~on_commit:(fun v -> calls := v :: !calls) in
+    Alcotest.(check (list int)) "oldest prefix" [ 1; 2; 3; 4 ] got;
+    Alcotest.(check (list int))
+      "on_commit once per element, steal order" [ 1; 2; 3; 4 ]
+      (List.rev !calls);
+    Alcotest.(check (option int))
+      "next steal continues" (Some 5)
+      (Q.steal q ~on_commit:no_commit)
+
   (* Model-based sequential test: random op sequences checked against a
      plain list model (front = top/steal end, back = bottom). *)
   let prop_model =
@@ -178,6 +200,7 @@ module Battery (Q : Ws_deque_intf.S with type elt = int) = struct
       Alcotest.test_case (Q.name ^ " mixed ends") `Quick test_mixed_ends;
       Alcotest.test_case (Q.name ^ " on_commit") `Quick test_on_commit_exactly_once;
       Alcotest.test_case (Q.name ^ " empty transitions") `Quick test_empty_transitions;
+      Alcotest.test_case (Q.name ^ " steal_batch prefix") `Quick test_steal_batch_prefix;
       QCheck_alcotest.to_alcotest prop_model;
       Alcotest.test_case (Q.name ^ " concurrent accounting") `Slow
         test_concurrent_accounting;
@@ -245,6 +268,41 @@ let test_abp_tag_prevents_stale_steal () =
   Alcotest.(check (option int)) "fresh element" (Some 2)
     (Abp_q.steal q ~on_commit:no_commit)
 
+(* Batched-steal width: the lock-based deques cap a batch at half the
+   queue (leaving the owner its share), the CAS-based ones take up to
+   [max] independent steals. *)
+let test_locked_steal_half () =
+  let q = Locked.create () in
+  for i = 1 to 10 do
+    Locked.push_bottom q i
+  done;
+  Alcotest.(check (list int))
+    "half under one lock" [ 1; 2; 3; 4; 5 ]
+    (Locked.steal_batch q ~max:100 ~on_commit:no_commit);
+  Alcotest.(check int) "owner keeps the rest" 5 (Locked.size q)
+
+let test_the_steal_half () =
+  let q = The.create () in
+  for i = 1 to 9 do
+    The.push_bottom q i
+  done;
+  Alcotest.(check (list int))
+    "half rounds up" [ 1; 2; 3; 4; 5 ]
+    (The.steal_batch q ~max:100 ~on_commit:no_commit);
+  Alcotest.(check int) "owner keeps the rest" 4 (The.size q)
+
+let test_cl_steal_batch_to_empty () =
+  let q = Cl.create () in
+  for i = 1 to 10 do
+    Cl.push_bottom q i
+  done;
+  Alcotest.(check (list int))
+    "takes up to max" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (Cl.steal_batch q ~max:100 ~on_commit:no_commit);
+  Alcotest.(check (list int))
+    "then empty" []
+    (Cl.steal_batch q ~max:4 ~on_commit:no_commit)
+
 (* -- central queue ---------------------------------------------------- *)
 
 let test_central_queue_fifo () =
@@ -257,6 +315,20 @@ let test_central_queue_fifo () =
   for i = 1 to 10 do
     Alcotest.(check (option int)) "fifo" (Some i) (Central_queue.pop q)
   done
+
+let test_central_pop_batch () =
+  let q = Central_queue.create () in
+  Alcotest.(check (list int)) "empty" [] (Central_queue.pop_batch q ~max:4);
+  for i = 1 to 10 do
+    Central_queue.push q i
+  done;
+  Alcotest.(check (list int)) "fifo prefix" [ 1; 2; 3; 4 ]
+    (Central_queue.pop_batch q ~max:4);
+  Alcotest.(check (option int)) "single pop continues" (Some 5)
+    (Central_queue.pop q);
+  Alcotest.(check (list int)) "drains" [ 6; 7; 8; 9; 10 ]
+    (Central_queue.pop_batch q ~max:100);
+  Alcotest.(check int) "size zero" 0 (Central_queue.size q)
 
 let test_central_queue_concurrent () =
   let q = Central_queue.create () in
@@ -284,8 +356,19 @@ let test_central_queue_concurrent () =
 let () =
   Alcotest.run "nowa_deque"
     [
-      ("chase-lev", Cl_battery.cases @ [ Alcotest.test_case "growth" `Quick test_cl_growth ]);
-      ("the", The_battery.cases @ [ Alcotest.test_case "growth" `Quick test_the_growth ]);
+      ( "chase-lev",
+        Cl_battery.cases
+        @ [
+            Alcotest.test_case "growth" `Quick test_cl_growth;
+            Alcotest.test_case "steal_batch to empty" `Quick
+              test_cl_steal_batch_to_empty;
+          ] );
+      ( "the",
+        The_battery.cases
+        @ [
+            Alcotest.test_case "growth" `Quick test_the_growth;
+            Alcotest.test_case "steal_batch half" `Quick test_the_steal_half;
+          ] );
       ( "abp",
         Abp_battery.cases
         @ [
@@ -294,10 +377,14 @@ let () =
             Alcotest.test_case "tag prevents stale steal" `Quick
               test_abp_tag_prevents_stale_steal;
           ] );
-      ("locked", Locked_battery.cases);
+      ( "locked",
+        Locked_battery.cases
+        @ [ Alcotest.test_case "steal_batch half" `Quick test_locked_steal_half ]
+      );
       ( "central",
         [
           Alcotest.test_case "fifo" `Quick test_central_queue_fifo;
+          Alcotest.test_case "pop_batch" `Quick test_central_pop_batch;
           Alcotest.test_case "concurrent" `Slow test_central_queue_concurrent;
         ] );
     ]

@@ -1,0 +1,174 @@
+(* Tests for the elastic idle path: the wait-free sleeper registry in
+   isolation (bit/token accounting, wake/cancel races, real cross-domain
+   blocking) and the engines under the park policy — randomised spawn
+   bursts with an aggressive park threshold must neither lose a wake-up
+   (all results correct) nor hang (the test terminates). *)
+
+module Sleepers = Nowa_runtime.Sleepers
+
+(* -- registry unit tests ---------------------------------------------- *)
+
+let test_announce_cancel () =
+  let s = Sleepers.create ~workers:4 in
+  Alcotest.(check int) "none asleep" 0 (Sleepers.sleepers s);
+  Alcotest.(check bool) "announce" true (Sleepers.announce s ~worker:1);
+  Alcotest.(check int) "one asleep" 1 (Sleepers.sleepers s);
+  Alcotest.(check bool) "cancel wins" true (Sleepers.cancel s ~worker:1);
+  Alcotest.(check int) "none again" 0 (Sleepers.sleepers s);
+  Alcotest.(check bool) "wake finds nobody" false (Sleepers.wake_one s);
+  Alcotest.(check int) "no wake transition" 0 (Sleepers.epoch s)
+
+let test_wake_one_claims_bit_and_posts_token () =
+  let s = Sleepers.create ~workers:2 in
+  ignore (Sleepers.announce s ~worker:0);
+  Alcotest.(check bool) "wake claims the bit" true (Sleepers.wake_one s);
+  Alcotest.(check int) "mask cleared" 0 (Sleepers.sleepers s);
+  Alcotest.(check int) "epoch bumped" 1 (Sleepers.epoch s);
+  (* The token is already posted: park must return without blocking. *)
+  Sleepers.park s ~worker:0;
+  Alcotest.(check bool) "second wake finds nobody" false (Sleepers.wake_one s)
+
+let test_cancel_after_wake_leaves_benign_token () =
+  let s = Sleepers.create ~workers:2 in
+  ignore (Sleepers.announce s ~worker:0);
+  Alcotest.(check bool) "waker claims first" true (Sleepers.wake_one s);
+  (* The worker cancels too late: the waker already took its bit.  The
+     engine counts this as a lost-wakeup retry; the stray token makes the
+     next park return immediately instead of blocking. *)
+  Alcotest.(check bool) "cancel loses the race" false
+    (Sleepers.cancel s ~worker:0);
+  Sleepers.park s ~worker:0
+
+let test_wake_all () =
+  let s = Sleepers.create ~workers:8 in
+  List.iter (fun w -> ignore (Sleepers.announce s ~worker:w)) [ 0; 3; 7 ];
+  Alcotest.(check int) "three asleep" 3 (Sleepers.sleepers s);
+  Sleepers.wake_all s;
+  Alcotest.(check int) "all claimed" 0 (Sleepers.sleepers s);
+  Alcotest.(check int) "one wake transition per batch" 1 (Sleepers.epoch s);
+  (* Every claimed worker holds a token: none of these parks blocks. *)
+  List.iter (fun w -> Sleepers.park s ~worker:w) [ 0; 3; 7 ]
+
+let test_oversized_worker_cannot_park () =
+  let s = Sleepers.create ~workers:(Sleepers.mask_bits + 4) in
+  Alcotest.(check bool) "beyond the mask: refused" false
+    (Sleepers.announce s ~worker:Sleepers.mask_bits);
+  Alcotest.(check int) "not registered" 0 (Sleepers.sleepers s);
+  Alcotest.(check bool) "last in-mask id works" true
+    (Sleepers.announce s ~worker:(Sleepers.mask_bits - 1))
+
+let test_park_blocks_until_wake () =
+  let s = Sleepers.create ~workers:2 in
+  let woke = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        ignore (Sleepers.announce s ~worker:1);
+        Sleepers.park s ~worker:1;
+        Atomic.set woke true)
+  in
+  while Sleepers.sleepers s = 0 do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "still blocked after announce" false (Atomic.get woke);
+  Alcotest.(check bool) "wake" true (Sleepers.wake_one s);
+  Domain.join d;
+  Alcotest.(check bool) "released" true (Atomic.get woke)
+
+(* Hammer announce/park against concurrent wake_one from another domain:
+   every park must eventually be matched by exactly one wake (no lost
+   wake-up, no surplus that strands the waker loop). *)
+let test_park_wake_stress () =
+  let s = Sleepers.create ~workers:2 in
+  let rounds = 2_000 in
+  let parker =
+    Domain.spawn (fun () ->
+        for _ = 1 to rounds do
+          ignore (Sleepers.announce s ~worker:0);
+          Sleepers.park s ~worker:0
+        done)
+  in
+  let wakes = ref 0 in
+  while !wakes < rounds do
+    if Sleepers.wake_one s then incr wakes else Domain.cpu_relax ()
+  done;
+  Domain.join parker;
+  Alcotest.(check int) "one wake per park" rounds !wakes;
+  Alcotest.(check int) "mask empty at the end" 0 (Sleepers.sleepers s)
+
+(* -- engine-level race test ------------------------------------------- *)
+
+(* Spawn bursts separated by serial lulls, under a park threshold of 1:
+   workers park during every lull and must be woken for every burst.  A
+   lost wake-up shows up as a hang (the spawner pushed work nobody
+   steals and the sync never satisfies) or a wrong sum. *)
+let burst_sum ~seed ~bursts =
+  let total = ref 0 in
+  for burst = 1 to bursts do
+    let n = 1 + ((seed + burst) mod 7) in
+    for i = 0 to n - 1 do
+      total := !total + i + burst
+    done
+  done;
+  !total
+
+let run_bursts (module R : Nowa.RUNTIME) ~workers ~seed ~bursts =
+  let conf =
+    {
+      (Nowa.Config.with_workers workers) with
+      Nowa.Config.idle_policy = Nowa.Config.Park_after 1;
+      steal_sweep = 1 + (seed mod 4);
+      seed = seed + 1;
+    }
+  in
+  R.run ~conf (fun () ->
+      let total = ref 0 in
+      for burst = 1 to bursts do
+        let n = 1 + ((seed + burst) mod 7) in
+        R.scope (fun sc ->
+            let futs = List.init n (fun i -> R.spawn sc (fun () -> i + burst)) in
+            R.sync sc;
+            List.iter (fun f -> total := !total + R.get f) futs);
+        (* Serial lull: everyone but this worker goes to sleep. *)
+        Nowa_util.Clock.spin_ns 100_000
+      done;
+      !total)
+
+let engines_under_test : (module Nowa.RUNTIME) list =
+  (* One preset per engine family: continuation-stealing, child-stealing,
+     central queue. *)
+  [
+    (module Nowa.Presets.Nowa);
+    (module Nowa.Presets.Tbb);
+    (module Nowa.Presets.Gomp);
+  ]
+
+let prop_no_lost_wakeup =
+  let open QCheck in
+  Test.make ~name:"park/wake race: spawn bursts under Park_after 1" ~count:9
+    (pair (int_range 2 8) small_nat)
+    (fun (workers, seed) ->
+      List.for_all
+        (fun (module R : Nowa.RUNTIME) ->
+          let expected = burst_sum ~seed ~bursts:5 in
+          run_bursts (module R) ~workers ~seed ~bursts:5 = expected)
+        engines_under_test)
+
+let () =
+  Alcotest.run "nowa_idle"
+    [
+      ( "sleepers",
+        [
+          Alcotest.test_case "announce/cancel" `Quick test_announce_cancel;
+          Alcotest.test_case "wake_one claims + posts" `Quick
+            test_wake_one_claims_bit_and_posts_token;
+          Alcotest.test_case "late cancel leaves benign token" `Quick
+            test_cancel_after_wake_leaves_benign_token;
+          Alcotest.test_case "wake_all" `Quick test_wake_all;
+          Alcotest.test_case "oversized worker refused" `Quick
+            test_oversized_worker_cannot_park;
+          Alcotest.test_case "park blocks until wake" `Quick
+            test_park_blocks_until_wake;
+          Alcotest.test_case "park/wake stress" `Slow test_park_wake_stress;
+        ] );
+      ("engines", [ QCheck_alcotest.to_alcotest ~long:true prop_no_lost_wakeup ]);
+    ]

@@ -343,6 +343,80 @@ let test_metrics_steals_with_workers () =
       (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.steals))
       (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.lost_continuations))
 
+(* -- idle policies -------------------------------------------------------- *)
+
+(* Every engine, every idle policy: same fib answer.  The park policy's
+   threshold is aggressive so workers really do park mid-run. *)
+let test_idle_policies_all_presets () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      List.iter
+        (fun (pname, policy) ->
+          let conf = { (conf 4) with Nowa.Config.idle_policy = policy } in
+          let rec fib n =
+            if n < 2 then n
+            else
+              R.scope (fun sc ->
+                  let a = R.spawn sc (fun () -> fib (n - 1)) in
+                  let b = fib (n - 2) in
+                  R.sync sc;
+                  R.get a + b)
+          in
+          let r = R.run ~conf (fun () -> fib 16) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s under %s" R.name pname)
+            (fib_ref 16) r)
+        [
+          ("spin", Nowa.Config.Spin);
+          ("yield", Nowa.Config.Yield_after 2);
+          ("park", Nowa.Config.Park_after 2);
+        ])
+    presets
+
+(* Shutdown regression: a run whose workers are all parked when the root
+   finishes must still terminate (wake_all on the finished flag), and
+   repeatedly so.  A lost shutdown wake-up hangs this test. *)
+let test_shutdown_wakes_parked_workers () =
+  let module R = Nowa.Presets.Nowa in
+  let conf =
+    { (conf 4) with Nowa.Config.idle_policy = Nowa.Config.Park_after 1 }
+  in
+  for round = 1 to 5 do
+    (* Serial body: the three non-root workers find nothing, park, and
+       stay parked until teardown. *)
+    let r =
+      R.run ~conf (fun () ->
+          Nowa_util.Clock.spin_ns 2_000_000;
+          round)
+    in
+    Alcotest.(check int) "run returned" round r
+  done;
+  match R.last_metrics () with
+  | None -> Alcotest.fail "metrics missing"
+  | Some m ->
+    Alcotest.(check bool) "workers actually parked" true
+      (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.parks) > 0)
+
+(* Parking accounting: a serial-heavy run under the park policy records
+   parks and parked time; the same run under spin records none. *)
+let test_park_metrics () =
+  let module R = Nowa.Presets.Nowa in
+  let run policy =
+    let conf = { (conf 4) with Nowa.Config.idle_policy = policy } in
+    ignore (R.run ~conf (fun () -> Nowa_util.Clock.spin_ns 5_000_000));
+    match R.last_metrics () with
+    | None -> Alcotest.fail "metrics missing"
+    | Some m ->
+      ( Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.parks),
+        Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.parked_ns) )
+  in
+  let parks, parked_ns = run (Nowa.Config.Park_after 2) in
+  Alcotest.(check bool) "parked at least once" true (parks > 0);
+  Alcotest.(check bool) "parked time recorded" true (parked_ns > 0);
+  let parks, parked_ns = run Nowa.Config.Spin in
+  Alcotest.(check int) "spin never parks" 0 parks;
+  Alcotest.(check int) "spin never blocks" 0 parked_ns
+
 (* -- stack pool ---------------------------------------------------------- *)
 
 let test_stack_pool_reuse () =
@@ -614,6 +688,14 @@ let () =
         ] );
       ( "steal policy",
         [ Alcotest.test_case "round-robin victims" `Quick test_round_robin_victims ] );
+      ( "idle policy",
+        [
+          Alcotest.test_case "fib under all policies" `Slow
+            test_idle_policies_all_presets;
+          Alcotest.test_case "shutdown wakes parked workers" `Quick
+            test_shutdown_wakes_parked_workers;
+          Alcotest.test_case "park metrics" `Quick test_park_metrics;
+        ] );
       ( "serial elision",
         [ Alcotest.test_case "inline semantics" `Quick test_serial_inline_semantics ] );
       ( "facade",

@@ -182,6 +182,33 @@ let test_backoff_steps () =
   Backoff.reset b;
   Alcotest.(check int) "reset" 0 (Backoff.steps b)
 
+let test_backoff_growth () =
+  (* Width doubles from min_spins, saturates at max_spins, and reset
+     restores both the width and the step count. *)
+  let b = Backoff.make ~min_spins:2 ~max_spins:16 () in
+  Alcotest.(check int) "initial width" 2 (Backoff.spins b);
+  Backoff.once b;
+  Alcotest.(check int) "doubled" 4 (Backoff.spins b);
+  Backoff.once b;
+  Alcotest.(check int) "doubled again" 8 (Backoff.spins b);
+  Backoff.once b;
+  Alcotest.(check int) "at cap" 16 (Backoff.spins b);
+  Backoff.once b;
+  Backoff.once b;
+  Alcotest.(check int) "saturated" 16 (Backoff.spins b);
+  Alcotest.(check int) "five steps" 5 (Backoff.steps b);
+  Backoff.reset b;
+  Alcotest.(check int) "width back to min" 2 (Backoff.spins b);
+  Alcotest.(check int) "count back to zero" 0 (Backoff.steps b)
+
+let test_backoff_defaults () =
+  let b = Backoff.make () in
+  Alcotest.(check int) "default min" 4 (Backoff.spins b);
+  for _ = 1 to 20 do
+    Backoff.once b
+  done;
+  Alcotest.(check int) "default cap" 1024 (Backoff.spins b)
+
 (* -- Clock ----------------------------------------------------------- *)
 
 let test_clock_never_backwards () =
@@ -265,7 +292,12 @@ let () =
           Alcotest.test_case "split" `Quick test_xoshiro_split;
           qc prop_xoshiro_int_in_bounds;
         ] );
-      ("backoff", [ Alcotest.test_case "steps" `Quick test_backoff_steps ]);
+      ( "backoff",
+        [
+          Alcotest.test_case "steps" `Quick test_backoff_steps;
+          Alcotest.test_case "growth+cap+reset" `Quick test_backoff_growth;
+          Alcotest.test_case "defaults" `Quick test_backoff_defaults;
+        ] );
       ( "clock",
         [
           Alcotest.test_case "never backwards" `Quick test_clock_never_backwards;
