@@ -7,10 +7,18 @@
     a final invariant.  Thread bodies access shared memory exclusively
     through {!Cell}, whose every operation is one atomic action preceded
     by a scheduling point.  {!explore} then enumerates thread
-    interleavings exhaustively (stateless search with replay, as in
-    CHESS): every execution either completes — and must satisfy the
-    invariant and all inline {!check} assertions — or is truncated at
-    the step bound (spin loops).
+    interleavings with {e dynamic partial-order reduction}: each
+    schedule is executed once, incrementally, to completion (replay only
+    happens on backtrack), and the search prunes with sleep sets plus
+    backtrack sets planted at races (Flanagan–Godefroid-style, with
+    vector-clock happens-before tracking keyed on [Cell] identity).
+    Independent actions on distinct cells therefore no longer multiply
+    the schedule space, while at least one representative of every
+    Mazurkiewicz trace is still explored — the reduction preserves all
+    final-state invariant verdicts and all inline {!check} failures.
+    {!explore_naive} is the unreduced full enumeration, kept as the
+    cross-check baseline; both report identical verdicts, and the test
+    suite asserts the reduction factor.
 
     Under OCaml's sequentially-consistent atomics this checks the
     algorithms under SC; it cannot exhibit weak-memory-only bugs, but it
@@ -25,12 +33,31 @@ module Cell : sig
   val make : 'a -> 'a t
   val read : 'a t -> 'a
   val write : 'a t -> 'a -> unit
+
   val cas : 'a t -> 'a -> 'a -> bool
   (** Compare (structural equality) and swap, one atomic action. *)
 
   val fetch_add : int t -> int -> int
+
   val peek : 'a t -> 'a
   (** Read without a scheduling point — for invariants only. *)
+
+  val await : 'a t -> ('a -> bool) -> 'a
+  (** Blocking read: the thread is {e disabled} (never scheduled) while
+      the predicate is false on the cell's current value, and the read
+      runs atomically with the enabledness check once it holds.  This is
+      how specs model parking, condition variables and barrier waits
+      without unbounded spin loops, keeping exhaustive exploration
+      finite.  A thread still blocked when no thread can run leaves the
+      execution in a terminal state that the final invariant judges —
+      deadlock detection is the spec's invariant saying "everyone must
+      have finished". *)
+
+  val await_cas : 'a t -> 'a -> 'a -> unit
+  (** Blocking compare-and-swap: disabled until the cell holds the
+      expected value, then swaps in the desired value atomically with
+      the check.  Models mutex acquisition ([await_cas lock false true])
+      without the spin loop. *)
 end
 
 val check : bool -> string -> unit
@@ -40,7 +67,14 @@ val check : bool -> string -> unit
 type outcome = {
   executions : int;  (** completed interleavings explored *)
   truncated : int;  (** executions cut off at the step bound *)
-  complete : bool;  (** false if the execution bound was hit *)
+  blocked : int;
+      (** sleep-set-pruned executions: schedules recognised as
+          reorderings of ones already explored (always [0] for
+          {!explore_naive}) *)
+  complete : bool;
+      (** [true] iff the search finished within the execution budget
+          {e and} no execution was truncated at the step bound — i.e.
+          the verdict is exhaustive, not merely bounded *)
 }
 
 type result =
@@ -54,7 +88,45 @@ val explore :
   ?max_steps:int ->
   (unit -> (unit -> unit) list * (unit -> bool)) ->
   result
-(** [explore spec] runs [spec ()] afresh for every explored schedule;
-    the returned thread list runs under the controlled scheduler and the
-    returned thunk is the final invariant.  Defaults: 200_000 executions,
-    400 steps per execution. *)
+(** [explore spec] runs [spec ()] afresh for every explored schedule
+    prefix; the returned thread list runs under the controlled scheduler
+    and the returned thunk is the final invariant.  Uses dynamic
+    partial-order reduction; truncated and sleep-set-pruned executions
+    count toward [max_executions] so spin-heavy specs cannot exceed
+    their budget.  Defaults: 200_000 executions, 400 steps per
+    execution. *)
+
+val explore_naive :
+  ?max_executions:int ->
+  ?max_steps:int ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  result
+(** Full enumeration without reduction (the CHESS-style baseline, now
+    with incremental execution instead of quadratic replay-per-node).
+    Same budget accounting as {!explore}; used to cross-check verdicts
+    and measure the reduction factor. *)
+
+val explore_random :
+  ?seed:int ->
+  ?max_schedules:int ->
+  ?max_steps:int ->
+  ?change_points:int ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  result
+(** Seeded random-walk fallback for specs too large to exhaust: each
+    schedule draws a random thread-priority permutation and demotes the
+    running thread at [change_points] random depths (PCT-style priority
+    schedules, Burckhardt et al.).  Reports the number of schedules
+    sampled in [executions] and {e always} [complete = false] — a
+    sample is never a proof. *)
+
+val run_schedule :
+  ?max_steps:int ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  int list ->
+  result
+(** [run_schedule spec schedule] replays one explicit schedule (as
+    reported by a {!Violation}) and reports what it observes — the
+    mechanism behind pinned-schedule regression tests.  Raises
+    [Invalid_argument] if the schedule names a thread that is finished
+    or blocked at that point (a stale pin). *)

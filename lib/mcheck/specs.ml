@@ -268,3 +268,585 @@ let lock_counter_spec ~children () =
         pass ()
       end)
     ()
+
+(* -- the sleeper registry (lib/runtime/sleepers.ml) ---------------------
+   One word packs {sleeper mask, wake epoch}; per-worker token cells model
+   the counting semaphores.  [Cell.await] models parking: a worker blocked
+   on its token cell is disabled until a waker posts, so exploration stays
+   finite and a worker still blocked at the end of the run is exactly a
+   worker asleep forever. *)
+
+let sleeper_spec ?(variant = `Good) ~workers ~tasks () =
+  let epoch_one = 1 lsl workers in
+  let mask_all = epoch_one - 1 in
+  let word = Cell.make 0 in
+  let tokens = Array.init workers (fun _ -> Cell.make 0) in
+  let work = Cell.make 0 in
+  let done_ = Array.make workers false in
+  let rec try_take () =
+    let v = Cell.read work in
+    if v <= 0 then false
+    else if Cell.cas work v (v - 1) then true
+    else try_take ()
+  in
+  let rec set_bit bit =
+    let cur = Cell.read word in
+    if cur land bit <> 0 then ()
+    else if not (Cell.cas word cur (cur lor bit)) then set_bit bit
+  in
+  (* [false] when a waker claimed the bit first: a token is in flight. *)
+  let rec clear_bit bit =
+    let cur = Cell.read word in
+    if cur land bit = 0 then false
+    else if Cell.cas word cur (cur lxor bit) then true
+    else clear_bit bit
+  in
+  let park w =
+    ignore (Cell.await tokens.(w) (fun t -> t > 0));
+    ignore (Cell.fetch_add tokens.(w) (-1))
+  in
+  let worker w () =
+    let bit = 1 lsl w in
+    let rec run budget =
+      if budget = 0 then () (* retires, still awake *)
+      else if try_take () then () (* got a task, exits awake *)
+      else begin
+        match variant with
+        | `Good ->
+          (* announce, then the final re-check, then park *)
+          set_bit bit;
+          if Cell.read work > 0 then begin
+            if clear_bit bit then run (budget - 1)
+            else begin
+              (* wake/cancel race: the token is in flight, absorb it *)
+              park w;
+              run (budget - 1)
+            end
+          end
+          else begin
+            park w;
+            run (budget - 1)
+          end
+        | `Check_before_announce ->
+          (* the classic lost wake-up: re-check BEFORE announcing, so a
+             push+wake landing in between sees an empty mask *)
+          if Cell.read work > 0 then run (budget - 1)
+          else begin
+            set_bit bit;
+            park w;
+            run (budget - 1)
+          end
+      end
+    in
+    run 3;
+    done_.(w) <- true
+  in
+  let rec wake_one () =
+    let cur = Cell.read word in
+    let mask = cur land mask_all in
+    if mask = 0 then () (* fast path: nobody sleeps *)
+    else begin
+      let rec lowest i = if mask land (1 lsl i) <> 0 then i else lowest (i + 1) in
+      let w = lowest 0 in
+      let next = (cur lxor (1 lsl w)) + epoch_one in
+      if Cell.cas word cur next then ignore (Cell.fetch_add tokens.(w) 1)
+      else wake_one ()
+    end
+  in
+  let spawner () =
+    for _ = 1 to tasks do
+      ignore (Cell.fetch_add work 1);
+      (* the push happens before the mask load, as in the engines *)
+      wake_one ()
+    done
+  in
+  let threads = List.init workers (fun w -> worker w) @ [ spawner ] in
+  (* No lost wake-up: pending work implies some worker is awake (done
+     running, hence sweeping again in the real runtime) — never every
+     worker parked without a token. *)
+  let invariant () = Cell.peek work = 0 || Array.exists (fun d -> d) done_ in
+  (threads, invariant)
+
+(* Wake-vs-cancel token race: one worker announces then cancels while
+   wakers race [wake_one].  Exactly one side must win the bit, at most
+   one token may be minted, and the epoch counts the successful wake. *)
+let sleeper_wake_cancel_spec ~wakers () =
+  let word = Cell.make 0 in
+  let tokens = Cell.make 0 in
+  let cancelled = ref false in
+  let claimed = Array.make wakers false in
+  let worker () =
+    let rec set_bit () =
+      let cur = Cell.read word in
+      if not (Cell.cas word cur (cur lor 1)) then set_bit ()
+    in
+    set_bit ();
+    let rec clear_bit () =
+      let cur = Cell.read word in
+      if cur land 1 = 0 then false
+      else if Cell.cas word cur (cur lxor 1) then true
+      else clear_bit ()
+    in
+    if clear_bit () then cancelled := true
+    else begin
+      (* a waker claimed us: its token must arrive; consume it *)
+      ignore (Cell.await tokens (fun t -> t > 0));
+      ignore (Cell.fetch_add tokens (-1))
+    end
+  in
+  let waker i () =
+    let rec go () =
+      let cur = Cell.read word in
+      if cur land 1 = 0 then ()
+      else if Cell.cas word cur ((cur lxor 1) + 2) then begin
+        ignore (Cell.fetch_add tokens 1);
+        claimed.(i) <- true
+      end
+      else go ()
+    in
+    go ()
+  in
+  let threads = worker :: List.init wakers (fun i -> waker i) in
+  let invariant () =
+    let claims =
+      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 claimed
+    in
+    claims = (if !cancelled then 0 else 1)
+    && Cell.peek tokens = 0
+    && Cell.peek word lsr 1 = claims
+    && Cell.peek word land 1 = 0
+  in
+  (threads, invariant)
+
+(* Shutdown: workers announce and park while a closer sets [finished]
+   and then [wake_all]s.  No worker may stay parked past shutdown. *)
+let sleeper_shutdown_spec ~workers () =
+  let epoch_one = 1 lsl workers in
+  let mask_all = epoch_one - 1 in
+  let word = Cell.make 0 in
+  let tokens = Array.init workers (fun _ -> Cell.make 0) in
+  let finished = Cell.make false in
+  let done_ = Array.make workers false in
+  let worker w () =
+    let bit = 1 lsl w in
+    let rec set_bit () =
+      let cur = Cell.read word in
+      if not (Cell.cas word cur (cur lor bit)) then set_bit ()
+    in
+    set_bit ();
+    (* the engines re-check [finished] between announce and park *)
+    let consume () =
+      ignore (Cell.await tokens.(w) (fun t -> t > 0));
+      ignore (Cell.fetch_add tokens.(w) (-1))
+    in
+    if Cell.read finished then begin
+      let rec clear_bit () =
+        let cur = Cell.read word in
+        if cur land bit = 0 then false
+        else if Cell.cas word cur (cur lxor bit) then true
+        else clear_bit ()
+      in
+      if not (clear_bit ()) then consume ()
+    end
+    else consume ();
+    done_.(w) <- true
+  in
+  let closer () =
+    Cell.write finished true;
+    let rec wake_all () =
+      let cur = Cell.read word in
+      let mask = cur land mask_all in
+      if mask = 0 then ()
+      else if Cell.cas word cur (cur - mask + epoch_one) then begin
+        let rec post m i =
+          if m <> 0 then begin
+            if m land 1 <> 0 then ignore (Cell.fetch_add tokens.(i) 1);
+            post (m lsr 1) (i + 1)
+          end
+        in
+        post mask 0
+      end
+      else wake_all ()
+    in
+    wake_all ()
+  in
+  let threads = List.init workers (fun w -> worker w) @ [ closer ] in
+  (threads, fun () -> Array.for_all (fun d -> d) done_)
+
+(* -- steal_batch on the four deques ------------------------------------
+   Each spec races an owner (pushes then pops) against thieves running
+   the deque's own [steal_batch] protocol; the conservation invariant is
+   the re-homing guarantee: every element lands in exactly one log (the
+   thief's stash that the child engine re-homes into its own deque) or
+   stays in the deque. *)
+
+let chase_lev_batch_spec ~pushes ~pops ~batch ~thieves () =
+  let top = Cell.make 0 in
+  let bottom = Cell.make 0 in
+  let slots = Array.init (max 1 pushes) (fun _ -> Cell.make 0) in
+  let owner_log = { taken = [] } in
+  let thief_logs = List.init thieves (fun _ -> { taken = [] }) in
+  let push v =
+    let b = Cell.read bottom in
+    Cell.write slots.(b) v;
+    Cell.write bottom (b + 1)
+  in
+  let pop () =
+    let b = Cell.read bottom - 1 in
+    Cell.write bottom b;
+    let t = Cell.read top in
+    if b < t then Cell.write bottom t
+    else begin
+      let v = Cell.read slots.(b) in
+      if b > t then owner_log.taken <- v :: owner_log.taken
+      else begin
+        if Cell.cas top t (t + 1) then owner_log.taken <- v :: owner_log.taken;
+        Cell.write bottom (t + 1)
+      end
+    end
+  in
+  (* CAS deque: a batch is [batch] independent steals stopping at the
+     first empty or raced attempt, as in chase_lev.ml. *)
+  let steal_one log =
+    let t = Cell.read top in
+    let b = Cell.read bottom in
+    if t >= b then false
+    else begin
+      let v = Cell.read slots.(t) in
+      if Cell.cas top t (t + 1) then begin
+        log.taken <- v :: log.taken;
+        true
+      end
+      else false
+    end
+  in
+  let steal_batch log () =
+    let rec go n = if n < batch && steal_one log then go (n + 1) in
+    go 0
+  in
+  let owner () =
+    for v = 1 to pushes do
+      push v
+    done;
+    for _ = 1 to pops do
+      pop ()
+    done
+  in
+  let threads = owner :: List.map (fun l -> steal_batch l) thief_logs in
+  let invariant =
+    conservation ~pushes ~logs:(owner_log :: thief_logs) ~size_at_end:(fun () ->
+        max 0 (Cell.peek bottom - Cell.peek top))
+  in
+  (threads, invariant)
+
+let the_queue_batch_spec ~pushes ~pops ~batch ~thieves () =
+  let head = Cell.make 0 in
+  let tail = Cell.make 0 in
+  let lock = Cell.make false in
+  let slots = Array.init (max 1 pushes) (fun _ -> Cell.make 0) in
+  let owner_log = { taken = [] } in
+  let thief_logs = List.init thieves (fun _ -> { taken = [] }) in
+  (* Blocking mutex: spin-free, so the exploration is exhaustive. *)
+  let acquire () = Cell.await_cas lock false true in
+  let release () = Cell.write lock false in
+  let push v =
+    let t = Cell.read tail in
+    Cell.write slots.(t) v;
+    Cell.write tail (t + 1)
+  in
+  let pop () =
+    let t = Cell.read tail - 1 in
+    Cell.write tail t;
+    let h = Cell.read head in
+    if h > t then begin
+      Cell.write tail (t + 1);
+      acquire ();
+      let t = Cell.read tail - 1 in
+      Cell.write tail t;
+      let h = Cell.read head in
+      if h > t then Cell.write tail h
+      else begin
+        let v = Cell.read slots.(t) in
+        owner_log.taken <- v :: owner_log.taken
+      end;
+      release ()
+    end
+    else begin
+      let v = Cell.read slots.(t) in
+      owner_log.taken <- v :: owner_log.taken
+    end
+  in
+  (* Steal-half under ONE critical section, as in the_queue.ml. *)
+  let steal_batch log () =
+    acquire ();
+    let avail = max 0 (Cell.read tail - Cell.read head) in
+    let take = min batch ((avail + 1) / 2) in
+    let rec go n =
+      if n < take then begin
+        let h = Cell.read head in
+        Cell.write head (h + 1);
+        let t = Cell.read tail in
+        if h + 1 > t then Cell.write head h (* raced the owner: stop *)
+        else begin
+          let v = Cell.read slots.(h) in
+          log.taken <- v :: log.taken;
+          go (n + 1)
+        end
+      end
+    in
+    go 0;
+    release ()
+  in
+  let owner () =
+    for v = 1 to pushes do
+      push v
+    done;
+    for _ = 1 to pops do
+      pop ()
+    done
+  in
+  let threads = owner :: List.map (fun l -> steal_batch l) thief_logs in
+  let invariant =
+    conservation ~pushes ~logs:(owner_log :: thief_logs) ~size_at_end:(fun () ->
+        max 0 (Cell.peek tail - Cell.peek head))
+  in
+  (threads, invariant)
+
+let abp_batch_spec ~pushes ~pops ~batch ~thieves () =
+  (* age packs (tag lsl 8) lor top, as abp.ml packs them into one CAS
+     word; the array is not a ring — pop resets both indices on empty. *)
+  let age = Cell.make 0 in
+  let bot = Cell.make 0 in
+  let slots = Array.init (max 1 pushes) (fun _ -> Cell.make 0) in
+  let owner_log = { taken = [] } in
+  let thief_logs = List.init thieves (fun _ -> { taken = [] }) in
+  let top_of a = a land 255 and tag_of a = a lsr 8 in
+  let pack ~tag ~top = (tag lsl 8) lor top in
+  let push v =
+    let b = Cell.read bot in
+    Cell.write slots.(b) v;
+    Cell.write bot (b + 1)
+  in
+  let pop () =
+    let b = Cell.read bot in
+    if b > 0 then begin
+      let b = b - 1 in
+      Cell.write bot b;
+      let v = Cell.read slots.(b) in
+      let old_age = Cell.read age in
+      let tag = tag_of old_age and top = top_of old_age in
+      if b > top then owner_log.taken <- v :: owner_log.taken
+      else begin
+        Cell.write bot 0;
+        let new_age = pack ~tag:(tag + 1) ~top:0 in
+        if b = top && Cell.cas age old_age new_age then
+          owner_log.taken <- v :: owner_log.taken
+        else Cell.write age new_age
+      end
+    end
+  in
+  let steal_one log =
+    let old_age = Cell.read age in
+    let tag = tag_of old_age and top = top_of old_age in
+    let b = Cell.read bot in
+    if b <= top then false
+    else begin
+      let v = Cell.read slots.(top) in
+      if Cell.cas age old_age (pack ~tag ~top:(top + 1)) then begin
+        log.taken <- v :: log.taken;
+        true
+      end
+      else false
+    end
+  in
+  let steal_batch log () =
+    let rec go n = if n < batch && steal_one log then go (n + 1) in
+    go 0
+  in
+  let owner () =
+    for v = 1 to pushes do
+      push v
+    done;
+    for _ = 1 to pops do
+      pop ()
+    done
+  in
+  let threads = owner :: List.map (fun l -> steal_batch l) thief_logs in
+  let invariant =
+    conservation ~pushes ~logs:(owner_log :: thief_logs) ~size_at_end:(fun () ->
+        max 0 (Cell.peek bot - top_of (Cell.peek age)))
+  in
+  (threads, invariant)
+
+let locked_batch_spec ~pushes ~pops ~batch ~thieves () =
+  let head = Cell.make 0 in
+  let tail = Cell.make 0 in
+  let lock = Cell.make false in
+  let slots = Array.init (max 1 pushes) (fun _ -> Cell.make 0) in
+  let owner_log = { taken = [] } in
+  let thief_logs = List.init thieves (fun _ -> { taken = [] }) in
+  let acquire () = Cell.await_cas lock false true in
+  let release () = Cell.write lock false in
+  let push v =
+    acquire ();
+    let t = Cell.read tail in
+    Cell.write slots.(t) v;
+    Cell.write tail (t + 1);
+    release ()
+  in
+  let pop () =
+    acquire ();
+    let t = Cell.read tail in
+    let h = Cell.read head in
+    if t > h then begin
+      Cell.write tail (t - 1);
+      let v = Cell.read slots.(t - 1) in
+      owner_log.taken <- v :: owner_log.taken
+    end;
+    release ()
+  in
+  (* steal_half under one lock acquisition, as in locked_deque.ml *)
+  let steal_batch log () =
+    acquire ();
+    let avail = Cell.read tail - Cell.read head in
+    let take = min batch ((avail + 1) / 2) in
+    let rec go n =
+      if n < take then begin
+        let h = Cell.read head in
+        let v = Cell.read slots.(h) in
+        Cell.write head (h + 1);
+        log.taken <- v :: log.taken;
+        go (n + 1)
+      end
+    in
+    go 0;
+    release ()
+  in
+  let owner () =
+    for v = 1 to pushes do
+      push v
+    done;
+    for _ = 1 to pops do
+      pop ()
+    done
+  in
+  let threads = owner :: List.map (fun l -> steal_batch l) thief_logs in
+  let invariant =
+    conservation ~pushes ~logs:(owner_log :: thief_logs) ~size_at_end:(fun () ->
+        max 0 (Cell.peek tail - Cell.peek head))
+  in
+  (threads, invariant)
+
+(* -- SNZI arrive/depart with helping (lib/sync/snzi.ml) ----------------
+   One shared tree node (c2 doubled, version in the low bits, both under
+   one CAS as in snzi.ml) over the plain root counter.  Exercises the
+   zero→non-zero claim, the helping path and the surplus undo. *)
+
+let snzi_spec ~threads:nthreads () =
+  let node = Cell.make 0 in
+  let root = Cell.make 0 in
+  let pack ~c2 ~v = (c2 lsl 8) lor (v land 255) in
+  let c2_of x = x lsr 8 and v_of x = x land 255 in
+  let depart_root () = ignore (Cell.fetch_add root (-1)) in
+  let arrive () =
+    let undo = ref 0 in
+    let rec loop () =
+      let x = Cell.read node in
+      let c2 = c2_of x and v = v_of x in
+      if c2 >= 2 then begin
+        if not (Cell.cas node x (pack ~c2:(c2 + 2) ~v)) then loop ()
+      end
+      else if c2 = 1 then begin
+        (* help whoever claimed the zero→non-zero transition: increment
+           the parent first, then try to finish the transition *)
+        ignore (Cell.fetch_add root 1);
+        if not (Cell.cas node x (pack ~c2:2 ~v)) then incr undo;
+        loop () (* helping never completes our own arrive *)
+      end
+      else begin
+        if Cell.cas node x (pack ~c2:1 ~v:(v + 1)) then begin
+          ignore (Cell.fetch_add root 1);
+          if not (Cell.cas node (pack ~c2:1 ~v:(v + 1)) (pack ~c2:2 ~v:(v + 1)))
+          then incr undo
+        end
+        else loop ()
+      end
+    in
+    loop ();
+    for _ = 1 to !undo do
+      depart_root ()
+    done
+  in
+  let depart () =
+    let rec loop () =
+      let x = Cell.read node in
+      let c2 = c2_of x and v = v_of x in
+      check (c2 >= 2) "depart found the node surplus already zero";
+      if Cell.cas node x (pack ~c2:(c2 - 2) ~v) then begin
+        if c2 = 2 then depart_root ()
+      end
+      else loop ()
+    in
+    loop ()
+  in
+  let worker () =
+    arrive ();
+    check (Cell.peek root > 0) "arrived but the indicator reads zero";
+    depart ()
+  in
+  let threads = List.init nthreads (fun _ -> worker) in
+  let invariant () = Cell.peek root = 0 && c2_of (Cell.peek node) = 0 in
+  (threads, invariant)
+
+(* -- barrier reuse across rounds (lib/sync/barrier.ml) -----------------
+   [`Sense] is the pre-fix sense-reversing barrier (my_sense read from
+   the global flag at entry); [`Sense_reordered] is the same protocol
+   with the leader's two stores swapped — the weak-memory hazard made
+   explicit as a program so SC search can exhibit it; [`Epoch] is the
+   fixed barrier (monotonic arrivals, per-round parity from the arrival
+   index, no reset window at all). *)
+
+let barrier_spec ?(variant = `Epoch) ~n ~rounds () =
+  let arrived = Array.init rounds (fun _ -> Cell.make 0) in
+  let done_ = Array.make n false in
+  let await_round =
+    match variant with
+    | `Sense | `Sense_reordered ->
+      let count = Cell.make 0 in
+      let sense = Cell.make false in
+      fun _r ->
+        let my = not (Cell.read sense) in
+        if Cell.fetch_add count 1 = n - 1 then begin
+          match variant with
+          | `Sense ->
+            Cell.write count 0;
+            Cell.write sense my
+          | _ ->
+            (* store order flipped: sense becomes visible while count
+               still holds the previous round's arrivals *)
+            Cell.write sense my;
+            Cell.write count 0
+        end
+        else ignore (Cell.await sense (fun s -> s = my))
+    | `Epoch ->
+      let arrivals = Cell.make 0 in
+      let rounds_done = Cell.make 0 in
+      fun _r ->
+        let k = Cell.fetch_add arrivals 1 in
+        let r = k / n in
+        if k mod n = n - 1 then ignore (Cell.fetch_add rounds_done 1)
+        else ignore (Cell.await rounds_done (fun d -> d > r))
+  in
+  let participant i () =
+    for r = 0 to rounds - 1 do
+      ignore (Cell.fetch_add arrived.(r) 1);
+      await_round r;
+      check
+        (Cell.peek arrived.(r) = n)
+        "passed a round before every participant arrived"
+    done;
+    done_.(i) <- true
+  in
+  (* All participants must finish: a thread still blocked on its round
+     flag at the end of the run is a deadlocked barrier. *)
+  (List.init n participant, fun () -> Array.for_all (fun d -> d) done_)

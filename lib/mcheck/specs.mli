@@ -18,7 +18,15 @@
 
     Plus deque scenarios for the Chase-Lev and THE queues: an owner
     pushing/popping races thieves stealing; every element must be
-    consumed exactly once and LIFO/FIFO order respected. *)
+    consumed exactly once and LIFO/FIFO order respected.
+
+    PR 5 adds specs for the coordination protocols PR 4 shipped: the
+    wait-free sleeper registry (no lost wake-up, wake-vs-cancel token
+    races, wake_all at shutdown), [steal_batch] on all four deque
+    variants, SNZI arrive/depart with helping, and barrier reuse across
+    rounds.  The blocking operations ({!Mcheck.Cell.await},
+    {!Mcheck.Cell.await_cas}) keep these specs spin-free so exhaustive
+    exploration reports [complete = true] at CI bounds. *)
 
 val chase_lev_spec :
   pushes:int -> pops:int -> thieves:int ->
@@ -36,3 +44,71 @@ val wait_free_counter_spec :
 
 val lock_counter_spec :
   children:int -> unit -> (unit -> unit) list * (unit -> bool)
+
+val sleeper_spec :
+  ?variant:[ `Good | `Check_before_announce ] ->
+  workers:int -> tasks:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+(** The sleeper-registry no-lost-wakeup scenario: [workers] workers
+    running a bounded take/announce/re-check/park loop against a spawner
+    pushing [tasks] tasks, each push followed by [wake_one].  The
+    invariant is that pending work implies some worker exited awake.
+    [`Check_before_announce] is the buggy protocol (final re-check
+    {e before} publishing the mask bit) — the checker exhibits the lost
+    wake-up that the announce-first order in sleepers.ml prevents. *)
+
+val sleeper_wake_cancel_spec :
+  wakers:int -> unit -> (unit -> unit) list * (unit -> bool)
+(** One worker announces then cancels while [wakers] concurrent
+    [wake_one] calls race it: exactly one side wins the mask bit, at
+    most one token is minted (and is consumed by the worker when it lost
+    the race), and the wake epoch counts exactly the successful wakes. *)
+
+val sleeper_shutdown_spec :
+  workers:int -> unit -> (unit -> unit) list * (unit -> bool)
+(** Workers announce and park while a closer stores [finished] and runs
+    [wake_all]; no worker may remain parked after shutdown. *)
+
+val chase_lev_batch_spec :
+  pushes:int -> pops:int -> batch:int -> thieves:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+
+val the_queue_batch_spec :
+  pushes:int -> pops:int -> batch:int -> thieves:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+
+val abp_batch_spec :
+  pushes:int -> pops:int -> batch:int -> thieves:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+
+val locked_batch_spec :
+  pushes:int -> pops:int -> batch:int -> thieves:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+(** The four [steal_batch] scenarios, one per deque family: an owner
+    pushing then popping races thieves each grabbing a batch of up to
+    [batch] elements (CAS deques: independent steals stopping at the
+    first failure; lock-based deques: steal-half under one critical
+    section).  The conservation invariant is the re-homing guarantee —
+    every pushed element is consumed exactly once or still in the
+    deque. *)
+
+val snzi_spec :
+  threads:int -> unit -> (unit -> unit) list * (unit -> bool)
+(** [threads] threads each arrive / check the indicator / depart through
+    one SNZI tree node (c2 doubled + version packed in one CAS word over
+    a plain root), exercising the zero-to-non-zero claim, the helping
+    path and the surplus undo.  Invariant: the indicator is non-zero
+    while any arrive is unmatched, and everything returns to zero. *)
+
+val barrier_spec :
+  ?variant:[ `Sense | `Sense_reordered | `Epoch ] ->
+  n:int -> rounds:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+(** Barrier reuse across [rounds] rounds by [n] participants, each
+    checking that no-one passes round [r] before all [n] arrived at it,
+    with deadlock detection via the all-finished invariant.  [`Sense] is
+    the sense-reversing protocol (correct under SC — the exhaustive run
+    proves it); [`Sense_reordered] swaps the leader's two stores,
+    exhibiting under SC search the hazard that weak memory could
+    introduce into [`Sense]; [`Epoch] is the arrivals-epoch barrier that
+    barrier.ml now uses, with no reset window at all. *)

@@ -56,10 +56,19 @@ let park t ~worker =
   slot.tokens <- slot.tokens - 1;
   Mutex.unlock slot.mu
 
-(* Lowest set bit index; the mask is never 0 when called. *)
+(* Lowest set bit index in constant time via binary search on the
+   isolated bit (the de Bruijn multiply is unsound on OCaml's 63-bit
+   native ints, where the 64-bit constant wraps).  The mask is never 0
+   when called; only the low [mask_bits] bits are ever set. *)
 let ctz m =
-  let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
-  go 0
+  let b = m land -m in
+  let i = 0 in
+  let i = if b land 0xFFFF_FFFF <> 0 then i else i + 32 in
+  let i = if b land (0xFFFF lsl i) <> 0 then i else i + 16 in
+  let i = if b land (0xFF lsl i) <> 0 then i else i + 8 in
+  let i = if b land (0xF lsl i) <> 0 then i else i + 4 in
+  let i = if b land (0x3 lsl i) <> 0 then i else i + 2 in
+  if b land (0x1 lsl i) <> 0 then i else i + 1
 
 let wake_one t =
   (* Single load on the fast path: the spawn-side cost when nobody
@@ -71,7 +80,14 @@ let wake_one t =
       let mask = cur land mask_all in
       if mask = 0 then false
       else begin
-        let w = ctz mask in
+        (* Rotate the scan start by the wake epoch so successive wakes
+           walk the sleepers round-robin instead of hammering the
+           lowest-indexed worker (which otherwise absorbs every
+           wake/park cycle while high-indexed workers sleep through
+           bursts). *)
+        let r = ((cur lsr mask_bits) land 0x7fff) mod mask_bits in
+        let rot = (mask lsr r) lor ((mask lsl (mask_bits - r)) land mask_all) in
+        let w = (ctz rot + r) mod mask_bits in
         let next = (cur lxor (1 lsl w)) + epoch_one in
         if Atomic.compare_and_set t.word cur next then begin
           post t.slots.(w);

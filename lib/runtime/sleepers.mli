@@ -57,7 +57,11 @@ val park : t -> worker:int -> unit
 val wake_one : t -> bool
 (** Wake one parked worker if any.  Fast path: one atomic load returning
     [false] when nobody sleeps.  Returns [true] if a sleeper bit was
-    claimed and its owner signalled. *)
+    claimed and its owner signalled.  The victim scan starts at the
+    current wake epoch modulo {!mask_bits} and wraps, so repeated wakes
+    rotate round-robin over the parked workers rather than always
+    reviving the lowest-indexed one (which would leave high-indexed
+    workers — and their stolen-into deques — cold through a burst). *)
 
 val wake_all : t -> unit
 (** Claim every sleeper bit and signal all the owners.  Used at

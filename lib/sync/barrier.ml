@@ -1,17 +1,26 @@
-type t = { n : int; count : int Atomic.t; sense : bool Atomic.t }
+(* Arrivals-epoch barrier.  The earlier sense-reversing version derived
+   my_sense from the global flag at entry; that is provably correct
+   under SC (the exhaustive interleaving search over Specs.barrier_spec
+   ~variant:`Sense completes with no violation), but it hangs as soon as
+   the leader's two stores — the count reset and the sense flip — become
+   visible in the other order, which OCaml's memory model does not
+   forbid for the plain-field variants this code could drift into (see
+   Specs.barrier_spec ~variant:`Sense_reordered for the failing
+   schedule).  The epoch form has no reset window at all: both counters
+   only ever increase, a participant's round is fixed by its own arrival
+   index, and there is no flag to read at the wrong moment. *)
+type t = { n : int; arrivals : int Atomic.t; rounds : int Atomic.t }
 
 let create n =
-  { n; count = Nowa_util.Padding.atomic 0; sense = Nowa_util.Padding.atomic false }
+  { n; arrivals = Nowa_util.Padding.atomic 0; rounds = Nowa_util.Padding.atomic 0 }
 
 let await t =
-  let my_sense = not (Atomic.get t.sense) in
-  if Atomic.fetch_and_add t.count 1 = t.n - 1 then begin
-    Atomic.set t.count 0;
-    Atomic.set t.sense my_sense
-  end
+  let k = Atomic.fetch_and_add t.arrivals 1 in
+  let r = k / t.n in
+  if k mod t.n = t.n - 1 then ignore (Atomic.fetch_and_add t.rounds 1)
   else begin
     let spins = ref 0 in
-    while Atomic.get t.sense <> my_sense do
+    while Atomic.get t.rounds <= r do
       Domain.cpu_relax ();
       incr spins;
       if !spins mod 4096 = 0 then Unix.sleepf 0.0

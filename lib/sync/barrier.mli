@@ -1,5 +1,14 @@
-(** Sense-reversing spinning barrier, used to line the workers up before
-    timed benchmark sections and at runtime start-up. *)
+(** Arrivals-epoch spinning barrier, used to line the workers up before
+    timed benchmark sections and at runtime start-up.
+
+    Each arrival takes a ticket from a monotonic counter; the ticket
+    fixes the participant's round as [ticket / n], the last arrival of a
+    round bumps a completed-rounds counter, and everyone else spins
+    until that counter passes their round.  Unlike the sense-reversing
+    form there is no count-reset/sense-flip window for a re-entering
+    participant to observe half-done: both counters are monotonic, so
+    the barrier is reusable across arbitrarily many rounds with no
+    ABA-prone state (model-checked by [Specs.barrier_spec]). *)
 
 type t
 

@@ -6,7 +6,18 @@
    traffic, which is the part of the construction that matters for
    scalability.  [query] reads only the root. *)
 
-let version_bits = 20
+(* Word layout: c2 in the high bits, version in the low [version_bits].
+   The version only guards the helping CAS (1,v)→(2,v) against ABA: a
+   stale helper can only misfire if the node leaves and re-enters the
+   intermediate state exactly 2^version_bits times between that helper's
+   read and its CAS.  At 40 bits that is 2^40 ≈ 10^12 zero→non-zero
+   transitions while one thread is stalled mid-operation — unreachable
+   in practice (years of transitions at full tilt), whereas the previous
+   20-bit field (~10^6) was within reach of a long descheduling on a
+   busy box.  The remaining 63 - 40 = 23 bits hold the doubled counter,
+   i.e. up to ~4M concurrent arrivals per node — far above any worker
+   count this runtime supports (Sleepers.mask_bits = 48). *)
+let version_bits = 40
 let version_mask = (1 lsl version_bits) - 1
 let pack ~c2 ~v = (c2 lsl version_bits) lor (v land version_mask)
 let c2_of x = x lsr version_bits
@@ -65,7 +76,18 @@ and depart_node t node =
     while not !finished do
       let x = Atomic.get n.x in
       let c2 = c2_of x and v = v_of x in
-      assert (c2 >= 2);
+      (* A full unit of surplus must be present: every depart matches a
+         completed arrive, and helpers never drive c2 below 2 on their
+         own.  Seeing 0 or the transient 1 here means the caller departed
+         without (or before completing) its arrive — an API misuse worth
+         a real diagnosis, not an [assert] that vanishes with -noassert
+         and aborts the program otherwise. *)
+      if c2 < 2 then
+        invalid_arg
+          (Printf.sprintf
+             "Snzi.depart: node surplus already zero (c2=%d) — \
+              arrive/depart calls are unbalanced"
+             c2);
       if Atomic.compare_and_set n.x x (pack ~c2:(c2 - 2) ~v) then begin
         if c2 = 2 then depart_node t n.parent;
         finished := true

@@ -23,7 +23,16 @@ val arrive : t -> leaf:int -> unit
 
 val depart : t -> leaf:int -> unit
 (** Decrement the surplus via the same leaf used to arrive.  The surplus
-    must be positive. *)
+    must be positive: departing a node whose surplus is already zero
+    raises [Invalid_argument] naming the node state, since unbalanced
+    arrive/depart calls are caller bugs the structure can detect (the
+    arrive/depart protocol itself is model-checked race-free by
+    [Specs.snzi_spec]).
+
+    Internal versioning: each node's zero→non-zero transitions are
+    counted in a 40-bit version field that guards the helping CAS
+    against ABA; see the layout comment in snzi.ml for why wraparound
+    (2^40 transitions during one stalled operation) is unreachable. *)
 
 val query : t -> bool
 (** [true] iff the surplus is non-zero. *)

@@ -49,6 +49,34 @@ let test_wake_all () =
   (* Every claimed worker holds a token: none of these parks blocks. *)
   List.iter (fun w -> Sleepers.park s ~worker:w) [ 0; 3; 7 ]
 
+let test_wake_one_round_robin () =
+  (* wake_one rotates its scan start by the wake epoch: with all of a
+     group parked before each wake, successive wakes must visit every
+     worker rather than hammering the lowest-indexed bit (the pre-fix
+     behaviour woke worker 0 every single round). *)
+  let s = Sleepers.create ~workers:4 in
+  let workers = [ 0; 1; 2 ] in
+  let woken = Hashtbl.create 8 in
+  for _ = 1 to 3 do
+    List.iter (fun w -> ignore (Sleepers.announce s ~worker:w)) workers;
+    let epoch_before = Sleepers.epoch s in
+    Alcotest.(check bool) "wake claims someone" true (Sleepers.wake_one s);
+    (* identify the woken worker: the one whose bit vanished *)
+    let still = Sleepers.sleepers s in
+    Alcotest.(check int) "exactly one claimed" (List.length workers - 1) still;
+    List.iter
+      (fun w ->
+        if Sleepers.cancel s ~worker:w then () (* still masked: not woken *)
+        else begin
+          Hashtbl.replace woken w ();
+          Sleepers.park s ~worker:w (* consume the in-flight token *)
+        end)
+      workers;
+    Alcotest.(check int) "epoch advanced" (epoch_before + 1) (Sleepers.epoch s)
+  done;
+  Alcotest.(check int) "three wakes hit three distinct workers" 3
+    (Hashtbl.length woken)
+
 let test_oversized_worker_cannot_park () =
   let s = Sleepers.create ~workers:(Sleepers.mask_bits + 4) in
   Alcotest.(check bool) "beyond the mask: refused" false
@@ -164,6 +192,8 @@ let () =
           Alcotest.test_case "late cancel leaves benign token" `Quick
             test_cancel_after_wake_leaves_benign_token;
           Alcotest.test_case "wake_all" `Quick test_wake_all;
+          Alcotest.test_case "wake_one round-robin" `Quick
+            test_wake_one_round_robin;
           Alcotest.test_case "oversized worker refused" `Quick
             test_oversized_worker_cannot_park;
           Alcotest.test_case "park blocks until wake" `Quick

@@ -2,7 +2,10 @@
    II-D methodology): exhaustive interleaving exploration of the deque
    and strand-counter protocols, including a mechanical exhibition of
    the Figure 6 race on a naive counter and its absence from the
-   wait-free and lock-based schemes. *)
+   wait-free and lock-based schemes; plus the PR-5 specs for the sleeper
+   registry, steal_batch on all four deques, SNZI and barrier reuse, the
+   DPOR-vs-naive cross-checks, and pinned-schedule regressions for every
+   bug the checker shook out. *)
 
 module M = Nowa_mcheck.Mcheck
 module S = Nowa_mcheck.Specs
@@ -10,6 +13,15 @@ module S = Nowa_mcheck.Specs
 let expect_ok name result =
   match result with
   | M.Ok o ->
+    Alcotest.(check bool) (name ^ ": explored something") true (o.M.executions > 0)
+  | M.Violation { schedule; message } ->
+    Alcotest.failf "%s: unexpected violation %S on schedule [%s]" name message
+      (String.concat ";" (List.map string_of_int schedule))
+
+let expect_exhaustive name result =
+  match result with
+  | M.Ok o ->
+    Alcotest.(check bool) (name ^ ": complete") true o.M.complete;
     Alcotest.(check bool) (name ^ ": explored something") true (o.M.executions > 0)
   | M.Violation { schedule; message } ->
     Alcotest.failf "%s: unexpected violation %S on schedule [%s]" name message
@@ -27,7 +39,9 @@ let expect_violation name result =
 let test_explorer_counts_interleavings () =
   (* Two threads of two atomic writes each on distinct cells.  A thread
      with k scheduling points needs k+1 quanta (the last runs it to
-     completion), so the interleaving count is C(6,3) = 20. *)
+     completion), so the naive enumeration sees C(6,3) = 20
+     interleavings.  The two threads share no cell, so DPOR must
+     recognise a single Mazurkiewicz trace and explore exactly 1. *)
   let spec () =
     let a = M.Cell.make 0 and b = M.Cell.make 0 in
     let inc c () =
@@ -36,15 +50,21 @@ let test_explorer_counts_interleavings () =
     in
     ([ inc a; inc b ], fun () -> M.Cell.peek a = 2 && M.Cell.peek b = 2)
   in
+  (match M.explore_naive spec with
+  | M.Ok o ->
+    Alcotest.(check int) "naive: C(6,3) interleavings" 20 o.M.executions;
+    Alcotest.(check bool) "naive: complete" true o.M.complete
+  | M.Violation _ -> Alcotest.fail "naive: unexpected violation");
   match M.explore spec with
   | M.Ok o ->
-    Alcotest.(check int) "C(6,3) interleavings" 20 o.M.executions;
-    Alcotest.(check bool) "complete" true o.M.complete
-  | M.Violation _ -> Alcotest.fail "unexpected violation"
+    Alcotest.(check int) "dpor: one trace" 1 o.M.executions;
+    Alcotest.(check bool) "dpor: complete" true o.M.complete
+  | M.Violation _ -> Alcotest.fail "dpor: unexpected violation"
 
 let test_explorer_finds_lost_update () =
   (* The classic racy read-modify-write: two threads doing
-     read;write(+1) — some interleaving loses an update. *)
+     read;write(+1) — some interleaving loses an update.  Both the
+     reduced and the naive search must find it. *)
   let spec () =
     let c = M.Cell.make 0 in
     let inc () =
@@ -53,7 +73,8 @@ let test_explorer_finds_lost_update () =
     in
     ([ inc; inc ], fun () -> M.Cell.peek c = 2)
   in
-  expect_violation "lost update" (M.explore spec)
+  expect_violation "lost update (dpor)" (M.explore spec);
+  expect_violation "lost update (naive)" (M.explore_naive spec)
 
 let test_explorer_atomic_rmw_safe () =
   let spec () =
@@ -61,7 +82,7 @@ let test_explorer_atomic_rmw_safe () =
     let inc () = ignore (M.Cell.fetch_add c 1) in
     ([ inc; inc; inc ], fun () -> M.Cell.peek c = 3)
   in
-  expect_ok "fetch_add" (M.explore spec)
+  expect_exhaustive "fetch_add" (M.explore spec)
 
 let test_explorer_reports_check_failures () =
   let spec () =
@@ -84,9 +105,92 @@ let test_explorer_budget () =
   in
   match M.explore ~max_executions:50 spec with
   | M.Ok o ->
-    Alcotest.(check bool) "budget respected" true (o.M.executions <= 50);
+    Alcotest.(check bool) "budget respected" true
+      (o.M.executions + o.M.truncated + o.M.blocked <= 50);
     Alcotest.(check bool) "flagged incomplete" false o.M.complete
   | M.Violation _ -> Alcotest.fail "unexpected violation"
+
+let test_truncations_consume_budget () =
+  (* Regression for the budget leak: executions cut off at [max_steps]
+     must count toward [max_executions] (or the search under a step
+     bound runs arbitrarily past its budget), and their presence must
+     force [complete = false] even when the execution budget was never
+     hit — a truncated search proved nothing about deeper schedules. *)
+  let spec () =
+    let c = M.Cell.make 0 in
+    let busy () =
+      for _ = 1 to 10 do
+        ignore (M.Cell.fetch_add c 1)
+      done
+    in
+    ([ busy; busy ], fun () -> true)
+  in
+  (match M.explore ~max_executions:30 ~max_steps:5 spec with
+  | M.Ok o ->
+    Alcotest.(check bool) "truncated some" true (o.M.truncated > 0);
+    Alcotest.(check bool) "truncations count toward the budget" true
+      (o.M.executions + o.M.truncated + o.M.blocked <= 30);
+    Alcotest.(check bool) "never complete when truncating" false o.M.complete
+  | M.Violation _ -> Alcotest.fail "unexpected violation");
+  (* and a roomy execution budget still reports incomplete if any
+     execution hit the step bound *)
+  match M.explore ~max_executions:100_000 ~max_steps:5 spec with
+  | M.Ok o ->
+    Alcotest.(check bool) "truncation alone defeats complete" false o.M.complete
+  | M.Violation _ -> Alcotest.fail "unexpected violation"
+
+(* -- DPOR vs naive: verdict agreement and reduction factor --------------- *)
+
+let verdict_of = function M.Ok _ -> "ok" | M.Violation _ -> "violation"
+
+let test_dpor_naive_agree () =
+  (* Every existing spec, both searches, identical verdicts. *)
+  let specs =
+    [
+      ("chase_lev 2/1/1", S.chase_lev_spec ~pushes:2 ~pops:1 ~thieves:1);
+      ("chase_lev 1/1/1", S.chase_lev_spec ~pushes:1 ~pops:1 ~thieves:1);
+      ("the_queue 1/1/1", S.the_queue_spec ~pushes:1 ~pops:1 ~thieves:1);
+      ("the_queue 2/1/1", S.the_queue_spec ~pushes:2 ~pops:1 ~thieves:1);
+      ("naive_counter", S.naive_counter_spec ~children:1);
+      ("wait_free_counter", S.wait_free_counter_spec ~children:1);
+      ("lock_counter", S.lock_counter_spec ~children:1);
+    ]
+  in
+  List.iter
+    (fun (name, spec) ->
+      (* identical (deliberately modest) bounds for both searches: the
+         spin-loop specs (lock counter, THE queue) would otherwise chew
+         through minutes of naive enumeration without changing any
+         verdict *)
+      let d = M.explore ~max_executions:20_000 spec in
+      let n = M.explore_naive ~max_executions:20_000 spec in
+      Alcotest.(check string)
+        (name ^ ": dpor and naive verdicts agree")
+        (verdict_of n) (verdict_of d))
+    specs
+
+let test_dpor_reduction_factor () =
+  (* The acceptance criterion: >= 10x fewer executions than the naive
+     DFS at identical bounds, on at least two specs, both counts
+     printed. *)
+  let measure name spec =
+    let count = function
+      | M.Ok o -> o.M.executions
+      | M.Violation _ -> Alcotest.failf "%s: unexpected violation" name
+    in
+    let naive = count (M.explore_naive ~max_executions:500_000 spec) in
+    let dpor = count (M.explore ~max_executions:500_000 spec) in
+    Printf.printf "mcheck reduction %-18s naive=%d dpor=%d (%.0fx)\n%!" name
+      naive dpor
+      (float_of_int naive /. float_of_int (max 1 dpor));
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: >=10x reduction (naive=%d dpor=%d)" name naive dpor)
+      true
+      (naive >= 10 * dpor)
+  in
+  measure "chase_lev 2/1/1" (S.chase_lev_spec ~pushes:2 ~pops:1 ~thieves:1);
+  measure "the_queue 2/1/1" (S.the_queue_spec ~pushes:2 ~pops:1 ~thieves:1);
+  measure "wait_free_counter" (S.wait_free_counter_spec ~children:1)
 
 (* -- deques -------------------------------------------------------------- *)
 
@@ -118,6 +222,28 @@ let test_the_queue_two_thieves () =
   expect_ok "THE 2 pushes, 0 pops, 2 thieves"
     (M.explore ~max_executions:60_000 (S.the_queue_spec ~pushes:2 ~pops:0 ~thieves:2))
 
+(* -- steal_batch on all four deques -------------------------------------- *)
+
+let test_batch_chase_lev () =
+  expect_exhaustive "CL batch 3/1/2/1"
+    (M.explore (S.chase_lev_batch_spec ~pushes:3 ~pops:1 ~batch:2 ~thieves:1))
+
+let test_batch_chase_lev_two_thieves () =
+  expect_exhaustive "CL batch 2/0/2/2"
+    (M.explore (S.chase_lev_batch_spec ~pushes:2 ~pops:0 ~batch:2 ~thieves:2))
+
+let test_batch_the_queue () =
+  expect_exhaustive "THE batch 3/1/2/1"
+    (M.explore (S.the_queue_batch_spec ~pushes:3 ~pops:1 ~batch:2 ~thieves:1))
+
+let test_batch_abp () =
+  expect_exhaustive "ABP batch 3/1/2/1"
+    (M.explore (S.abp_batch_spec ~pushes:3 ~pops:1 ~batch:2 ~thieves:1))
+
+let test_batch_locked () =
+  expect_exhaustive "locked batch 3/1/2/1"
+    (M.explore (S.locked_batch_spec ~pushes:3 ~pops:1 ~batch:2 ~thieves:1))
+
 (* -- strand counters ------------------------------------------------------ *)
 
 let test_naive_counter_has_the_figure6_race () =
@@ -126,9 +252,7 @@ let test_naive_counter_has_the_figure6_race () =
 
 let test_wait_free_counter_is_race_free () =
   match M.explore (S.wait_free_counter_spec ~children:1) with
-  | M.Ok o ->
-    Alcotest.(check bool) "exhaustive" true o.M.complete;
-    Alcotest.(check bool) "nontrivial" true (o.M.executions > 10)
+  | M.Ok o -> Alcotest.(check bool) "exhaustive" true o.M.complete
   | M.Violation { schedule; message } ->
     Alcotest.failf "wait-free counter violated: %S on [%s]" message
       (String.concat ";" (List.map string_of_int schedule))
@@ -138,6 +262,110 @@ let test_lock_counter_is_race_free () =
   | M.Ok o -> Alcotest.(check bool) "nontrivial" true (o.M.executions > 10)
   | M.Violation { schedule; message } ->
     Alcotest.failf "lock counter violated: %S on [%s]" message
+      (String.concat ";" (List.map string_of_int schedule))
+
+(* -- the sleeper registry -------------------------------------------------- *)
+
+let test_sleeper_no_lost_wakeup () =
+  expect_exhaustive "sleeper good 1 worker"
+    (M.explore (S.sleeper_spec ~workers:1 ~tasks:1));
+  expect_exhaustive "sleeper good 2 workers"
+    (M.explore ~max_executions:500_000 (S.sleeper_spec ~workers:2 ~tasks:1))
+
+let test_sleeper_check_before_announce_loses_wakeups () =
+  expect_violation "check-before-announce sleeper"
+    (M.explore (S.sleeper_spec ~variant:`Check_before_announce ~workers:1 ~tasks:1))
+
+let test_sleeper_wake_cancel () =
+  expect_exhaustive "wake vs cancel, 1 waker"
+    (M.explore (S.sleeper_wake_cancel_spec ~wakers:1));
+  expect_exhaustive "wake vs cancel, 2 wakers"
+    (M.explore (S.sleeper_wake_cancel_spec ~wakers:2))
+
+let test_sleeper_shutdown () =
+  expect_exhaustive "wake_all at shutdown"
+    (M.explore (S.sleeper_shutdown_spec ~workers:2))
+
+(* -- SNZI and barrier ----------------------------------------------------- *)
+
+let test_snzi_arrive_depart () =
+  expect_exhaustive "snzi 2 threads" (M.explore (S.snzi_spec ~threads:2))
+
+let test_barrier_sense_correct_under_sc () =
+  expect_exhaustive "sense barrier, 2x2"
+    (M.explore (S.barrier_spec ~variant:`Sense ~n:2 ~rounds:2))
+
+let test_barrier_reordered_deadlocks () =
+  expect_violation "store-reordered sense barrier"
+    (M.explore (S.barrier_spec ~variant:`Sense_reordered ~n:2 ~rounds:2))
+
+let test_barrier_epoch_correct () =
+  expect_exhaustive "epoch barrier, 2x2"
+    (M.explore (S.barrier_spec ~variant:`Epoch ~n:2 ~rounds:2));
+  expect_exhaustive "epoch barrier, 3x2"
+    (M.explore ~max_executions:500_000 (S.barrier_spec ~variant:`Epoch ~n:3 ~rounds:2))
+
+(* -- pinned-schedule regressions ------------------------------------------ *)
+
+(* Each bug the checker found stays pinned by its literal failing
+   schedule: [run_schedule] replays the exact interleaving and must
+   still observe the violation.  If a spec change invalidates a pin,
+   [run_schedule] raises (stale pin) rather than silently passing. *)
+
+let expect_pinned name spec schedule =
+  match M.run_schedule spec schedule with
+  | M.Violation _ -> ()
+  | M.Ok _ ->
+    Alcotest.failf "%s: pinned schedule no longer violates" name
+
+let test_pinned_figure6_schedule () =
+  (* worker runs to its sync-point read before the thief's increment
+     lands: the Figure-6 window *)
+  expect_pinned "naive counter"
+    (S.naive_counter_spec ~children:1)
+    [ 0; 0; 0; 1; 1; 0; 1; 1; 0; 0; 1 ]
+
+let test_pinned_lost_wakeup_schedule () =
+  (* worker re-checks (empty), spawner pushes + wake_one (sees empty
+     mask, skips), worker announces and parks forever *)
+  expect_pinned "check-before-announce sleeper"
+    (S.sleeper_spec ~variant:`Check_before_announce ~workers:1 ~tasks:1)
+    [ 0; 0; 0; 0; 1; 1; 1; 0 ]
+
+let test_pinned_barrier_reorder_schedule () =
+  (* leader flips sense before resetting count; a fast re-entrant
+     participant consumes the stale count and the round deadlocks *)
+  expect_pinned "store-reordered sense barrier"
+    (S.barrier_spec ~variant:`Sense_reordered ~n:2 ~rounds:2)
+    [ 0; 0; 0; 0; 1; 1; 1; 1; 1; 0; 0; 0; 0; 1; 1; 1; 1 ]
+
+let test_pins_track_explorer () =
+  (* The pin must stay in sync with what the explorer reports: derive a
+     fresh violating schedule and replay it. *)
+  match M.explore (S.naive_counter_spec ~children:1) with
+  | M.Ok _ -> Alcotest.fail "expected a violation to pin"
+  | M.Violation { schedule; _ } ->
+    expect_pinned "freshly derived schedule"
+      (S.naive_counter_spec ~children:1)
+      schedule
+
+(* -- random-walk fallback -------------------------------------------------- *)
+
+let test_random_finds_figure6 () =
+  expect_violation "random walk finds the Figure-6 race"
+    (M.explore_random ~seed:1 ~max_schedules:2000
+       (S.naive_counter_spec ~children:1))
+
+let test_random_never_claims_complete () =
+  match
+    M.explore_random ~seed:1 ~max_schedules:200
+      (S.wait_free_counter_spec ~children:1)
+  with
+  | M.Ok o ->
+    Alcotest.(check bool) "sampling is never a proof" false o.M.complete;
+    Alcotest.(check int) "reports schedules sampled" 200 o.M.executions
+  | M.Violation { schedule; message } ->
+    Alcotest.failf "wait-free counter violated: %S on [%s]" message
       (String.concat ";" (List.map string_of_int schedule))
 
 let () =
@@ -150,6 +378,13 @@ let () =
           Alcotest.test_case "atomic rmw safe" `Quick test_explorer_atomic_rmw_safe;
           Alcotest.test_case "inline checks" `Quick test_explorer_reports_check_failures;
           Alcotest.test_case "budget" `Quick test_explorer_budget;
+          Alcotest.test_case "truncations consume budget" `Quick
+            test_truncations_consume_budget;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "dpor and naive agree" `Slow test_dpor_naive_agree;
+          Alcotest.test_case "reduction factor" `Slow test_dpor_reduction_factor;
         ] );
       ( "chase-lev",
         [
@@ -164,6 +399,15 @@ let () =
           Alcotest.test_case "conflict path" `Quick test_the_queue_conflict_path;
           Alcotest.test_case "two thieves" `Slow test_the_queue_two_thieves;
         ] );
+      ( "steal batch",
+        [
+          Alcotest.test_case "chase-lev" `Quick test_batch_chase_lev;
+          Alcotest.test_case "chase-lev two thieves" `Quick
+            test_batch_chase_lev_two_thieves;
+          Alcotest.test_case "the queue" `Quick test_batch_the_queue;
+          Alcotest.test_case "abp" `Quick test_batch_abp;
+          Alcotest.test_case "locked" `Quick test_batch_locked;
+        ] );
       ( "strand counters",
         [
           Alcotest.test_case "naive has the Figure 6 race" `Quick
@@ -172,5 +416,37 @@ let () =
             test_wait_free_counter_is_race_free;
           Alcotest.test_case "lock-based is race free" `Quick
             test_lock_counter_is_race_free;
+        ] );
+      ( "sleepers",
+        [
+          Alcotest.test_case "no lost wake-up" `Slow test_sleeper_no_lost_wakeup;
+          Alcotest.test_case "check-before-announce is buggy" `Quick
+            test_sleeper_check_before_announce_loses_wakeups;
+          Alcotest.test_case "wake vs cancel" `Quick test_sleeper_wake_cancel;
+          Alcotest.test_case "shutdown wake_all" `Slow test_sleeper_shutdown;
+        ] );
+      ( "snzi and barrier",
+        [
+          Alcotest.test_case "snzi arrive/depart" `Quick test_snzi_arrive_depart;
+          Alcotest.test_case "sense barrier ok under SC" `Quick
+            test_barrier_sense_correct_under_sc;
+          Alcotest.test_case "reordered stores deadlock" `Quick
+            test_barrier_reordered_deadlocks;
+          Alcotest.test_case "epoch barrier ok" `Slow test_barrier_epoch_correct;
+        ] );
+      ( "pinned schedules",
+        [
+          Alcotest.test_case "figure 6" `Quick test_pinned_figure6_schedule;
+          Alcotest.test_case "lost wake-up" `Quick test_pinned_lost_wakeup_schedule;
+          Alcotest.test_case "barrier store reorder" `Quick
+            test_pinned_barrier_reorder_schedule;
+          Alcotest.test_case "pins track the explorer" `Quick
+            test_pins_track_explorer;
+        ] );
+      ( "random walk",
+        [
+          Alcotest.test_case "finds figure 6" `Quick test_random_finds_figure6;
+          Alcotest.test_case "never claims complete" `Quick
+            test_random_never_claims_complete;
         ] );
     ]

@@ -230,6 +230,17 @@ let test_snzi_concurrent () =
   Alcotest.(check int) "indicator never missed a surplus" 0 (Atomic.get failures);
   Alcotest.(check bool) "zero at quiescence" false (Snzi.query s)
 
+let test_snzi_unbalanced_depart_rejected () =
+  let s = Snzi.create ~leaves:2 () in
+  (match Snzi.depart s ~leaf:0 with
+  | () -> Alcotest.fail "depart with zero surplus must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* the structure is still usable: the failed depart mutated nothing *)
+  Snzi.arrive s ~leaf:0;
+  Alcotest.(check bool) "still consistent after rejection" true (Snzi.query s);
+  Snzi.depart s ~leaf:0;
+  Alcotest.(check bool) "back to zero" false (Snzi.query s)
+
 (* -- Barrier ---------------------------------------------------------- *)
 
 let test_barrier_rounds () =
@@ -257,6 +268,36 @@ let test_barrier_rounds () =
   done;
   List.iter Domain.join domains
 
+let test_barrier_rapid_reentry () =
+  (* The hazard the arrivals-epoch form removes: a participant that
+     re-enters the next round immediately, with no work between rounds,
+     repeatedly lands in what used to be the leader's count-reset /
+     sense-flip window.  1000 tight rounds across 2 domains must neither
+     deadlock nor let anyone skip ahead. *)
+  let b = Barrier.create 2 in
+  let rounds = 1_000 in
+  let a_count = Atomic.make 0 in
+  let d =
+    Domain.spawn (fun () ->
+        for _ = 1 to rounds do
+          Atomic.incr a_count;
+          Barrier.await b
+        done)
+  in
+  for r = 1 to rounds do
+    Barrier.await b;
+    if Atomic.get a_count < r then Alcotest.failf "round %d not paired" r
+  done;
+  Domain.join d;
+  Alcotest.(check int) "all rounds paired" rounds (Atomic.get a_count)
+
+let test_barrier_single_participant () =
+  let b = Barrier.create 1 in
+  (* n = 1: every await is its own round and must never block *)
+  for _ = 1 to 100 do
+    Barrier.await b
+  done
+
 let () =
   Alcotest.run "nowa_sync"
     [
@@ -278,6 +319,14 @@ let () =
           Alcotest.test_case "sequential" `Quick test_snzi_sequential;
           QCheck_alcotest.to_alcotest prop_snzi_matches_counter;
           Alcotest.test_case "concurrent" `Slow test_snzi_concurrent;
+          Alcotest.test_case "unbalanced depart rejected" `Quick
+            test_snzi_unbalanced_depart_rejected;
         ] );
-      ("barrier", [ Alcotest.test_case "rounds" `Slow test_barrier_rounds ]);
+      ( "barrier",
+        [
+          Alcotest.test_case "rounds" `Slow test_barrier_rounds;
+          Alcotest.test_case "rapid re-entry" `Slow test_barrier_rapid_reentry;
+          Alcotest.test_case "single participant" `Quick
+            test_barrier_single_participant;
+        ] );
     ]
