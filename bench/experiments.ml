@@ -715,6 +715,126 @@ let idle ~opts () =
     Printf.printf "wrote idle-park.trace.json\n"
   | None -> Printf.eprintf "idle: runtime produced no trace\n")
 
+(* -- serving layer: open-loop YCSB over the sharded KV store ------------- *)
+
+(* Tail latency is where the idle-policy and deque-family choices of
+   PRs 4-5 actually meet user traffic: a parked worker that wakes late
+   shows up directly in p999.  One open-loop run per cell (the run IS
+   thousands of requests; [--runs] repetition adds nothing a bigger
+   request count doesn't).  Emits BENCH_serve.json plus a Perfetto
+   trace of a park-policy cell. *)
+
+let serve ~opts () =
+  section "Serve: open-loop YCSB mixes on the sharded KV service";
+  let module W = Nowa_server.Workload in
+  let module LG = Nowa_server.Loadgen in
+  let workers = List.fold_left max 2 opts.real_workers in
+  let records, requests, warmup, mix_rate, rates =
+    match opts.real_size with
+    | Registry.Test -> (500, 1_500, 200, 2_000., [ 2_000.; 8_000. ])
+    | Registry.Small -> (5_000, 15_000, 1_500, 10_000., [ 10_000.; 40_000. ])
+    | Registry.Medium ->
+      (20_000, 60_000, 6_000, 25_000., [ 25_000.; 100_000. ])
+    | Registry.Large ->
+      (50_000, 200_000, 20_000, 50_000., [ 50_000.; 200_000. ])
+  in
+  let serve_policies =
+    [ ("spin", Nowa.Config.Spin); ("park", Nowa.Config.Park_after 512) ]
+  in
+  let families =
+    [
+      (module Nowa.Presets.Nowa : Nowa.RUNTIME) (* Chase-Lev deques *);
+      (module Nowa.Presets.Nowa_the) (* THE deques *);
+    ]
+  in
+  let out = Buffer.create 4096 in
+  Buffer.add_string out "[\n";
+  let first = ref true in
+  let total_dropped = ref 0 in
+  let rows = ref [] in
+  let run_cell ?(traced = false) (module R : Nowa.RUNTIME) (pname, policy) mix
+      rate =
+    let module L = LG.Make (R) in
+    let spec = { (W.default_spec ~mix) with W.records; requests; warmup; rate } in
+    let conf =
+      {
+        (Nowa.Config.with_workers workers) with
+        Nowa.Config.idle_policy = policy;
+        trace_capacity = (if traced then default_trace_capacity else 0);
+      }
+    in
+    let r = L.run ~conf spec in
+    total_dropped := !total_dropped + r.LG.dropped;
+    if not !first then Buffer.add_string out ",\n";
+    first := false;
+    let json = LG.json_of_report r in
+    (* Splice the sweep coordinate into the report object. *)
+    Printf.bprintf out "  {\"policy\": %S, %s" pname
+      (String.sub json 1 (String.length json - 1));
+    let t = r.LG.total in
+    rows :=
+      [
+        r.LG.mix; pname; R.name;
+        Printf.sprintf "%.0f" rate;
+        string_of_int r.LG.completed;
+        string_of_int r.LG.dropped;
+        Printf.sprintf "%.0f" r.LG.throughput;
+        Printf.sprintf "%.1f" (t.LG.p50_ns /. 1e3);
+        Printf.sprintf "%.1f" (t.LG.p99_ns /. 1e3);
+        Printf.sprintf "%.1f" (t.LG.p999_ns /. 1e3);
+      ]
+      :: !rows;
+    if traced then begin
+      match R.last_trace () with
+      | Some tr ->
+        Nowa_trace.Perfetto.write_file
+          ~process_name:(Printf.sprintf "nowa:serve/%dw" workers)
+          "serve-park.trace.json" tr;
+        Printf.printf "wrote serve-park.trace.json\n"
+      | None -> Printf.eprintf "serve: runtime produced no trace\n"
+    end
+  in
+  let header =
+    [
+      "mix"; "policy"; "runtime"; "rate/s"; "done"; "drop"; "thru/s";
+      "p50 us"; "p99 us"; "p999 us";
+    ]
+  in
+  let flush_rows () =
+    Nowa_util.Table.print ~header (List.rev !rows);
+    rows := []
+  in
+  subsection
+    (Printf.sprintf "YCSB A-F x idle policy (nowa, %d workers, %.0f req/s)"
+       workers mix_rate);
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun pol -> run_cell (module Nowa.Presets.Nowa) pol mix mix_rate)
+        serve_policies)
+    W.mixes;
+  flush_rows ();
+  subsection "arrival rate x deque family (mix A, park)";
+  let mix_a = Option.get (W.find_mix "A") in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun fam -> run_cell fam (List.nth serve_policies 1) mix_a rate)
+        families)
+    rates;
+  flush_rows ();
+  subsection "traced park-policy cell (Perfetto)";
+  run_cell ~traced:true
+    (module Nowa.Presets.Nowa)
+    (List.nth serve_policies 1) mix_a mix_rate;
+  flush_rows ();
+  Buffer.add_string out "\n]\n";
+  let oc = open_out "BENCH_serve.json" in
+  Buffer.output_buffer oc out;
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json (total dropped across cells: %d)\n"
+    !total_dropped
+
 let all ~opts () =
   table1 ~opts ();
   figure1 ~opts ();
@@ -742,5 +862,6 @@ let by_name =
     ("scalability", scalability);
     ("causal", causal);
     ("idle", idle);
+    ("serve", serve);
     ("all", all);
   ]

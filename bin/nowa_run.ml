@@ -151,8 +151,74 @@ let parse_idle_policy = function
     Printf.eprintf "unknown idle policy %S (spin|yield|park)\n" s;
     exit 1
 
+(* --serve: instead of a Table I kernel, drive the sharded KV service
+   with an open-loop YCSB workload (exponential inter-arrivals at
+   --rate, zipf-skewed keys) and print per-op-class latency
+   percentiles.  Composable with --runtime/-w/--idle-policy/
+   --steal-sweep/--trace/--metrics-addr/--metrics-out. *)
+let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~mix ~rate
+    ~requests ~warmup ~records ~shards ~theta =
+  let (module R : Nowa.RUNTIME) = resolve_runtime runtime in
+  let mix =
+    match Nowa_server.Workload.find_mix mix with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "unknown YCSB mix %S (one of: %s)\n" mix
+        (String.concat ", "
+           (List.map
+              (fun (m : Nowa_server.Workload.mix) ->
+                m.Nowa_server.Workload.mname)
+              Nowa_server.Workload.mixes));
+      exit 1
+  in
+  let spec =
+    {
+      (Nowa_server.Workload.default_spec ~mix) with
+      Nowa_server.Workload.records;
+      rate;
+      warmup;
+      requests;
+      shards;
+      theta;
+    }
+  in
+  let conf =
+    {
+      (Nowa.Config.with_workers workers) with
+      Nowa.Config.trace_capacity = (if trace = None then 0 else trace_capacity);
+      idle_policy = parse_idle_policy idle_policy;
+      steal_sweep = max 1 steal_sweep;
+    }
+  in
+  let module L = Nowa_server.Loadgen.Make (R) in
+  let report = L.run ~conf spec in
+  Nowa_server.Loadgen.pp_report report;
+  match trace with
+  | None -> ()
+  | Some file -> (
+    match R.last_trace () with
+    | Some tr ->
+      (try
+         Nowa.Perfetto.write_file
+           ~process_name:
+             (Printf.sprintf "serve:%s:%s/%dw" R.name
+                mix.Nowa_server.Workload.mname workers)
+           file tr
+       with Sys_error msg ->
+         Printf.eprintf "trace: cannot write %s\n" msg;
+         exit 1);
+      Printf.printf
+        "trace: wrote %s (%d events kept, %d overwritten; open in \
+         ui.perfetto.dev)\n"
+        file
+        (Array.length (Nowa.Trace.events tr))
+        (Nowa.Trace.dropped tr)
+    | None ->
+      Printf.eprintf "trace: runtime %S produced no trace (serial?)\n" R.name)
+
 let main list bench runtime workers runs size madvise idle_policy steal_sweep
-    trace metrics_addr metrics_out verbose model ledger causal =
+    trace metrics_addr metrics_out verbose model ledger causal serve mix rate
+    requests warmup records shards theta =
   if list then list_benchmarks ()
   else begin
     (* Start the exposition endpoint before any run so the registry can
@@ -170,6 +236,10 @@ let main list bench runtime workers runs size madvise idle_policy steal_sweep
           Printf.eprintf "metrics: %s\n" msg;
           exit 1)
     in
+    if serve then
+      serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~mix ~rate
+        ~requests ~warmup ~records ~shards ~theta
+    else begin
     let size =
       match List.assoc_opt size sizes with
       | Some s -> s
@@ -282,6 +352,7 @@ let main list bench runtime workers runs size madvise idle_policy steal_sweep
         util steals_per_s
         (p99 Nowa_sync.Sync_metrics.wfc_rmw_retries)
         (p99 Nowa_sync.Sync_metrics.frame_lock_spins)
+    end
     end
     end;
     (match metrics_out with
@@ -400,8 +471,63 @@ let cmd =
              is scaled and the DAG re-simulated, ranking which overhead \
              limits the makespan.")
   in
+  let serve =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Instead of a Table I kernel: drive the sharded in-memory KV \
+             service with an open-loop YCSB workload (exponential \
+             inter-arrivals at $(b,--rate), zipf-skewed keys, every request \
+             a runtime task) and print per-op-class latency percentiles.  \
+             Composable with $(b,--runtime), $(b,-w), $(b,--idle-policy), \
+             $(b,--steal-sweep), $(b,--trace), $(b,--metrics-addr) and \
+             $(b,--metrics-out).")
+  in
+  let mix =
+    Arg.(
+      value & opt string "A"
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:"YCSB workload mix for $(b,--serve): A|B|C|D|E|F.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Offered open-loop arrival rate (requests/s) for $(b,--serve).")
+  in
+  let requests =
+    Arg.(
+      value & opt int 5_000
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Measured requests per $(b,--serve) run (after warm-up).")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 500
+      & info [ "warmup" ] ~docv:"N"
+          ~doc:"Warm-up requests excluded from $(b,--serve) statistics.")
+  in
+  let records =
+    Arg.(
+      value & opt int 2_000
+      & info [ "records" ] ~docv:"N"
+          ~doc:"Records preloaded into the store for $(b,--serve).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 16
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Hash shards in the KV store for $(b,--serve).")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~docv:"T"
+          ~doc:"Zipfian skew parameter (0 < $(docv) < 1) for $(b,--serve).")
+  in
   Cmd.v
     (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
-    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal)
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal $ serve $ mix $ rate $ requests $ warmup $ records $ shards $ theta)
 
 let () = exit (Cmd.eval cmd)

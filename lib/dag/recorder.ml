@@ -91,6 +91,8 @@ let spawn sc thunk =
   open_strand st sp;
   p
 
+let spawn_unit sc thunk = ignore (spawn sc thunk)
+
 let get p = Promise.get ~runtime:name p
 
 let last_metrics_ref = ref None

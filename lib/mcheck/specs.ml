@@ -850,3 +850,168 @@ let barrier_spec ?(variant = `Epoch) ~n ~rounds () =
   (* All participants must finish: a thread still blocked on its round
      flag at the end of the run is a deadlocked barrier. *)
   (List.init n participant, fun () -> Array.for_all (fun d -> d) done_)
+
+(* -- KV shard combiner: claim/drain/release/re-check (lib/server/kv.ml) --
+   A shard's mailbox is a Treiber-style list; whoever CASes the
+   combining flag drains and applies.  The protocol's load-bearing
+   fence is the mailbox re-check AFTER releasing the flag: a message
+   pushed between the combiner's last drain and the release would
+   otherwise be stranded, because its pusher saw [combining = true] and
+   walked away.  [`No_recheck] omits exactly that fence and the checker
+   exhibits the lost operation. *)
+
+let kv_combiner_spec ?(variant = `Good) ~pushers () =
+  let mail = Cell.make [] in
+  let combining = Cell.make false in
+  let store = Cell.make 0 in
+  let push v =
+    let rec go () =
+      let cur = Cell.read mail in
+      if not (Cell.cas mail cur (v :: cur)) then go ()
+    in
+    go ()
+  in
+  let drain () =
+    let rec go () =
+      let batch = Cell.read mail in
+      if batch <> [] then begin
+        if Cell.cas mail batch [] then
+          List.iter
+            (fun _ ->
+              let v = Cell.read store in
+              Cell.write store (v + 1))
+            batch;
+        go ()
+      end
+    in
+    go ()
+  in
+  (* One claim attempt, as in try_combine: failure means the current
+     holder is responsible (and its own release re-check is what makes
+     that responsibility real). *)
+  let rec combine () =
+    if Cell.cas combining false true then begin
+      drain ();
+      Cell.write combining false;
+      match variant with
+      | `Good -> if Cell.read mail <> [] then combine ()
+      | `No_recheck -> ()
+    end
+  in
+  let threads =
+    List.init pushers (fun i () ->
+        push (i + 1);
+        combine ())
+  in
+  let invariant () = Cell.peek store = pushers && Cell.peek mail = [] in
+  (threads, invariant)
+
+(* -- KV bucket handoff: Borrow/Grant/Return vs a concurrent reader -----
+   Two shards, one bucket each (modelled as plain int cells since the
+   combiner discipline is what grants exclusivity).  A client txn homed
+   at shard 0 atomically increments both buckets: shard 0 borrows
+   shard 1's bucket, shard 1 detaches it (grant), shard 0 applies and
+   returns it.  A second client's single-key increment on shard 1 races
+   the loan window; the correct protocol defers it until the bucket
+   comes home.  [`No_defer] applies it immediately into the detached
+   bucket's home slot — the increment lands on state the grant already
+   copied out and the Return overwrites it: a lost update the checker
+   finds.  Invariant additionally rules out double-applies via an
+   apply-count check. *)
+
+type handoff_msg =
+  | Hop  (* client C: increment shard 1's bucket *)
+  | Htxn  (* client B: increment both buckets atomically *)
+  | Hborrow
+  | Hgrant of int  (* detached bucket value travelling to shard 0 *)
+  | Hreturn of int  (* updated bucket value travelling home *)
+
+let kv_handoff_spec ?(variant = `Good) () =
+  let mail0 = Cell.make [] and mail1 = Cell.make [] in
+  let store0 = Cell.make 0 and store1 = Cell.make 0 in
+  let loaned1 = Cell.make false in
+  let defer1 = Cell.make [] in
+  let res_b = Cell.make false and res_c = Cell.make false in
+  let applied_c = Cell.make 0 in
+  let push mail m =
+    let rec go () =
+      let cur = Cell.read mail in
+      if not (Cell.cas mail cur (m :: cur)) then go ()
+    in
+    go ()
+  in
+  (* Dedicated server thread per shard: combiner exclusivity is by
+     construction here (kv_combiner_spec checks the claim protocol);
+     this spec isolates the handoff races. *)
+  let serve mail expected handle () =
+    let handled = ref 0 in
+    while !handled < expected do
+      let batch =
+        let rec take () =
+          let l = Cell.await mail (fun l -> l <> []) in
+          if Cell.cas mail l [] then l else take ()
+        in
+        take ()
+      in
+      List.iter handle (List.rev batch);
+      handled := !handled + List.length batch
+    done
+  in
+  let apply_c () =
+    let v = Cell.read store1 in
+    Cell.write store1 (v + 1);
+    check (Cell.fetch_add applied_c 1 = 0) "reader op applied twice";
+    Cell.write res_c true
+  in
+  let handle1 = function
+    | Hop ->
+      if Cell.read loaned1 then begin
+        match variant with
+        | `Good -> push defer1 Hop (* wait for the bucket to come home *)
+        | `No_defer -> apply_c () (* bug: mutate the detached bucket's slot *)
+      end
+      else apply_c ()
+    | Hborrow ->
+      check (not (Cell.read loaned1)) "double loan";
+      Cell.write loaned1 true;
+      let v = Cell.read store1 in
+      push mail0 (Hgrant v)
+    | Hreturn v ->
+      Cell.write store1 v;
+      Cell.write loaned1 false;
+      let deferred = Cell.read defer1 in
+      Cell.write defer1 [];
+      List.iter (fun _ -> apply_c ()) deferred
+    | Htxn | Hgrant _ -> check false "wrong shard"
+  in
+  let handle0 = function
+    | Htxn -> push mail1 Hborrow
+    | Hgrant v ->
+      (* All buckets held: the one-shot atomic apply. *)
+      let v0 = Cell.read store0 in
+      Cell.write store0 (v0 + 1);
+      Cell.write res_b true;
+      push mail1 (Hreturn (v + 1))
+    | Hop | Hborrow | Hreturn _ -> check false "wrong shard"
+  in
+  let client_b () =
+    push mail0 Htxn;
+    ignore (Cell.await res_b (fun r -> r))
+  in
+  let client_c () =
+    push mail1 Hop;
+    ignore (Cell.await res_c (fun r -> r))
+  in
+  let threads =
+    [ client_b; client_c; serve mail0 2 handle0; serve mail1 3 handle1 ]
+  in
+  let invariant () =
+    Cell.peek store0 = 1
+    && Cell.peek store1 = 2
+    && Cell.peek res_b && Cell.peek res_c
+    && (not (Cell.peek loaned1))
+    && Cell.peek defer1 = []
+    && Cell.peek mail0 = []
+    && Cell.peek mail1 = []
+  in
+  (threads, invariant)

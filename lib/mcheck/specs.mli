@@ -112,3 +112,23 @@ val barrier_spec :
     exhibiting under SC search the hazard that weak memory could
     introduce into [`Sense]; [`Epoch] is the arrivals-epoch barrier that
     barrier.ml now uses, with no reset window at all. *)
+
+val kv_combiner_spec :
+  ?variant:[ `Good | `No_recheck ] -> pushers:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+(** The KV shard's flat-combining claim protocol (lib/server/kv.ml):
+    [pushers] threads each push one operation into the mailbox and make
+    one combiner claim attempt.  The invariant is that every pushed
+    operation is applied.  [`No_recheck] drops the mailbox re-check
+    after the flag release, exhibiting the stranded-message race the
+    real combiner's release fence prevents. *)
+
+val kv_handoff_spec :
+  ?variant:[ `Good | `No_defer ] ->
+  unit -> (unit -> unit) list * (unit -> bool)
+(** The KV bucket-handoff protocol: a cross-shard transaction borrows,
+    receives and returns a bucket while a concurrent single-key reader
+    targets the loaned bucket.  Invariant: no lost ops, no double-apply
+    (apply-count checked inline), bucket back home, mailboxes empty.
+    [`No_defer] applies the racing op into the detached bucket's slot
+    instead of deferring it, exhibiting the lost update. *)

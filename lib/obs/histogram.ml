@@ -109,6 +109,33 @@ let percentile t q =
     !res
   end
 
+(* Interpolated q-quantile: same rank walk as [percentile], then linear
+   interpolation across the bucket's value range assuming in-bucket
+   uniformity.  Tail quantiles (p99, p999) stop being quantised to
+   power-of-two edges; the error is bounded by the bucket width either
+   way.  The hot path is untouched — this only reads a snapshot. *)
+let quantile t q =
+  let s = snapshot t in
+  if s.count = 0 then nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank =
+      Float.max 1.0 (Float.round (q *. float_of_int s.count))
+      |> int_of_float
+    in
+    let before = ref 0 and i = ref 0 in
+    while !i < buckets - 1 && !before + s.counts.(!i) < rank do
+      before := !before + s.counts.(!i);
+      incr i
+    done;
+    if !i = 0 then 0.0
+    else begin
+      let lo = 2.0 ** float_of_int (!i - 1) and hi = upper_bound !i in
+      let inside = float_of_int (rank - !before) -. 0.5 in
+      lo +. ((hi -. lo) *. (inside /. float_of_int s.counts.(!i)))
+    end
+  end
+
 let reset t =
   Array.iter
     (fun (s : shard) ->

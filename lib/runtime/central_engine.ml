@@ -297,5 +297,17 @@ end) : Runtime_intf.S = struct
     if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1;
     p
 
+  let spawn_unit fr thunk =
+    let pool, w = get_current () in
+    w.m.spawns <- w.m.spawns + 1;
+    Ring.emit w.tr Ev.Spawn 0;
+    ignore (Atomic.fetch_and_add fr.pending 1);
+    let body () =
+      (match thunk () with () -> () | exception e -> note_exn fr e);
+      ignore (Atomic.fetch_and_add fr.pending (-1))
+    in
+    Nowa_deque.Central_queue.push pool.queue (Task body);
+    if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1
+
   let get p = Promise.get ~runtime:name p
 end

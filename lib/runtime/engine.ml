@@ -541,5 +541,13 @@ module Make
     Effect.perform (Spawn (fr, wrapped));
     p
 
+  (* Promise-free spawn for request-shaped work: the wrapper closure is
+     the only allocation on the dispatch path. *)
+  let spawn_unit fr thunk =
+    let wrapped () =
+      match thunk () with () -> () | exception e -> note_exn fr e
+    in
+    Effect.perform (Spawn (fr, wrapped))
+
   let get p = Promise.get ~runtime:name p
 end

@@ -37,6 +37,13 @@ module type S = sig
       common case) or in parallel with the continuation, at its sole
       discretion — [spawn] expresses the {e potential} for parallelism. *)
 
+  val spawn_unit : scope -> (unit -> unit) -> unit
+  (** Fire-and-forget fork point for request-shaped work: like {!spawn}
+      but without allocating a promise, so a server dispatch loop can
+      inject one task per request with nothing to read back.  The child
+      is still joined by the enclosing scope's sync; its exception (if
+      any) is re-raised there. *)
+
   val sync : scope -> unit
   (** Explicit sync point: returns once every child spawned so far in
       this scope has finished.  Re-raises the first child exception. *)

@@ -32,5 +32,6 @@ let spawn () thunk =
   Promise.fill p (thunk ());
   p
 
+let spawn_unit () thunk = thunk ()
 let sync () = ()
 let get p = Promise.get ~runtime:name p

@@ -1,0 +1,403 @@
+module H = Hashtbl
+
+type key = int
+type value = int
+
+type op =
+  | Get of key
+  | Put of key * value
+  | Add of key * value
+  | Multi_get of key array
+  | Multi_put of (key * value) array
+
+type outcome =
+  | Pending
+  | Miss
+  | Hit of value
+  | Many of value option array
+  | Ack
+  | Dropped
+
+type log_entry = {
+  seq : int;
+  req_id : int;
+  l_key : key;
+  read : value option;
+  wrote : value option;
+}
+
+type req = { id : int; op : op; out : outcome Atomic.t }
+
+(* A multi-key transaction in flight at its home shard.  [needed] is
+   sorted in global (shard, bucket) order and acquired left to right:
+   the ordering is the deadlock-freedom argument (see kv.mli).  All
+   fields are only touched by the home shard's current combiner. *)
+type txn = {
+  t_req : req;
+  home : int;
+  needed : (int * int) array;
+  mutable cursor : int;
+  mutable held : (int * int * (key, value) H.t) list;
+}
+
+type msg =
+  | Request of req
+  | Borrow of { txn : txn; bucket : int }
+  | Grant of { txn : txn; from_shard : int; from_bucket : int; data : (key, value) H.t }
+  | Return of { bucket : int; data : (key, value) H.t }
+
+type bucket = {
+  mutable tbl : (key, value) H.t;
+  (* [Some q] while the table is detached (on loan to a transaction);
+     [q] holds messages for this bucket deferred until the Return. *)
+  mutable loaned : msg Queue.t option;
+}
+
+type shard = {
+  sid : int;
+  mail : msg list Atomic.t;  (* Treiber-style LIFO; drained by exchange *)
+  depth : int Atomic.t;  (* messages in [mail], for admission control *)
+  combining : bool Atomic.t;
+  buckets : bucket array;
+  (* Combiner-private state below: protected by [combining]. *)
+  mutable waiting : txn list;  (* home txns parked on a Grant or a local loan *)
+  mutable to_poke : int list;  (* shards to kick after releasing the flag *)
+  mutable recheck : bool;  (* a bucket came home; retry parked txns *)
+  mutable log : log_entry list;
+}
+
+type t = {
+  nshards : int;
+  nbuckets : int;
+  queue_cap : int;
+  log_on : bool;
+  shards_ : shard array;
+  seq : int Atomic.t;
+  next_id : int Atomic.t;
+  dropped_ : int Atomic.t;
+  handoffs_ : int Atomic.t;
+}
+
+let create ?(shards = 16) ?(buckets_per_shard = 64) ?(queue_cap = 65536)
+    ?(log = false) () =
+  if shards < 1 then invalid_arg "Kv.create: shards must be >= 1";
+  if buckets_per_shard < 1 then
+    invalid_arg "Kv.create: buckets_per_shard must be >= 1";
+  let mk_shard sid =
+    {
+      sid;
+      mail = Nowa_util.Padding.atomic [];
+      depth = Nowa_util.Padding.atomic 0;
+      combining = Nowa_util.Padding.atomic false;
+      buckets =
+        Array.init buckets_per_shard (fun _ ->
+            { tbl = H.create 16; loaned = None });
+      waiting = [];
+      to_poke = [];
+      recheck = false;
+      log = [];
+    }
+  in
+  {
+    nshards = shards;
+    nbuckets = buckets_per_shard;
+    queue_cap;
+    log_on = log;
+    shards_ = Array.init shards mk_shard;
+    seq = Atomic.make 0;
+    next_id = Atomic.make 0;
+    dropped_ = Nowa_util.Padding.atomic 0;
+    handoffs_ = Nowa_util.Padding.atomic 0;
+  }
+
+(* Scrambled placement so that adjacent (e.g. zipf-hot) keys spread
+   over shards instead of piling into one bucket. *)
+let[@inline] place t k =
+  let h = Nowa_util.Splitmix.scramble k in
+  (h mod t.nshards, h / t.nshards mod t.nbuckets)
+
+let shard_of_key t k = fst (place t k)
+let shards t = t.nshards
+
+(* Sorted, de-duplicated (shard, bucket) footprint of a multi-key op. *)
+let needed_of t keys =
+  let pairs = Array.map (place t) keys in
+  Array.sort compare pairs;
+  let uniq = ref [] in
+  Array.iter
+    (fun p -> match !uniq with q :: _ when q = p -> () | _ -> uniq := p :: !uniq)
+    pairs;
+  Array.of_list (List.rev !uniq)
+
+let keys_of_op = function
+  | Get k | Put (k, _) | Add (k, _) -> [| k |]
+  | Multi_get ks -> ks
+  | Multi_put kvs -> Array.map fst kvs
+
+(* Home shard: owner of the single key, or of the first needed bucket
+   for a multi-key op (any choice works; this one is deterministic). *)
+let home_of t op = fst (needed_of t (keys_of_op op)).(0)
+
+let[@inline] observe t s ~(r : req) ~k ~read ~wrote =
+  if t.log_on then
+    s.log <-
+      { seq = Atomic.fetch_and_add t.seq 1; req_id = r.id; l_key = k; read; wrote }
+      :: s.log
+
+let[@inline] fill (r : req) o = Atomic.set r.out o
+
+(* -- mailbox -------------------------------------------------------------- *)
+
+let push_msg (s : shard) m =
+  ignore (Atomic.fetch_and_add s.depth 1);
+  let rec go () =
+    let cur = Atomic.get s.mail in
+    if not (Atomic.compare_and_set s.mail cur (m :: cur)) then go ()
+  in
+  go ()
+
+let[@inline] poke_later (s : shard) j =
+  if j <> s.sid && not (List.mem j s.to_poke) then s.to_poke <- j :: s.to_poke
+
+(* -- combiner ------------------------------------------------------------- *)
+
+let apply_single t s (r : req) tbl =
+  match r.op with
+  | Get k ->
+    let v = H.find_opt tbl k in
+    observe t s ~r ~k ~read:v ~wrote:None;
+    fill r (match v with Some v -> Hit v | None -> Miss)
+  | Put (k, v) ->
+    let prev = if t.log_on then H.find_opt tbl k else None in
+    observe t s ~r ~k ~read:prev ~wrote:(Some v);
+    H.replace tbl k v;
+    fill r Ack
+  | Add (k, d) ->
+    let prev = H.find_opt tbl k in
+    let nv = match prev with Some v -> v + d | None -> d in
+    observe t s ~r ~k ~read:prev ~wrote:(Some nv);
+    H.replace tbl k nv;
+    fill r (Hit nv)
+  | Multi_get _ | Multi_put _ -> assert false
+
+let rec handle t (s : shard) msg =
+  ignore (Atomic.fetch_and_add s.depth (-1));
+  match msg with
+  | Request r -> handle_request t s r
+  | Borrow { txn; bucket } ->
+    let b = s.buckets.(bucket) in
+    (match b.loaned with
+    | Some q -> Queue.add msg q
+    | None ->
+      b.loaned <- Some (Queue.create ());
+      ignore (Atomic.fetch_and_add t.handoffs_ 1);
+      push_msg t.shards_.(txn.home)
+        (Grant { txn; from_shard = s.sid; from_bucket = bucket; data = b.tbl });
+      poke_later s txn.home)
+  | Grant { txn; from_shard; from_bucket; data } ->
+    txn.held <- (from_shard, from_bucket, data) :: txn.held;
+    txn.cursor <- txn.cursor + 1;
+    if advance t s txn then s.waiting <- List.filter (fun x -> x != txn) s.waiting
+  | Return { bucket; data } ->
+    let b = s.buckets.(bucket) in
+    (match b.loaned with
+    | Some q -> reattach s b data q
+    | None -> assert false)
+
+and handle_request t s (r : req) =
+  match r.op with
+  | Get k | Put (k, _) | Add (k, _) ->
+    let _, bk = place t k in
+    let b = s.buckets.(bk) in
+    (match b.loaned with
+    | Some q -> Queue.add (Request r) q
+    | None -> apply_single t s r b.tbl)
+  | Multi_get _ | Multi_put _ ->
+    let txn =
+      {
+        t_req = r;
+        home = s.sid;
+        needed = needed_of t (keys_of_op r.op);
+        cursor = 0;
+        held = [];
+      }
+    in
+    if not (advance t s txn) then s.waiting <- txn :: s.waiting
+
+(* Drive acquisition from the cursor.  True iff the txn completed. *)
+and advance t s txn =
+  if txn.cursor >= Array.length txn.needed then begin
+    apply_txn t s txn;
+    true
+  end
+  else begin
+    let sh, bk = txn.needed.(txn.cursor) in
+    if sh = s.sid then begin
+      let b = s.buckets.(bk) in
+      match b.loaned with
+      | None ->
+        b.loaned <- Some (Queue.create ());
+        txn.held <- (sh, bk, b.tbl) :: txn.held;
+        txn.cursor <- txn.cursor + 1;
+        advance t s txn
+      | Some _ -> false (* parked until the local bucket comes home *)
+    end
+    else begin
+      push_msg t.shards_.(sh) (Borrow { txn; bucket = bk });
+      poke_later s sh;
+      false (* parked until the Grant *)
+    end
+  end
+
+and apply_txn t s txn =
+  let r = txn.t_req in
+  let tbl_for k =
+    let sh, bk = place t k in
+    let rec find = function
+      | (s', b', tbl) :: _ when s' = sh && b' = bk -> tbl
+      | _ :: rest -> find rest
+      | [] -> assert false
+    in
+    find txn.held
+  in
+  (match r.op with
+  | Multi_get keys ->
+    let res =
+      Array.map
+        (fun k ->
+          let v = H.find_opt (tbl_for k) k in
+          observe t s ~r ~k ~read:v ~wrote:None;
+          v)
+        keys
+    in
+    fill r (Many res)
+  | Multi_put kvs ->
+    Array.iter
+      (fun (k, v) ->
+        let tbl = tbl_for k in
+        let prev = if t.log_on then H.find_opt tbl k else None in
+        observe t s ~r ~k ~read:prev ~wrote:(Some v);
+        H.replace tbl k v)
+      kvs;
+    fill r Ack
+  | Get _ | Put _ | Add _ -> assert false);
+  List.iter
+    (fun (sh, bk, data) ->
+      if sh = s.sid then begin
+        let b = s.buckets.(bk) in
+        match b.loaned with
+        | Some q -> reattach s b data q
+        | None -> assert false
+      end
+      else begin
+        push_msg t.shards_.(sh) (Return { bucket = bk; data });
+        poke_later s sh
+      end)
+    txn.held
+
+(* Bucket comes home: re-inject deferred messages (they re-enter the
+   mailbox and are handled in a later batch) and flag parked txns for
+   retry.  Deferred depth was already decremented when the message was
+   first handled; push_msg re-increments, keeping the count exact. *)
+and reattach (s : shard) b data q =
+  b.tbl <- data;
+  b.loaned <- None;
+  Queue.iter (fun m -> push_msg s m) q;
+  s.recheck <- true
+
+(* Retry parked txns whose cursor points at a local bucket.  Safe to
+   run the filter while [advance] fires: completion only reattaches
+   buckets and sends messages, never touches [s.waiting]. *)
+let retry_waiting t s =
+  s.waiting <-
+    List.filter
+      (fun txn ->
+        let parked_local =
+          txn.cursor < Array.length txn.needed
+          && fst txn.needed.(txn.cursor) = s.sid
+        in
+        if parked_local then not (advance t s txn) else true)
+      s.waiting
+
+(* Drain-until-empty, then release and re-check the mailbox: a message
+   pushed between our last exchange and the flag release would
+   otherwise be stranded (the pusher saw [combining = true] and went
+   away).  The mcheck combiner spec verifies this is the exact fence
+   that makes the protocol lose no operations. *)
+let rec combine t (s : shard) =
+  (match Atomic.exchange s.mail [] with
+  | [] -> ()
+  | batch -> List.iter (handle t s) (List.rev batch));
+  if s.recheck then begin
+    s.recheck <- false;
+    retry_waiting t s
+  end;
+  if Atomic.get s.mail <> [] then combine t s
+  else begin
+    let pokes = s.to_poke in
+    s.to_poke <- [];
+    Atomic.set s.combining false;
+    List.iter (fun j -> try_combine t j) pokes;
+    if Atomic.get s.mail <> [] then try_combine t s.sid
+  end
+
+and try_combine t j =
+  let s = t.shards_.(j) in
+  if
+    Atomic.get s.mail <> []
+    && (not (Atomic.get s.combining))
+    && Atomic.compare_and_set s.combining false true
+  then combine t s
+
+(* -- client API ----------------------------------------------------------- *)
+
+let exec t op =
+  let home = home_of t op in
+  let s = t.shards_.(home) in
+  if Atomic.get s.depth >= t.queue_cap then begin
+    ignore (Atomic.fetch_and_add t.dropped_ 1);
+    Dropped
+  end
+  else begin
+    let r = { id = Atomic.fetch_and_add t.next_id 1; op; out = Atomic.make Pending } in
+    push_msg s (Request r);
+    try_combine t home;
+    let bo = Nowa_util.Backoff.make () in
+    let rec wait () =
+      match Atomic.get r.out with
+      | Pending ->
+        try_combine t home;
+        (* A parked transaction makes progress on other shards; sweep
+           them occasionally so a foreign mailbox with no local traffic
+           cannot sit idle under us. *)
+        if Nowa_util.Backoff.steps bo land 15 = 15 then
+          for j = 0 to t.nshards - 1 do
+            try_combine t j
+          done;
+        Nowa_util.Backoff.once bo;
+        wait ()
+      | o -> o
+    in
+    wait ()
+  end
+
+let size t =
+  Array.fold_left
+    (fun acc s ->
+      Array.fold_left (fun acc b -> acc + H.length b.tbl) acc s.buckets)
+    0 t.shards_
+
+let fold f t init =
+  Array.fold_left
+    (fun acc s ->
+      Array.fold_left (fun acc b -> H.fold f b.tbl acc) acc s.buckets)
+    init t.shards_
+
+let dropped t = Atomic.get t.dropped_
+let handoffs t = Atomic.get t.handoffs_
+
+let log t =
+  let entries =
+    Array.fold_left (fun acc s -> List.rev_append s.log acc) [] t.shards_
+  in
+  List.sort (fun (a : log_entry) (b : log_entry) -> compare a.seq b.seq) entries

@@ -1,0 +1,195 @@
+(* Open-loop load generator over any runtime implementing
+   {!Nowa_runtime.Runtime_intf.S}.
+
+   Phase protocol: preload the keyspace sequentially, then replay the
+   pre-generated schedule — the first [spec.warmup] requests warm the
+   store, the allocator and the workers but are not recorded; the
+   remaining [spec.requests] are the measurement; the implicit sync at
+   scope exit is the drain (every injected request completes before the
+   clock stops).
+
+   Latency is measured from the request's scheduled arrival time, so a
+   request that sat behind a backlog is charged its queueing delay even
+   though the dispatch loop issued it late (no coordinated omission).
+   One honest caveat, documented in DESIGN.md: under a
+   continuation-stealing engine the dispatch loop's continuation is
+   what gets stolen, so at saturation injection itself lags — the
+   schedule stays open-loop, but the instantaneous offered rate
+   self-throttles where a child-stealing engine would keep injecting. *)
+
+type class_stats = {
+  cls : Workload.op_class;
+  count : int;
+  mean_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+}
+
+type report = {
+  runtime : string;
+  workers : int;
+  mix : string;
+  rate : float;  (* offered, req/s *)
+  records : int;
+  offered : int;  (* measured-phase requests *)
+  completed : int;
+  dropped : int;
+  handoffs : int;
+  elapsed_s : float;  (* first measured arrival -> drain complete *)
+  throughput : float;  (* completed / elapsed *)
+  per_class : class_stats list;  (* classes with traffic only *)
+  total : class_stats;
+}
+
+let nclasses = Array.length Workload.classes
+
+let class_idx = function
+  | Workload.Read -> 0
+  | Workload.Update -> 1
+  | Workload.Insert -> 2
+  | Workload.Scan -> 3
+  | Workload.Rmw -> 4
+
+let stats_of_hist cls h =
+  let s = Nowa_obs.Histogram.snapshot h in
+  {
+    cls;
+    count = s.Nowa_obs.Histogram.count;
+    mean_ns =
+      (if s.Nowa_obs.Histogram.count = 0 then nan
+       else s.Nowa_obs.Histogram.sum /. float_of_int s.Nowa_obs.Histogram.count);
+    p50_ns = Nowa_obs.Histogram.quantile h 0.5;
+    p99_ns = Nowa_obs.Histogram.quantile h 0.99;
+    p999_ns = Nowa_obs.Histogram.quantile h 0.999;
+  }
+
+module Make (R : Nowa_runtime.Runtime_intf.S) = struct
+  let run ?conf (spec : Workload.spec) : report =
+    let events = Workload.generate spec in
+    let kv =
+      Kv.create ~shards:spec.shards ~buckets_per_shard:spec.buckets_per_shard ()
+    in
+    (* Standalone (unregistered) histograms so each run starts at zero;
+       the long-lived Serve_metrics registry series accumulate too. *)
+    let hists =
+      Array.map
+        (fun c -> Nowa_obs.Histogram.create (Workload.class_name c))
+        Workload.classes
+    in
+    let total_hist = Nowa_obs.Histogram.create "total" in
+    let completed = Nowa_util.Padding.atomic 0 in
+    let t0 = ref 0 and t_done = ref 0 in
+    let workers =
+      match conf with
+      | Some c -> c.Nowa_runtime.Config.workers
+      | None -> Nowa_util.Cpu.default_workers ()
+    in
+    R.run ?conf (fun () ->
+        for k = 0 to spec.records - 1 do
+          ignore (Kv.exec kv (Kv.Put (k, k)))
+        done;
+        R.scope (fun sc ->
+            t0 := Nowa_util.Clock.now_ns ();
+            let base = !t0 in
+            Array.iteri
+              (fun i (ev : Workload.event) ->
+                let target = base + ev.at_ns in
+                while Nowa_util.Clock.now_ns () < target do
+                  Domain.cpu_relax ()
+                done;
+                let record = i >= spec.warmup in
+                R.spawn_unit sc (fun () ->
+                    match Kv.exec kv ev.op with
+                    | Kv.Dropped -> () (* counted at the store *)
+                    | _ ->
+                      if record then begin
+                        let lat = Nowa_util.Clock.now_ns () - target in
+                        Nowa_obs.Histogram.observe hists.(class_idx ev.cls) lat;
+                        Nowa_obs.Histogram.observe total_hist lat;
+                        Serve_metrics.observe ev.cls lat;
+                        Nowa_obs.Counter.incr Serve_metrics.requests;
+                        ignore (Atomic.fetch_and_add completed 1)
+                      end))
+              events);
+        (* Scope exit synced: every request has completed. *)
+        t_done := Nowa_util.Clock.now_ns ());
+    Nowa_obs.Counter.add Serve_metrics.dropped (Kv.dropped kv);
+    Nowa_obs.Counter.add Serve_metrics.handoffs (Kv.handoffs kv);
+    let measure_start =
+      if Array.length events > spec.warmup then
+        !t0 + events.(spec.warmup).at_ns
+      else !t0
+    in
+    let elapsed_s =
+      Float.max 1e-9 (float_of_int (!t_done - measure_start) /. 1e9)
+    in
+    let completed = Atomic.get completed in
+    let per_class =
+      Array.to_list
+        (Array.mapi (fun i c -> stats_of_hist c hists.(i)) Workload.classes)
+      |> List.filter (fun s -> s.count > 0)
+    in
+    {
+      runtime = R.name;
+      workers;
+      mix = spec.mix.Workload.mname;
+      rate = spec.rate;
+      records = spec.records;
+      offered = spec.requests;
+      completed;
+      dropped = Kv.dropped kv;
+      handoffs = Kv.handoffs kv;
+      elapsed_s;
+      throughput = float_of_int completed /. elapsed_s;
+      per_class;
+      total = stats_of_hist Workload.Read total_hist;
+    }
+end
+
+let us ns = ns /. 1e3
+
+let pp_report (r : report) =
+  Printf.printf
+    "serve: mix=%s runtime=%s workers=%d rate=%.0f/s records=%d\n"
+    r.mix r.runtime r.workers r.rate r.records;
+  Printf.printf
+    "  offered=%d completed=%d dropped=%d handoffs=%d elapsed=%.3fs throughput=%.0f/s\n"
+    r.offered r.completed r.dropped r.handoffs r.elapsed_s r.throughput;
+  let row (s : class_stats) name =
+    [
+      name;
+      string_of_int s.count;
+      Printf.sprintf "%.1f" (us s.mean_ns);
+      Printf.sprintf "%.1f" (us s.p50_ns);
+      Printf.sprintf "%.1f" (us s.p99_ns);
+      Printf.sprintf "%.1f" (us s.p999_ns);
+    ]
+  in
+  Nowa_util.Table.print
+    ~header:[ "op"; "count"; "mean us"; "p50 us"; "p99 us"; "p999 us" ]
+    (List.map (fun s -> row s (Workload.class_name s.cls)) r.per_class
+    @ [ row r.total "total" ])
+
+let json_of_report (r : report) =
+  let b = Buffer.create 512 in
+  let stats_json (s : class_stats) =
+    Printf.sprintf
+      "{\"count\": %d, \"mean_ns\": %.1f, \"p50_ns\": %.1f, \"p99_ns\": %.1f, \"p999_ns\": %.1f}"
+      s.count
+      (if Float.is_nan s.mean_ns then 0.0 else s.mean_ns)
+      (if Float.is_nan s.p50_ns then 0.0 else s.p50_ns)
+      (if Float.is_nan s.p99_ns then 0.0 else s.p99_ns)
+      (if Float.is_nan s.p999_ns then 0.0 else s.p999_ns)
+  in
+  Printf.bprintf b
+    "{\"mix\": \"%s\", \"runtime\": \"%s\", \"workers\": %d, \"rate_rps\": %.1f, \"records\": %d, \"offered\": %d, \"completed\": %d, \"dropped\": %d, \"handoffs\": %d, \"elapsed_s\": %.4f, \"throughput_rps\": %.1f, \"latency\": {"
+    r.mix r.runtime r.workers r.rate r.records r.offered r.completed r.dropped
+    r.handoffs r.elapsed_s r.throughput;
+  Printf.bprintf b "\"total\": %s" (stats_json r.total);
+  List.iter
+    (fun s ->
+      Printf.bprintf b ", \"%s\": %s" (Workload.class_name s.cls) (stats_json s))
+    r.per_class;
+  Buffer.add_string b "}}";
+  Buffer.contents b

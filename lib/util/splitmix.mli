@@ -1,0 +1,32 @@
+(** SplitMix64 splittable pseudo-random number generator.
+
+    The load harness pre-generates deterministic request schedules and
+    needs independent streams per phase (arrival gaps, key choice,
+    values) without coordinating a shared generator.  SplitMix64
+    (Steele, Lea & Flood, OOPSLA'14) supports exactly that: [split]
+    derives a statistically independent child generator from two draws
+    of the parent, so a fixed seed yields the same workload no matter
+    how the streams are consumed relative to each other. *)
+
+type t
+
+val make : seed:int -> t
+(** Generator with the golden-ratio gamma, starting from [seed]. *)
+
+val next : t -> int64
+(** Next raw 64-bit output, advancing the state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)], using the top 53 bits. *)
+
+val split : t -> t
+(** [split t] derives an independent generator (fresh state {e and}
+    fresh odd gamma), advancing [t] by two outputs. *)
+
+val scramble : int -> int
+(** Stateless 64-bit finalizer mix of [k], truncated to a non-negative
+    OCaml [int].  Used to spread adjacent keys across shards and to
+    de-cluster zipfian ranks ("scrambled zipfian" in YCSB terms). *)

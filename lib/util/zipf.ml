@@ -1,0 +1,45 @@
+type t = {
+  n : int;
+  theta : float;
+  zetan : float;  (* sum_{i=1..n} i^-theta *)
+  alpha : float;  (* 1 / (1 - theta) *)
+  eta : float;
+  cut1 : float;   (* zeta(2) = 1 + 2^-theta: uz below it maps to rank <= 1 *)
+}
+
+let create ~n ~theta =
+  if n < 2 then invalid_arg "Zipf.create: n must be >= 2";
+  if not (theta > 0.0 && theta < 1.0) then
+    invalid_arg "Zipf.create: theta must lie in (0, 1)";
+  let zetan = ref 0.0 in
+  for i = 1 to n do
+    zetan := !zetan +. (1.0 /. (float_of_int i ** theta))
+  done;
+  let zetan = !zetan in
+  let zeta2 = 1.0 +. (0.5 ** theta) in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; zetan; alpha; eta; cut1 = zeta2 }
+
+let n t = t.n
+
+let sample t u =
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < t.cut1 then 1
+  else begin
+    let r =
+      float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha)
+    in
+    let r = int_of_float r in
+    if r < 0 then 0 else if r >= t.n then t.n - 1 else r
+  end
+
+let draw t rng = sample t (Splitmix.float rng)
+
+let expected_freq t r =
+  if r < 0 || r >= t.n then invalid_arg "Zipf.expected_freq: rank out of range";
+  1.0 /. ((float_of_int (r + 1) ** t.theta) *. t.zetan)

@@ -1,0 +1,30 @@
+(** Zipfian rank sampler (Gray et al., SIGMOD'94 — the YCSB generator).
+
+    Draws ranks in [\[0, n)] where rank [r] has probability proportional
+    to [1 / (r+1)^theta].  Rank 0 is the hottest key.  Setup is O(n)
+    (the harmonic normaliser); each sample is O(1) via the closed-form
+    inverse-CDF approximation, so the load generator can pre-compute
+    millions of keys cheaply.
+
+    [theta] must lie in (0, 1); YCSB's default skew is 0.99, under which
+    roughly 10% of draws hit rank 0 for n = 1000. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Sampler over ranks [\[0, n)].  Raises [Invalid_argument] unless
+    [n >= 2] and [0 < theta < 1]. *)
+
+val n : t -> int
+
+val sample : t -> float -> int
+(** [sample t u] maps a uniform draw [u ∈ \[0,1)] to a rank.  Pure:
+    feeding the same [u] always yields the same rank, which the
+    statistical tests rely on. *)
+
+val draw : t -> Splitmix.t -> int
+(** [draw t rng] is [sample t (Splitmix.float rng)]. *)
+
+val expected_freq : t -> int -> float
+(** [expected_freq t r] is the exact probability of rank [r] — the
+    yardstick for the empirical-frequency sanity test. *)

@@ -87,6 +87,44 @@ let test_histogram_empty_percentile () =
   Alcotest.(check bool) "empty percentile is nan" true
     (Float.is_nan (Obs.Histogram.percentile h 0.99))
 
+(* -- interpolated quantiles (golden) -------------------------------------- *)
+
+let test_histogram_quantile_golden () =
+  (* Golden sample with known exact percentiles: 1..1000, where the
+     q-th percentile is q*1000.  Unlike [percentile] (nearest bucket
+     upper bound, so up to 2x off), the interpolated estimator must land
+     within 5% relative error even at the tails. *)
+  let h = Obs.Histogram.create "test_quant" in
+  for v = 1 to 1000 do
+    Obs.Histogram.observe h v
+  done;
+  List.iter
+    (fun (q, exact) ->
+      let est = Obs.Histogram.quantile h q in
+      let rel = Float.abs (est -. exact) /. exact in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.3f: estimate %.1f within 5%% of %.0f" q est exact)
+        true (rel <= 0.05))
+    [ (0.10, 100.0); (0.50, 500.0); (0.90, 900.0); (0.99, 990.0); (0.999, 999.0) ];
+  (* Monotone in q. *)
+  Alcotest.(check bool) "p50 <= p99" true
+    (Obs.Histogram.quantile h 0.5 <= Obs.Histogram.quantile h 0.99);
+  Alcotest.(check bool) "p99 <= p999" true
+    (Obs.Histogram.quantile h 0.99 <= Obs.Histogram.quantile h 0.999);
+  (* q is clamped to [0,1]. *)
+  Alcotest.(check (float 1e-9)) "q>1 clamps" (Obs.Histogram.quantile h 1.0)
+    (Obs.Histogram.quantile h 1.5);
+  (* Edge cases: empty is nan, all-zero sample estimates 0. *)
+  let empty = Obs.Histogram.create "test_quant_empty" in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Obs.Histogram.quantile empty 0.5));
+  let zeros = Obs.Histogram.create "test_quant_zeros" in
+  for _ = 1 to 10 do
+    Obs.Histogram.observe zeros 0
+  done;
+  Alcotest.(check (float 1e-9)) "all-zero sample" 0.0
+    (Obs.Histogram.quantile zeros 0.99)
+
 (* -- Prometheus exposition (golden) -------------------------------------- *)
 
 let test_prometheus_golden () =
@@ -237,6 +275,8 @@ let () =
           Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
           Alcotest.test_case "empty percentile" `Quick
             test_histogram_empty_percentile;
+          Alcotest.test_case "interpolated quantile golden" `Quick
+            test_histogram_quantile_golden;
         ] );
       ( "expose",
         [ Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden ] );

@@ -1,0 +1,292 @@
+(* Tests for the serving layer: KV store semantics, the bucket-handoff
+   protocol under real concurrency (multi-domain stress with log
+   replay), linearizability smoke tests across the three engine
+   families, and the open-loop load generator. *)
+
+module Kv = Nowa_server.Kv
+module Workload = Nowa_server.Workload
+module Sm = Nowa_util.Splitmix
+
+(* -- basic single-key semantics ------------------------------------------- *)
+
+let test_kv_basics () =
+  let kv = Kv.create ~shards:4 ~buckets_per_shard:8 () in
+  Alcotest.(check bool) "miss on empty" true (Kv.exec kv (Kv.Get 1) = Kv.Miss);
+  Alcotest.(check bool) "put acks" true (Kv.exec kv (Kv.Put (1, 10)) = Kv.Ack);
+  Alcotest.(check bool) "hit" true (Kv.exec kv (Kv.Get 1) = Kv.Hit 10);
+  Alcotest.(check bool) "add returns new" true
+    (Kv.exec kv (Kv.Add (1, 5)) = Kv.Hit 15);
+  Alcotest.(check bool) "add upserts" true
+    (Kv.exec kv (Kv.Add (99, 7)) = Kv.Hit 7);
+  Alcotest.(check int) "size" 2 (Kv.size kv);
+  Alcotest.(check int) "no drops" 0 (Kv.dropped kv)
+
+let test_kv_multi () =
+  let kv = Kv.create ~shards:4 ~buckets_per_shard:4 () in
+  (* Spread keys over every shard so the transaction must cross shards. *)
+  let keys = Array.init 64 (fun i -> i) in
+  let kvs = Array.map (fun k -> (k, k * 2)) keys in
+  Alcotest.(check bool) "multi_put acks" true
+    (Kv.exec kv (Kv.Multi_put kvs) = Kv.Ack);
+  (match Kv.exec kv (Kv.Multi_get keys) with
+  | Kv.Many res ->
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "multi_get key %d" i)
+          true
+          (v = Some (i * 2)))
+      res
+  | _ -> Alcotest.fail "multi_get must return Many");
+  Alcotest.(check bool) "cross-shard txns performed handoffs" true
+    (Kv.handoffs kv > 0);
+  (* Distinct home shards actually exist for this key set. *)
+  let shards_hit =
+    Array.fold_left
+      (fun acc k -> if List.mem (Kv.shard_of_key kv k) acc then acc
+        else Kv.shard_of_key kv k :: acc)
+      [] keys
+  in
+  Alcotest.(check bool) "keys span shards" true (List.length shards_hit > 1)
+
+let test_kv_admission_control () =
+  let kv = Kv.create ~shards:2 ~queue_cap:0 () in
+  Alcotest.(check bool) "over-capacity drops" true
+    (Kv.exec kv (Kv.Put (1, 1)) = Kv.Dropped);
+  Alcotest.(check int) "drop counted" 1 (Kv.dropped kv)
+
+(* -- linearizability: log replay ------------------------------------------ *)
+
+(* Replay the apply log (global seq order) against a sequential
+   Hashtbl.  Every logged [read] must match the replay state at that
+   point — this catches lost operations, double-applies and torn
+   multi-key transactions.  Returns the replay table for a final-state
+   comparison. *)
+let replay_check log =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Kv.log_entry) ->
+      let expect = Hashtbl.find_opt tbl e.l_key in
+      if expect <> e.read then
+        Alcotest.failf
+          "seq %d req %d key %d: logged read %s but replay says %s" e.seq
+          e.req_id e.l_key
+          (match e.read with Some v -> string_of_int v | None -> "None")
+          (match expect with Some v -> string_of_int v | None -> "None");
+      match e.wrote with
+      | Some v -> Hashtbl.replace tbl e.l_key v
+      | None -> ())
+    log;
+  tbl
+
+let check_final_state kv replay =
+  let store_n = Kv.fold (fun _ _ n -> n + 1) kv 0 in
+  Alcotest.(check int) "store and replay agree on size"
+    (Hashtbl.length replay) store_n;
+  Kv.fold
+    (fun k v () ->
+      match Hashtbl.find_opt replay k with
+      | Some v' when v' = v -> ()
+      | got ->
+        Alcotest.failf "final state: key %d is %d in store, %s in replay" k v
+          (match got with Some v -> string_of_int v | None -> "absent"))
+    kv ()
+
+let random_op rng keyspace =
+  let key () = Sm.int rng keyspace in
+  let multi n = Array.init (1 + Sm.int rng n) (fun _ -> key ()) in
+  match Sm.int rng 10 with
+  | 0 | 1 | 2 -> Kv.Get (key ())
+  | 3 | 4 -> Kv.Put (key (), Sm.int rng 1000)
+  | 5 | 6 -> Kv.Add (key (), 1 + Sm.int rng 9)
+  | 7 | 8 -> Kv.Multi_get (multi 4)
+  | _ -> Kv.Multi_put (Array.map (fun k -> (k, Sm.int rng 1000)) (multi 4))
+
+let test_kv_log_replay_sequential () =
+  let kv = Kv.create ~shards:4 ~buckets_per_shard:4 ~log:true () in
+  let rng = Sm.make ~seed:7 in
+  for _ = 1 to 2_000 do
+    ignore (Kv.exec kv (random_op rng 100))
+  done;
+  let replay = replay_check (Kv.log kv) in
+  check_final_state kv replay
+
+(* Raw domains hammering the store: the handoff protocol under real
+   parallelism with no scheduler in the way. *)
+let test_kv_stress_domains () =
+  let kv = Kv.create ~shards:4 ~buckets_per_shard:4 ~log:true () in
+  let domains = 4 and per_domain = 2_000 in
+  let pendings = Atomic.make 0 in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Sm.make ~seed:(1000 + d) in
+            for _ = 1 to per_domain do
+              match Kv.exec kv (random_op rng 64) with
+              | Kv.Pending -> Atomic.incr pendings
+              | _ -> ()
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "exec never returns Pending" 0 (Atomic.get pendings);
+  Alcotest.(check int) "no drops under default cap" 0 (Kv.dropped kv);
+  let log = Kv.log kv in
+  Alcotest.(check bool) "log non-empty" true (log <> []);
+  let replay = replay_check log in
+  check_final_state kv replay
+
+(* -- linearizability smoke across the three engine families --------------- *)
+
+let smoke_on (module R : Nowa.RUNTIME) () =
+  let kv = Kv.create ~shards:8 ~buckets_per_shard:4 ~log:true () in
+  let n = 1_500 in
+  let bad = Atomic.make 0 in
+  let conf = Nowa.Config.with_workers 4 in
+  R.run ~conf (fun () ->
+      R.scope (fun sc ->
+          let rng = Sm.make ~seed:11 in
+          for _ = 1 to n do
+            let op = random_op rng 128 in
+            R.spawn_unit sc (fun () ->
+                match Kv.exec kv op with
+                | Kv.Pending | Kv.Dropped -> Atomic.incr bad
+                | _ -> ())
+          done));
+  Alcotest.(check int) "every request served" 0 (Atomic.get bad);
+  let log = Kv.log kv in
+  (* Every mutation and read went through the combiner exactly once. *)
+  let replay = replay_check log in
+  check_final_state kv replay
+
+(* Under the serial elision, requests apply in arrival order, so the
+   store must agree with a plain sequential reference fed the same
+   stream — determinism end to end, not just log consistency. *)
+let test_serial_arrival_order () =
+  let module R = Nowa_runtime.Serial_runtime in
+  let kv = Kv.create ~shards:4 ~buckets_per_shard:4 () in
+  let reference = Hashtbl.create 256 in
+  let model op =
+    match op with
+    | Kv.Get k ->
+      (match Hashtbl.find_opt reference k with
+      | Some v -> Kv.Hit v
+      | None -> Kv.Miss)
+    | Kv.Put (k, v) ->
+      Hashtbl.replace reference k v;
+      Kv.Ack
+    | Kv.Add (k, d) ->
+      let nv =
+        match Hashtbl.find_opt reference k with Some v -> v + d | None -> d
+      in
+      Hashtbl.replace reference k nv;
+      Kv.Hit nv
+    | Kv.Multi_get ks ->
+      Kv.Many (Array.map (fun k -> Hashtbl.find_opt reference k) ks)
+    | Kv.Multi_put kvs ->
+      Array.iter (fun (k, v) -> Hashtbl.replace reference k v) kvs;
+      Kv.Ack
+  in
+  R.run (fun () ->
+      R.scope (fun sc ->
+          let rng = Sm.make ~seed:23 in
+          for _ = 1 to 2_000 do
+            let op = random_op rng 100 in
+            R.spawn_unit sc (fun () ->
+                let got = Kv.exec kv op in
+                let want = model op in
+                if got <> want then
+                  Alcotest.fail "serial run diverged from reference")
+          done));
+  Hashtbl.iter
+    (fun k v ->
+      match Kv.exec kv (Kv.Get k) with
+      | Kv.Hit v' when v' = v -> ()
+      | _ -> Alcotest.failf "final state mismatch at key %d" k)
+    reference
+
+(* -- workload & load generator -------------------------------------------- *)
+
+let test_workload_deterministic () =
+  let mix = Option.get (Workload.find_mix "a") in
+  let spec =
+    { (Workload.default_spec ~mix) with Workload.requests = 500; warmup = 50 }
+  in
+  let s1 = Workload.generate spec and s2 = Workload.generate spec in
+  Alcotest.(check int) "same length" (Array.length s1) (Array.length s2);
+  Array.iteri
+    (fun i (e1 : Workload.event) ->
+      let e2 = s2.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "event %d identical" i)
+        true
+        (e1.Workload.at_ns = e2.Workload.at_ns && e1.Workload.op = e2.Workload.op))
+    s1;
+  (* Arrival times strictly ordered, ops match the mix (A: reads+updates). *)
+  Array.iter
+    (fun (e : Workload.event) ->
+      match e.Workload.cls with
+      | Workload.Read | Workload.Update -> ()
+      | _ -> Alcotest.fail "mix A generated a non-read/update op")
+    s1
+
+let test_loadgen_smoke () =
+  let module L = Nowa_server.Loadgen.Make (Nowa.Presets.Nowa) in
+  let mix = Option.get (Workload.find_mix "A") in
+  let spec =
+    {
+      (Workload.default_spec ~mix) with
+      Workload.records = 200;
+      rate = 100_000.0;
+      warmup = 50;
+      requests = 400;
+      shards = 8;
+      buckets_per_shard = 8;
+    }
+  in
+  let conf = Nowa.Config.with_workers 4 in
+  let r = L.run ~conf spec in
+  Alcotest.(check int) "all measured requests completed" 400 r.Nowa_server.Loadgen.completed;
+  Alcotest.(check int) "no drops" 0 r.Nowa_server.Loadgen.dropped;
+  Alcotest.(check bool) "throughput positive" true
+    (r.Nowa_server.Loadgen.throughput > 0.0);
+  let total = r.Nowa_server.Loadgen.total in
+  Alcotest.(check bool) "p50 finite and positive" true
+    (total.Nowa_server.Loadgen.p50_ns > 0.0);
+  Alcotest.(check bool) "p999 >= p50" true
+    (total.Nowa_server.Loadgen.p999_ns >= total.Nowa_server.Loadgen.p50_ns);
+  (* The JSON row is well-formed enough for the bench harness greps. *)
+  let json = Nowa_server.Loadgen.json_of_report r in
+  Alcotest.(check bool) "json has mix" true
+    (String.length json > 0 && json.[0] = '{')
+
+let () =
+  Alcotest.run "nowa_server"
+    [
+      ( "kv",
+        [
+          Alcotest.test_case "basics" `Quick test_kv_basics;
+          Alcotest.test_case "multi-key cross-shard" `Quick test_kv_multi;
+          Alcotest.test_case "admission control" `Quick
+            test_kv_admission_control;
+          Alcotest.test_case "log replay sequential" `Quick
+            test_kv_log_replay_sequential;
+          Alcotest.test_case "stress domains" `Quick test_kv_stress_domains;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "nowa (continuation-stealing)" `Quick
+            (smoke_on (module Nowa.Presets.Nowa));
+          Alcotest.test_case "tbb (child-stealing)" `Quick
+            (smoke_on (module Nowa.Presets.Tbb));
+          Alcotest.test_case "gomp (central queue)" `Quick
+            (smoke_on (module Nowa.Presets.Gomp));
+          Alcotest.test_case "serial arrival order" `Quick
+            test_serial_arrival_order;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "workload deterministic" `Quick
+            test_workload_deterministic;
+          Alcotest.test_case "open-loop smoke" `Quick test_loadgen_smoke;
+        ] );
+    ]

@@ -260,6 +260,113 @@ let test_cpu () =
   Alcotest.(check bool) "at least one core" true (Cpu.available_cores () >= 1);
   Alcotest.(check bool) "workers positive" true (Cpu.default_workers () >= 1)
 
+(* -- Splitmix -------------------------------------------------------- *)
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.make ~seed:42 and b = Splitmix.make ~seed:42 in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "same seed, draw %d" i)
+      (Splitmix.next a) (Splitmix.next b)
+  done;
+  let c = Splitmix.make ~seed:43 in
+  let differs = ref false in
+  for _ = 0 to 9 do
+    if not (Int64.equal (Splitmix.next a) (Splitmix.next c)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_splitmix_bounds () =
+  let r = Splitmix.make ~seed:7 in
+  for _ = 0 to 999 do
+    let i = Splitmix.int r 10 in
+    Alcotest.(check bool) "int in [0,10)" true (i >= 0 && i < 10);
+    let f = Splitmix.float r in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_splitmix_split_independent () =
+  (* The child stream must neither mirror the parent's continuation nor
+     depend on when the parent is consumed relative to it. *)
+  let p1 = Splitmix.make ~seed:42 in
+  let c1 = Splitmix.split p1 in
+  let child_first = Array.init 20 (fun _ -> Splitmix.next c1) in
+  let parent_after = Array.init 20 (fun _ -> Splitmix.next p1) in
+  Alcotest.(check bool)
+    "child differs from parent continuation" true
+    (child_first <> parent_after);
+  (* Interleaving parent draws between child draws must not change the
+     child stream (the whole point of splitting). *)
+  let p2 = Splitmix.make ~seed:42 in
+  let c2 = Splitmix.split p2 in
+  let child_interleaved =
+    Array.init 20 (fun _ ->
+        ignore (Splitmix.next p2);
+        Splitmix.next c2)
+  in
+  Alcotest.(check bool) "child stream stable under interleaving" true
+    (child_first = child_interleaved)
+
+let test_splitmix_scramble () =
+  Alcotest.(check int) "stateless" (Splitmix.scramble 123) (Splitmix.scramble 123);
+  for k = 0 to 999 do
+    Alcotest.(check bool) "non-negative" true (Splitmix.scramble k >= 0)
+  done;
+  (* Adjacent inputs should land far apart (avalanche): count collisions
+     of the low byte across consecutive keys — a linear map would give
+     long runs. *)
+  let same_low = ref 0 in
+  for k = 0 to 999 do
+    if Splitmix.scramble k land 0xff = Splitmix.scramble (k + 1) land 0xff then
+      incr same_low
+  done;
+  Alcotest.(check bool) "low bits avalanche" true (!same_low < 30)
+
+(* -- Zipf ------------------------------------------------------------ *)
+
+let test_zipf_bounds_and_determinism () =
+  let z = Zipf.create ~n:100 ~theta:0.99 in
+  Alcotest.(check int) "n" 100 (Zipf.n z);
+  let a = Splitmix.make ~seed:1 and b = Splitmix.make ~seed:1 in
+  for _ = 0 to 9_999 do
+    let ra = Zipf.draw z a and rb = Zipf.draw z b in
+    Alcotest.(check int) "deterministic under fixed seed" ra rb;
+    Alcotest.(check bool) "rank in [0,n)" true (ra >= 0 && ra < 100)
+  done;
+  (* Invalid parameters are rejected. *)
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Zipf.create: n must be >= 2") (fun () ->
+      ignore (Zipf.create ~n:1 ~theta:0.5))
+
+let test_zipf_rank1_frequency () =
+  (* Statistical sanity: the empirical frequency of the hottest rank
+     matches the analytic pmf within a few percent.  100k draws, so the
+     binomial standard error on rank 0 (p ~ 0.19 at n=100, theta=0.99)
+     is ~0.12% absolute — a 5% relative tolerance is ~10 sigma. *)
+  let n = 100 and draws = 100_000 in
+  let z = Zipf.create ~n ~theta:0.99 in
+  let rng = Splitmix.make ~seed:42 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = Zipf.draw z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let emp r = float_of_int counts.(r) /. float_of_int draws in
+  let expect0 = Zipf.expected_freq z 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rank-0 frequency %.4f within 5%% of %.4f" (emp 0) expect0)
+    true
+    (Float.abs (emp 0 -. expect0) <= 0.05 *. expect0);
+  (* Monotone decay along the head of the distribution. *)
+  Alcotest.(check bool) "rank 0 hotter than rank 1" true (counts.(0) > counts.(1));
+  Alcotest.(check bool) "rank 1 hotter than rank 10" true (counts.(1) > counts.(10));
+  (* The pmf itself sums to ~1. *)
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. Zipf.expected_freq z r
+  done;
+  Alcotest.(check bool) "pmf sums to 1" true (feq ~eps:1e-6 1.0 !total)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "nowa_util"
@@ -310,4 +417,18 @@ let () =
         ] );
       ("padding", [ Alcotest.test_case "atomic" `Quick test_padding_atomic ]);
       ("cpu", [ Alcotest.test_case "cores" `Quick test_cpu ]);
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "bounds" `Quick test_splitmix_bounds;
+          Alcotest.test_case "split independence" `Quick
+            test_splitmix_split_independent;
+          Alcotest.test_case "scramble" `Quick test_splitmix_scramble;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds+determinism" `Quick
+            test_zipf_bounds_and_determinism;
+          Alcotest.test_case "rank-1 frequency" `Quick test_zipf_rank1_frequency;
+        ] );
     ]
