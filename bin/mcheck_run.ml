@@ -61,6 +61,10 @@ let battery =
     ( "kv_handoff_no_defer",
       Violates,
       S.kv_handoff_spec ~variant:`No_defer );
+    ("kv_parked_retry", Verified, S.kv_parked_retry_spec ~variant:`Good);
+    ( "kv_parked_retry_no_loop",
+      Violates,
+      S.kv_parked_retry_spec ~variant:`No_recheck_loop );
   ]
 
 let () =

@@ -1015,3 +1015,117 @@ let kv_handoff_spec ?(variant = `Good) () =
     && Cell.peek mail1 = []
   in
   (threads, invariant)
+
+(* -- KV combiner release with parked home txns (lib/server/kv.ml) ------
+   [retry_waiting] can itself complete a transaction, and that
+   completion reattaches buckets — setting the shard's [recheck] flag
+   again after the drain loop already cleared it.  A second txn parked
+   on the just-reattached bucket, filtered earlier in the same retry
+   pass, then has no mailbox message left to wake the combiner for it:
+   [try_combine] only enters on non-empty mail.  The release must
+   therefore loop until BOTH the mailbox is empty and [recheck] is
+   clear.  [`No_recheck_loop] releases on an empty mailbox alone — the
+   checker exhibits the stranded txn (C never completes).
+
+   Model: one shard whose combiner-private state is pre-loaded with the
+   adversarial configuration — txn A holds bucket 0 and is parked on
+   bucket 1 (on loan to a remote txn whose Return is inbound); txn C is
+   parked on bucket 0; the waiting list visits C before A.  A
+   bystander client D pushes an independent single-key op so the claim
+   race and a rescue-by-later-traffic schedule are both explored: the
+   violating schedules are exactly those where D's combine runs before
+   A's completion re-sets [recheck]. *)
+
+type parked_msg = Preturn | Pop_d
+
+let kv_parked_retry_spec ?(variant = `Good) () =
+  let mail = Cell.make [] in
+  let combining = Cell.make false in
+  (* Combiner-private shard state (protected by [combining]). *)
+  let b0_loaned = Cell.make true in  (* held by home txn A *)
+  let b1_loaned = Cell.make true in  (* on loan; Return inbound *)
+  let waiting = Cell.make [ `C; `A ] in
+  let recheck = Cell.make false in
+  let done_a = Cell.make false in
+  let done_c = Cell.make false in
+  let done_d = Cell.make false in
+  let push m =
+    let rec go () =
+      let cur = Cell.read mail in
+      if not (Cell.cas mail cur (m :: cur)) then go ()
+    in
+    go ()
+  in
+  let handle = function
+    | Preturn ->
+      (* reattach bucket 1 *)
+      Cell.write b1_loaned false;
+      Cell.write recheck true
+    | Pop_d -> Cell.write done_d true (* single-key op on a free bucket *)
+  in
+  (* retry_waiting: left-to-right filter over the parked txns.  A's
+     completion applies against bucket 1 and reattaches bucket 0 —
+     the reattach that re-sets [recheck] mid-pass. *)
+  let retry () =
+    let step kept = function
+      | `A ->
+        if Cell.read b1_loaned then `A :: kept
+        else begin
+          Cell.write b0_loaned false;
+          Cell.write recheck true;
+          Cell.write done_a true;
+          kept
+        end
+      | `C ->
+        if Cell.read b0_loaned then `C :: kept
+        else begin
+          Cell.write done_c true;
+          kept
+        end
+    in
+    Cell.write waiting (List.rev (List.fold_left step [] (Cell.read waiting)))
+  in
+  let rec combine () =
+    if Cell.cas combining false true then loop ()
+  and loop () =
+    (let rec drain () =
+       let batch = Cell.read mail in
+       if batch <> [] then
+         if Cell.cas mail batch [] then List.iter handle (List.rev batch)
+         else drain ()
+     in
+     drain ());
+    if Cell.read recheck then begin
+      Cell.write recheck false;
+      retry ()
+    end;
+    let again =
+      match variant with
+      | `Good -> Cell.read recheck || Cell.read mail <> []
+      | `No_recheck_loop -> Cell.read mail <> []
+    in
+    if again then loop ()
+    else begin
+      Cell.write combining false;
+      if Cell.read mail <> [] then combine ()
+    end
+  in
+  let threads =
+    [
+      (fun () ->
+        push Preturn;
+        combine ());
+      (fun () ->
+        push Pop_d;
+        combine ());
+    ]
+  in
+  let invariant () =
+    Cell.peek done_a && Cell.peek done_c && Cell.peek done_d
+    && (not (Cell.peek b0_loaned))
+    && (not (Cell.peek b1_loaned))
+    && Cell.peek waiting = []
+    && (not (Cell.peek recheck))
+    && Cell.peek mail = []
+  in
+  (threads, invariant)

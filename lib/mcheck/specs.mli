@@ -132,3 +132,16 @@ val kv_handoff_spec :
     (apply-count checked inline), bucket back home, mailboxes empty.
     [`No_defer] applies the racing op into the detached bucket's slot
     instead of deferring it, exhibiting the lost update. *)
+
+val kv_parked_retry_spec :
+  ?variant:[ `Good | `No_recheck_loop ] ->
+  unit -> (unit -> unit) list * (unit -> bool)
+(** Combiner release with home transactions parked on loaned buckets:
+    a retried txn's completion reattaches a bucket and re-sets the
+    shard's recheck flag after the drain loop cleared it, so the
+    combiner must loop until the mailbox is empty {e and} recheck is
+    clear before releasing.  Invariant: every txn and the bystander op
+    complete, no bucket still loaned, waiting list empty.
+    [`No_recheck_loop] releases on an empty mailbox alone — the checker
+    exhibits the stranded parked txn (liveness loss with no message
+    left to re-enter the combiner). *)

@@ -148,13 +148,25 @@ let[@inline] fill (r : req) o = Atomic.set r.out o
 
 (* -- mailbox -------------------------------------------------------------- *)
 
-let push_msg (s : shard) m =
-  ignore (Atomic.fetch_and_add s.depth 1);
+(* Raw Treiber push, no depth accounting: for re-injecting deferred
+   messages whose admission slot is still held (see [defer]). *)
+let push_raw (s : shard) m =
   let rec go () =
     let cur = Atomic.get s.mail in
     if not (Atomic.compare_and_set s.mail cur (m :: cur)) then go ()
   in
   go ()
+
+let push_msg (s : shard) m =
+  ignore (Atomic.fetch_and_add s.depth 1);
+  push_raw s m
+
+(* Park a message behind a loaned bucket.  [handle] already gave back
+   the admission slot; re-take it so work queued behind the loan keeps
+   counting against [queue_cap] for the whole loan window. *)
+let defer (s : shard) q m =
+  ignore (Atomic.fetch_and_add s.depth 1);
+  Queue.add m q
 
 let[@inline] poke_later (s : shard) j =
   if j <> s.sid && not (List.mem j s.to_poke) then s.to_poke <- j :: s.to_poke
@@ -187,7 +199,7 @@ let rec handle t (s : shard) msg =
   | Borrow { txn; bucket } ->
     let b = s.buckets.(bucket) in
     (match b.loaned with
-    | Some q -> Queue.add msg q
+    | Some q -> defer s q msg
     | None ->
       b.loaned <- Some (Queue.create ());
       ignore (Atomic.fetch_and_add t.handoffs_ 1);
@@ -210,7 +222,7 @@ and handle_request t s (r : req) =
     let _, bk = place t k in
     let b = s.buckets.(bk) in
     (match b.loaned with
-    | Some q -> Queue.add (Request r) q
+    | Some q -> defer s q (Request r)
     | None -> apply_single t s r b.tbl)
   | Multi_get _ | Multi_put _ ->
     let txn =
@@ -297,12 +309,13 @@ and apply_txn t s txn =
 
 (* Bucket comes home: re-inject deferred messages (they re-enter the
    mailbox and are handled in a later batch) and flag parked txns for
-   retry.  Deferred depth was already decremented when the message was
-   first handled; push_msg re-increments, keeping the count exact. *)
+   retry.  Deferred messages kept their admission slot ([defer]
+   re-incremented depth), so re-injection must not count them again;
+   the slot is released when the message is finally handled. *)
 and reattach (s : shard) b data q =
   b.tbl <- data;
   b.loaned <- None;
-  Queue.iter (fun m -> push_msg s m) q;
+  Queue.iter (fun m -> push_raw s m) q;
   s.recheck <- true
 
 (* Retry parked txns whose cursor points at a local bucket.  Safe to
@@ -319,11 +332,20 @@ let retry_waiting t s =
         if parked_local then not (advance t s txn) else true)
       s.waiting
 
-(* Drain-until-empty, then release and re-check the mailbox: a message
-   pushed between our last exchange and the flag release would
-   otherwise be stranded (the pusher saw [combining = true] and went
-   away).  The mcheck combiner spec verifies this is the exact fence
-   that makes the protocol lose no operations. *)
+(* Drain until the mailbox is empty AND no reattach is pending, then
+   release and re-check the mailbox.  Both halves of the condition are
+   load-bearing fences, each model-checked:
+
+   - mailbox: a message pushed between our last exchange and the flag
+     release would otherwise be stranded, because its pusher saw
+     [combining = true] and went away (kv_combiner spec);
+   - recheck: [retry_waiting] can itself complete a transaction whose
+     reattach sets [s.recheck] again after we cleared it.  A txn parked
+     on the just-reattached bucket — already filtered earlier in the
+     same pass — would then be stranded with an empty mailbox, and
+     nothing would ever wake the combiner for it ([try_combine] only
+     enters on mail).  Looping on [s.recheck] re-runs the retry before
+     release (kv_parked_retry spec). *)
 let rec combine t (s : shard) =
   (match Atomic.exchange s.mail [] with
   | [] -> ()
@@ -332,7 +354,7 @@ let rec combine t (s : shard) =
     s.recheck <- false;
     retry_waiting t s
   end;
-  if Atomic.get s.mail <> [] then combine t s
+  if s.recheck || Atomic.get s.mail <> [] then combine t s
   else begin
     let pokes = s.to_poke in
     s.to_poke <- [];
@@ -352,6 +374,10 @@ and try_combine t j =
 (* -- client API ----------------------------------------------------------- *)
 
 let exec t op =
+  match op with
+  | Multi_get [||] -> Many [||]  (* no footprint, no home shard *)
+  | Multi_put [||] -> Ack
+  | _ ->
   let home = home_of t op in
   let s = t.shards_.(home) in
   if Atomic.get s.depth >= t.queue_cap then begin

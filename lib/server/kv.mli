@@ -65,13 +65,16 @@ val create :
   unit ->
   t
 (** Defaults: 16 shards, 64 buckets each, queue cap 65536, no log.
-    [queue_cap] bounds a shard's mailbox depth; requests beyond it are
+    [queue_cap] bounds a shard's pending-message count — mailbox plus
+    messages deferred behind a bucket loan; requests beyond it are
     rejected with [Dropped] (open-loop overload shedding).  [log:true]
     records every applied step for offline linearizability checking —
     test-only, it serialises on a global counter. *)
 
 val exec : t -> op -> outcome
-(** Execute one operation to completion.  Never returns [Pending]. *)
+(** Execute one operation to completion.  Never returns [Pending].
+    Empty [Multi_get]/[Multi_put] complete immediately with
+    [Many [||]] / [Ack]. *)
 
 val shard_of_key : t -> key -> int
 (** Home shard of a key (exposed for tests and placement experiments). *)

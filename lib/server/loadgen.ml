@@ -18,7 +18,7 @@
    self-throttles where a child-stealing engine would keep injecting. *)
 
 type class_stats = {
-  cls : Workload.op_class;
+  cls : Workload.op_class option;  (* [None] for the all-classes total *)
   count : int;
   mean_ns : float;
   p50_ns : float;
@@ -50,6 +50,9 @@ let class_idx = function
   | Workload.Insert -> 2
   | Workload.Scan -> 3
   | Workload.Rmw -> 4
+
+let class_label (s : class_stats) =
+  match s.cls with Some c -> Workload.class_name c | None -> "total"
 
 let stats_of_hist cls h =
   let s = Nowa_obs.Histogram.snapshot h in
@@ -127,7 +130,7 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
     let completed = Atomic.get completed in
     let per_class =
       Array.to_list
-        (Array.mapi (fun i c -> stats_of_hist c hists.(i)) Workload.classes)
+        (Array.mapi (fun i c -> stats_of_hist (Some c) hists.(i)) Workload.classes)
       |> List.filter (fun s -> s.count > 0)
     in
     {
@@ -143,7 +146,7 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
       elapsed_s;
       throughput = float_of_int completed /. elapsed_s;
       per_class;
-      total = stats_of_hist Workload.Read total_hist;
+      total = stats_of_hist None total_hist;
     }
 end
 
@@ -156,9 +159,9 @@ let pp_report (r : report) =
   Printf.printf
     "  offered=%d completed=%d dropped=%d handoffs=%d elapsed=%.3fs throughput=%.0f/s\n"
     r.offered r.completed r.dropped r.handoffs r.elapsed_s r.throughput;
-  let row (s : class_stats) name =
+  let row (s : class_stats) =
     [
-      name;
+      class_label s;
       string_of_int s.count;
       Printf.sprintf "%.1f" (us s.mean_ns);
       Printf.sprintf "%.1f" (us s.p50_ns);
@@ -168,8 +171,7 @@ let pp_report (r : report) =
   in
   Nowa_util.Table.print
     ~header:[ "op"; "count"; "mean us"; "p50 us"; "p99 us"; "p999 us" ]
-    (List.map (fun s -> row s (Workload.class_name s.cls)) r.per_class
-    @ [ row r.total "total" ])
+    (List.map row r.per_class @ [ row r.total ])
 
 let json_of_report (r : report) =
   let b = Buffer.create 512 in
@@ -189,7 +191,7 @@ let json_of_report (r : report) =
   Printf.bprintf b "\"total\": %s" (stats_json r.total);
   List.iter
     (fun s ->
-      Printf.bprintf b ", \"%s\": %s" (Workload.class_name s.cls) (stats_json s))
+      Printf.bprintf b ", \"%s\": %s" (class_label s) (stats_json s))
     r.per_class;
   Buffer.add_string b "}}";
   Buffer.contents b

@@ -19,7 +19,12 @@ let test_kv_basics () =
   Alcotest.(check bool) "add upserts" true
     (Kv.exec kv (Kv.Add (99, 7)) = Kv.Hit 7);
   Alcotest.(check int) "size" 2 (Kv.size kv);
-  Alcotest.(check int) "no drops" 0 (Kv.dropped kv)
+  Alcotest.(check int) "no drops" 0 (Kv.dropped kv);
+  (* Empty multi-key ops have no footprint and complete immediately. *)
+  Alcotest.(check bool) "empty multi_get" true
+    (Kv.exec kv (Kv.Multi_get [||]) = Kv.Many [||]);
+  Alcotest.(check bool) "empty multi_put" true
+    (Kv.exec kv (Kv.Multi_put [||]) = Kv.Ack)
 
 let test_kv_multi () =
   let kv = Kv.create ~shards:4 ~buckets_per_shard:4 () in
