@@ -317,13 +317,19 @@ let traces ~opts () =
   let workers = List.fold_left max 1 opts.real_workers in
   List.iter
     (fun bench ->
-      let file = Printf.sprintf "nowa-%s-%dw.trace.json" bench workers in
+      let file =
+        Nowa_util.Artifacts.path
+          (Printf.sprintf "nowa-%s-%dw.trace.json" bench workers)
+      in
       (match trace_real ~opts (module Nowa.Presets.Nowa) bench workers file with
       | Some summary ->
         Printf.printf "\n%s on nowa, %d workers -> %s\n" bench workers file;
         Format.printf "%a@." Nowa_trace.Trace_analysis.pp summary
       | None -> Printf.eprintf "  %s: runtime produced no trace\n" bench);
-      let sim_file = Printf.sprintf "wsim-nowa-%s-256w.trace.json" bench in
+      let sim_file =
+        Nowa_util.Artifacts.path
+          (Printf.sprintf "wsim-nowa-%s-256w.trace.json" bench)
+      in
       let r, summary = trace_sim ~opts CM.nowa bench 256 sim_file in
       Printf.printf "\n%s on wsim:nowa, 256 virtual workers -> %s (makespan %.3f ms)\n"
         bench sim_file
@@ -541,7 +547,9 @@ let causal ~opts () =
             (List.length convoys) err)
         causal_models;
       Buffer.add_string out "\n] }\n";
-      let file = Printf.sprintf "causal-%s.json" bench in
+      let file =
+        Nowa_util.Artifacts.path (Printf.sprintf "causal-%s.json" bench)
+      in
       let oc = open_out file in
       Buffer.output_buffer oc out;
       close_out oc;
@@ -709,10 +717,11 @@ let idle ~opts () =
   ignore (R.run ~conf (fun () -> Nowa_util.Clock.spin_ns serial_ns));
   (match R.last_trace () with
   | Some tr ->
+    let path = Nowa_util.Artifacts.path "idle-park.trace.json" in
     Nowa_trace.Perfetto.write_file
       ~process_name:(Printf.sprintf "nowa:idle-park/%dw" workers)
-      "idle-park.trace.json" tr;
-    Printf.printf "wrote idle-park.trace.json\n"
+      path tr;
+    Printf.printf "wrote %s\n" path
   | None -> Printf.eprintf "idle: runtime produced no trace\n")
 
 (* -- serving layer: open-loop YCSB over the sharded KV store ------------- *)
@@ -752,8 +761,8 @@ let serve ~opts () =
   let first = ref true in
   let total_dropped = ref 0 in
   let rows = ref [] in
-  let run_cell ?(traced = false) (module R : Nowa.RUNTIME) (pname, policy) mix
-      rate =
+  let run_cell ?(traced = false) ?(anatomy = true) ?(emit = true)
+      (module R : Nowa.RUNTIME) (pname, policy) mix rate =
     let module L = LG.Make (R) in
     let spec = { (W.default_spec ~mix) with W.records; requests; warmup; rate } in
     let conf =
@@ -763,36 +772,49 @@ let serve ~opts () =
         trace_capacity = (if traced then default_trace_capacity else 0);
       }
     in
-    let r = L.run ~conf spec in
-    total_dropped := !total_dropped + r.LG.dropped;
-    if not !first then Buffer.add_string out ",\n";
-    first := false;
-    let json = LG.json_of_report r in
-    (* Splice the sweep coordinate into the report object. *)
-    Printf.bprintf out "  {\"policy\": %S, %s" pname
-      (String.sub json 1 (String.length json - 1));
-    let t = r.LG.total in
-    rows :=
-      [
-        r.LG.mix; pname; R.name;
-        Printf.sprintf "%.0f" rate;
-        string_of_int r.LG.completed;
-        string_of_int r.LG.dropped;
-        Printf.sprintf "%.0f" r.LG.throughput;
-        Printf.sprintf "%.1f" (t.LG.p50_ns /. 1e3);
-        Printf.sprintf "%.1f" (t.LG.p99_ns /. 1e3);
-        Printf.sprintf "%.1f" (t.LG.p999_ns /. 1e3);
-      ]
-      :: !rows;
+    let r = L.run ~conf ~anatomy spec in
+    if emit then begin
+      total_dropped := !total_dropped + r.LG.dropped;
+      if not !first then Buffer.add_string out ",\n";
+      first := false;
+      let json = LG.json_of_report r in
+      (* Splice the sweep coordinate into the report object. *)
+      Printf.bprintf out "  {\"policy\": %S, %s" pname
+        (String.sub json 1 (String.length json - 1));
+      let t = r.LG.total in
+      rows :=
+        [
+          r.LG.mix; pname; R.name;
+          Printf.sprintf "%.0f" rate;
+          string_of_int r.LG.completed;
+          string_of_int r.LG.dropped;
+          Printf.sprintf "%.0f" r.LG.throughput;
+          Printf.sprintf "%.1f" (t.LG.p50_ns /. 1e3);
+          Printf.sprintf "%.1f" (t.LG.p99_ns /. 1e3);
+          Printf.sprintf "%.1f" (t.LG.p999_ns /. 1e3);
+        ]
+        :: !rows
+    end;
     if traced then begin
-      match R.last_trace () with
+      (match R.last_trace () with
       | Some tr ->
+        let path = Nowa_util.Artifacts.path "serve-park.trace.json" in
         Nowa_trace.Perfetto.write_file
           ~process_name:(Printf.sprintf "nowa:serve/%dw" workers)
-          "serve-park.trace.json" tr;
-        Printf.printf "wrote serve-park.trace.json\n"
-      | None -> Printf.eprintf "serve: runtime produced no trace\n"
-    end
+          path tr;
+        Printf.printf "wrote %s\n" path
+      | None -> Printf.eprintf "serve: runtime produced no trace\n");
+      match r.LG.anatomy with
+      | Some a ->
+        let path = Nowa_util.Artifacts.path "serve-tail.trace.json" in
+        Nowa_server.Anatomy.write_tail_perfetto path a;
+        Printf.printf "wrote %s (%d tail spans)\n" path
+          (List.length a.Nowa_server.Anatomy.tail);
+        (* Where the cell's time went, phase by phase. *)
+        Nowa_server.Anatomy.pp a
+      | None -> ()
+    end;
+    r
   in
   let header =
     [
@@ -810,7 +832,8 @@ let serve ~opts () =
   List.iter
     (fun mix ->
       List.iter
-        (fun pol -> run_cell (module Nowa.Presets.Nowa) pol mix mix_rate)
+        (fun pol ->
+          ignore (run_cell (module Nowa.Presets.Nowa) pol mix mix_rate))
         serve_policies)
     W.mixes;
   flush_rows ();
@@ -819,15 +842,56 @@ let serve ~opts () =
   List.iter
     (fun rate ->
       List.iter
-        (fun fam -> run_cell fam (List.nth serve_policies 1) mix_a rate)
+        (fun fam ->
+          ignore (run_cell fam (List.nth serve_policies 1) mix_a rate))
         families)
     rates;
   flush_rows ();
   subsection "traced park-policy cell (Perfetto)";
-  run_cell ~traced:true
-    (module Nowa.Presets.Nowa)
-    (List.nth serve_policies 1) mix_a mix_rate;
+  ignore
+    (run_cell ~traced:true
+       (module Nowa.Presets.Nowa)
+       (List.nth serve_policies 1) mix_a mix_rate);
   flush_rows ();
+  (* Instrumentation-cost gate: the span ledger must stay invisible at
+     the median.  min-of-3 per mode damps scheduler jitter on small CI
+     boxes; the conservation audit rides on the anatomy-on runs. *)
+  subsection
+    (Printf.sprintf "anatomy overhead (mix A, %.0f req/s, min of 3)" mix_rate);
+  let pol = List.nth serve_policies 1 in
+  let min_p50 anatomy =
+    let best = ref infinity and violations = ref 0 and max_err = ref 0 in
+    for _ = 1 to 3 do
+      let r =
+        run_cell ~anatomy ~emit:false (module Nowa.Presets.Nowa) pol mix_a
+          mix_rate
+      in
+      if r.LG.total.LG.p50_ns < !best then best := r.LG.total.LG.p50_ns;
+      (match r.LG.anatomy with
+      | Some a ->
+        violations := !violations + a.Nowa_server.Anatomy.violations;
+        max_err := max !max_err a.Nowa_server.Anatomy.max_abs_err_ns
+      | None -> ())
+    done;
+    (!best, !violations, !max_err)
+  in
+  let p50_off, _, _ = min_p50 false in
+  let p50_on, violations, max_err = min_p50 true in
+  let overhead_pct = (p50_on -. p50_off) /. Float.max 1.0 p50_off *. 100.0 in
+  let overhead_ok = overhead_pct <= 10.0 in
+  Printf.printf
+    "anatomy overhead: p50 off=%.1fus on=%.1fus overhead=%+.1f%% (%s); \
+     conservation violations=%d max_err=%dns\n"
+    (p50_off /. 1e3) (p50_on /. 1e3) overhead_pct
+    (if overhead_ok then "<=10% ok" else "OVER BUDGET")
+    violations max_err;
+  if not !first then Buffer.add_string out ",\n";
+  Printf.bprintf out
+    "  {\"kind\": \"anatomy_overhead\", \"mix\": \"%s\", \"rate_rps\": %.1f, \
+     \"p50_off_ns\": %.1f, \"p50_on_ns\": %.1f, \"overhead_pct\": %.2f, \
+     \"overhead_ok\": %b, \"violations\": %d, \"max_abs_err_ns\": %d}"
+    mix_a.W.mname mix_rate p50_off p50_on overhead_pct overhead_ok violations
+    max_err;
   Buffer.add_string out "\n]\n";
   let oc = open_out "BENCH_serve.json" in
   Buffer.output_buffer oc out;

@@ -156,8 +156,8 @@ let parse_idle_policy = function
    --rate, zipf-skewed keys) and print per-op-class latency
    percentiles.  Composable with --runtime/-w/--idle-policy/
    --steal-sweep/--trace/--metrics-addr/--metrics-out. *)
-let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~mix ~rate
-    ~requests ~warmup ~records ~shards ~theta =
+let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
+    ~rate ~requests ~warmup ~records ~shards ~theta =
   let (module R : Nowa.RUNTIME) = resolve_runtime runtime in
   let mix =
     match Nowa_server.Workload.find_mix mix with
@@ -191,8 +191,23 @@ let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~mix ~rate
     }
   in
   let module L = Nowa_server.Loadgen.Make (R) in
-  let report = L.run ~conf spec in
+  let report = L.run ~conf ~anatomy spec in
   Nowa_server.Loadgen.pp_report report;
+  (match report.Nowa_server.Loadgen.anatomy with
+  | None -> ()
+  | Some a ->
+    let json_path = Nowa_util.Artifacts.path "serve-anatomy.json" in
+    let oc = open_out json_path in
+    output_string oc (Nowa_server.Anatomy.json a);
+    output_char oc '\n';
+    close_out oc;
+    let tail_path = Nowa_util.Artifacts.path "serve-tail.trace.json" in
+    Nowa_server.Anatomy.write_tail_perfetto tail_path a;
+    Printf.printf
+      "anatomy: wrote %s and %s (%d tail spans; conservation violations=%d)\n"
+      json_path tail_path
+      (List.length a.Nowa_server.Anatomy.tail)
+      a.Nowa_server.Anatomy.violations);
   match trace with
   | None -> ()
   | Some file -> (
@@ -217,10 +232,12 @@ let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~mix ~rate
       Printf.eprintf "trace: runtime %S produced no trace (serial?)\n" R.name)
 
 let main list bench runtime workers runs size madvise idle_policy steal_sweep
-    trace metrics_addr metrics_out verbose model ledger causal serve mix rate
-    requests warmup records shards theta =
+    trace metrics_addr metrics_out verbose model ledger causal serve anatomy
+    mix rate requests warmup records shards theta =
   if list then list_benchmarks ()
   else begin
+    (* Bare output filenames land in the gitignored artifacts/ dir. *)
+    let trace = Option.map Nowa_util.Artifacts.path trace in
     (* Start the exposition endpoint before any run so the registry can
        be scraped while the benchmark executes. *)
     let server =
@@ -237,8 +254,8 @@ let main list bench runtime workers runs size madvise idle_policy steal_sweep
           exit 1)
     in
     if serve then
-      serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~mix ~rate
-        ~requests ~warmup ~records ~shards ~theta
+      serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy
+        ~mix ~rate ~requests ~warmup ~records ~shards ~theta
     else begin
     let size =
       match List.assoc_opt size sizes with
@@ -359,6 +376,7 @@ let main list bench runtime workers runs size madvise idle_policy steal_sweep
     | None -> ()
     | Some "-" -> print_string (Nowa.Obs.Expose.to_prometheus ())
     | Some file ->
+      let file = Nowa_util.Artifacts.path file in
       (try Nowa.Obs.Expose.write_file file
        with Sys_error msg ->
          Printf.eprintf "metrics: cannot write %s\n" msg;
@@ -484,6 +502,19 @@ let cmd =
              $(b,--steal-sweep), $(b,--trace), $(b,--metrics-addr) and \
              $(b,--metrics-out).")
   in
+  let anatomy =
+    Arg.(
+      value & flag
+      & info [ "anatomy" ]
+          ~doc:
+            "With $(b,--serve): attach a request-scoped span ledger \
+             (sched_wait/mailbox_wait/loan_defer/handoff_wait/exec/reply \
+             per request, conservation-checked against end-to-end \
+             latency), print the per-phase quantile table, and write \
+             artifacts/serve-anatomy.json plus a Perfetto timeline of \
+             the slowest sampled requests to \
+             artifacts/serve-tail.trace.json.")
+  in
   let mix =
     Arg.(
       value & opt string "A"
@@ -528,6 +559,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
-    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal $ serve $ mix $ rate $ requests $ warmup $ records $ shards $ theta)
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal $ serve $ anatomy $ mix $ rate $ requests $ warmup $ records $ shards $ theta)
 
 let () = exit (Cmd.eval cmd)

@@ -5,6 +5,7 @@ module Trace = Nowa_trace.Trace
 module Trace_event = Nowa_trace.Event
 module Trace_analysis = Nowa_trace.Trace_analysis
 module Perfetto = Nowa_trace.Perfetto
+module Span = Nowa_trace.Span
 
 module type RUNTIME = Nowa_runtime.Runtime_intf.S
 

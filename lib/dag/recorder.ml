@@ -104,9 +104,13 @@ let last_trace () = None
 
 let record main =
   Guard.enter name;
+  (* Deterministic worker-0 context: span ledgers recorded under the
+     recorder attribute every combine to worker 0, run after run. *)
+  Nowa_trace.Current.set ~worker:0 Nowa_trace.Ring.disabled;
   Fun.protect
     ~finally:(fun () ->
       state := None;
+      Nowa_trace.Current.clear ();
       Guard.exit ())
     (fun () ->
       (* A major collection mid-recording would be charged to whichever

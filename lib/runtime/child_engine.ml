@@ -308,14 +308,19 @@ module Make
           let w = pool.workers.(i + 1) in
           Domain.spawn (fun () ->
               Domain.DLS.set current (Some (pool, w));
+              Nowa_trace.Current.set ~worker:w.id w.tr;
               Fun.protect
-                ~finally:(fun () -> Domain.DLS.set current None)
+                ~finally:(fun () ->
+                  Domain.DLS.set current None;
+                  Nowa_trace.Current.clear ())
                 (fun () -> worker_loop pool w)))
     in
     let w0 = pool.workers.(0) in
     Domain.DLS.set current (Some (pool, w0));
+    Nowa_trace.Current.set ~worker:w0.id w0.tr;
     let teardown () =
       Domain.DLS.set current None;
+      Nowa_trace.Current.clear ();
       Atomic.set pool.finished true;
       Sleepers.wake_all pool.sleepers;
       List.iter Domain.join domains;

@@ -448,12 +448,16 @@ module Make
           let w = pool.workers.(i + 1) in
           Domain.spawn (fun () ->
               Domain.DLS.set current (Some (pool, w));
+              Nowa_trace.Current.set ~worker:w.id w.tr;
               Fun.protect
-                ~finally:(fun () -> Domain.DLS.set current None)
+                ~finally:(fun () ->
+                  Domain.DLS.set current None;
+                  Nowa_trace.Current.clear ())
                 (fun () -> worker_loop pool w)))
     in
     let w0 = pool.workers.(0) in
     Domain.DLS.set current (Some (pool, w0));
+    Nowa_trace.Current.set ~worker:w0.id w0.tr;
     let joined = ref false in
     let join_all () =
       if not !joined then begin
@@ -467,6 +471,7 @@ module Make
     in
     let teardown () =
       Domain.DLS.set current None;
+      Nowa_trace.Current.clear ();
       join_all ();
       Runtime_guard.exit ()
     in

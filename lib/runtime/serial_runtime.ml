@@ -13,8 +13,16 @@ let last_trace () = None
 let run ?conf main =
   ignore conf;
   Runtime_guard.enter name;
+  (* Publish a worker-0 context (ring stays disabled) so layers above —
+     the KV combiner's span attribution, for one — see a deterministic
+     worker id instead of -1 under the elision. *)
+  Nowa_trace.Current.set ~worker:0 Nowa_trace.Ring.disabled;
   let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:Runtime_guard.exit (fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Nowa_trace.Current.clear ();
+      Runtime_guard.exit ())
+    (fun () ->
       let r = main () in
       last_metrics_ref :=
         Some

@@ -1,4 +1,7 @@
 module H = Hashtbl
+module Span = Nowa_trace.Span
+module Current = Nowa_trace.Current
+module Ev = Nowa_trace.Event
 
 type key = int
 type value = int
@@ -76,10 +79,11 @@ type t = {
   next_id : int Atomic.t;
   dropped_ : int Atomic.t;
   handoffs_ : int Atomic.t;
+  span : Span.t;  (* request-phase ledger; Span.disabled when not profiling *)
 }
 
 let create ?(shards = 16) ?(buckets_per_shard = 64) ?(queue_cap = 65536)
-    ?(log = false) () =
+    ?(log = false) ?(span = Span.disabled) () =
   if shards < 1 then invalid_arg "Kv.create: shards must be >= 1";
   if buckets_per_shard < 1 then
     invalid_arg "Kv.create: buckets_per_shard must be >= 1";
@@ -105,9 +109,13 @@ let create ?(shards = 16) ?(buckets_per_shard = 64) ?(queue_cap = 65536)
     log_on = log;
     shards_ = Array.init shards mk_shard;
     seq = Atomic.make 0;
-    next_id = Atomic.make 0;
+    (* Internally-allocated ids start above the span's rid range so a
+       caller-supplied rid can double as the request id without
+       colliding with preload/untracked traffic. *)
+    next_id = Atomic.make (Span.capacity span);
     dropped_ = Nowa_util.Padding.atomic 0;
     handoffs_ = Nowa_util.Padding.atomic 0;
+    span;
   }
 
 (* Scrambled placement so that adjacent (e.g. zipf-hot) keys spread
@@ -173,36 +181,58 @@ let[@inline] poke_later (s : shard) j =
 
 (* -- combiner ------------------------------------------------------------- *)
 
+(* The span [Exec] mark and the Req_apply ring event must precede
+   [fill]: the outcome [Atomic.set] is the release edge that hands the
+   request back to its injector, so every span-array store sequenced
+   before it is safely ordered against the injector's [Span.finish]. *)
+let[@inline] finish_apply t (s : shard) (r : req) o =
+  Span.mark t.span r.id Span.Exec;
+  Current.emit Ev.Req_apply ~arg:s.sid ~arg2:r.id;
+  fill r o
+
 let apply_single t s (r : req) tbl =
-  match r.op with
-  | Get k ->
-    let v = H.find_opt tbl k in
-    observe t s ~r ~k ~read:v ~wrote:None;
-    fill r (match v with Some v -> Hit v | None -> Miss)
-  | Put (k, v) ->
-    let prev = if t.log_on then H.find_opt tbl k else None in
-    observe t s ~r ~k ~read:prev ~wrote:(Some v);
-    H.replace tbl k v;
-    fill r Ack
-  | Add (k, d) ->
-    let prev = H.find_opt tbl k in
-    let nv = match prev with Some v -> v + d | None -> d in
-    observe t s ~r ~k ~read:prev ~wrote:(Some nv);
-    H.replace tbl k nv;
-    fill r (Hit nv)
-  | Multi_get _ | Multi_put _ -> assert false
+  let o =
+    match r.op with
+    | Get k ->
+      let v = H.find_opt tbl k in
+      observe t s ~r ~k ~read:v ~wrote:None;
+      (match v with Some v -> Hit v | None -> Miss)
+    | Put (k, v) ->
+      let prev = if t.log_on then H.find_opt tbl k else None in
+      observe t s ~r ~k ~read:prev ~wrote:(Some v);
+      H.replace tbl k v;
+      Ack
+    | Add (k, d) ->
+      let prev = H.find_opt tbl k in
+      let nv = match prev with Some v -> v + d | None -> d in
+      observe t s ~r ~k ~read:prev ~wrote:(Some nv);
+      H.replace tbl k nv;
+      Hit nv
+    | Multi_get _ | Multi_put _ -> assert false
+  in
+  finish_apply t s r o
 
 let rec handle t (s : shard) msg =
   ignore (Atomic.fetch_and_add s.depth (-1));
   match msg with
-  | Request r -> handle_request t s r
+  | Request r ->
+    (* First claim closes Mailbox_wait; a re-claim after a loan
+       deferral closes Loan_defer.  Either way the request is now owned
+       by this combiner, so the plain span stores are race-free. *)
+    Span.claim t.span r.id ~worker:(Current.worker ());
+    Current.emit Ev.Req_claim ~arg:s.sid ~arg2:r.id;
+    handle_request t s r
   | Borrow { txn; bucket } ->
     let b = s.buckets.(bucket) in
     (match b.loaned with
-    | Some q -> defer s q msg
+    | Some q ->
+      Span.note_defer t.span txn.t_req.id;
+      Current.emit Ev.Req_defer ~arg:s.sid ~arg2:txn.t_req.id;
+      defer s q msg
     | None ->
       b.loaned <- Some (Queue.create ());
       ignore (Atomic.fetch_and_add t.handoffs_ 1);
+      Current.emit Ev.Req_handoff ~arg:s.sid ~arg2:txn.t_req.id;
       push_msg t.shards_.(txn.home)
         (Grant { txn; from_shard = s.sid; from_bucket = bucket; data = b.tbl });
       poke_later s txn.home)
@@ -222,7 +252,10 @@ and handle_request t s (r : req) =
     let _, bk = place t k in
     let b = s.buckets.(bk) in
     (match b.loaned with
-    | Some q -> defer s q (Request r)
+    | Some q ->
+      Span.note_defer t.span r.id;
+      Current.emit Ev.Req_defer ~arg:s.sid ~arg2:r.id;
+      defer s q (Request r)
     | None -> apply_single t s r b.tbl)
   | Multi_get _ | Multi_put _ ->
     let txn =
@@ -263,6 +296,9 @@ and advance t s txn =
 
 and apply_txn t s txn =
   let r = txn.t_req in
+  (* Everything since the claim was spent collecting buckets (local
+     acquisitions, Borrow round-trips, loans ahead of us). *)
+  Span.mark t.span r.id Span.Handoff_wait;
   let tbl_for k =
     let sh, bk = place t k in
     let rec find = function
@@ -282,7 +318,7 @@ and apply_txn t s txn =
           v)
         keys
     in
-    fill r (Many res)
+    finish_apply t s r (Many res)
   | Multi_put kvs ->
     Array.iter
       (fun (k, v) ->
@@ -291,7 +327,7 @@ and apply_txn t s txn =
         observe t s ~r ~k ~read:prev ~wrote:(Some v);
         H.replace tbl k v)
       kvs;
-    fill r Ack
+    finish_apply t s r Ack
   | Get _ | Put _ | Add _ -> assert false);
   List.iter
     (fun (sh, bk, data) ->
@@ -373,7 +409,7 @@ and try_combine t j =
 
 (* -- client API ----------------------------------------------------------- *)
 
-let exec t op =
+let exec ?(rid = -1) t op =
   match op with
   | Multi_get [||] -> Many [||]  (* no footprint, no home shard *)
   | Multi_put [||] -> Ack
@@ -382,10 +418,17 @@ let exec t op =
   let s = t.shards_.(home) in
   if Atomic.get s.depth >= t.queue_cap then begin
     ignore (Atomic.fetch_and_add t.dropped_ 1);
+    Span.drop t.span rid;
     Dropped
   end
   else begin
-    let r = { id = Atomic.fetch_and_add t.next_id 1; op; out = Atomic.make Pending } in
+    let id = if rid >= 0 then rid else Atomic.fetch_and_add t.next_id 1 in
+    let r = { id; op; out = Atomic.make Pending } in
+    (* Scheduled arrival -> here is pure scheduling: injector lag, the
+       spawn, any steal or park-wake.  Bank it before the push so the
+       mailbox CAS orders the store against the claiming combiner. *)
+    Span.mark t.span rid Span.Sched_wait;
+    Current.emit Ev.Req_submit ~arg:home ~arg2:id;
     push_msg s (Request r);
     try_combine t home;
     let bo = Nowa_util.Backoff.make () in

@@ -62,6 +62,7 @@ val create :
   ?buckets_per_shard:int ->
   ?queue_cap:int ->
   ?log:bool ->
+  ?span:Nowa_trace.Span.t ->
   unit ->
   t
 (** Defaults: 16 shards, 64 buckets each, queue cap 65536, no log.
@@ -69,12 +70,19 @@ val create :
     messages deferred behind a bucket loan; requests beyond it are
     rejected with [Dropped] (open-loop overload shedding).  [log:true]
     records every applied step for offline linearizability checking —
-    test-only, it serialises on a global counter. *)
+    test-only, it serialises on a global counter.  [span] attaches a
+    request-phase ledger: stations inside the store (submit, combiner
+    claim, loan deferral, handoff, apply) mark the caller-allocated rid
+    as the request moves; [Span.disabled] (the default) makes every
+    mark a no-op. *)
 
-val exec : t -> op -> outcome
+val exec : ?rid:int -> t -> op -> outcome
 (** Execute one operation to completion.  Never returns [Pending].
     Empty [Multi_get]/[Multi_put] complete immediately with
-    [Many [||]] / [Ack]. *)
+    [Many [||]] / [Ack].  [rid] is a span request id from
+    [Span.alloc] — it becomes the request id (internal ids are offset
+    past the span capacity, so they never collide); omit it (or pass
+    [-1]) for untracked traffic. *)
 
 val shard_of_key : t -> key -> int
 (** Home shard of a key (exposed for tests and placement experiments). *)

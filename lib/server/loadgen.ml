@@ -40,6 +40,8 @@ type report = {
   throughput : float;  (* completed / elapsed *)
   per_class : class_stats list;  (* classes with traffic only *)
   total : class_stats;
+  span : Nowa_trace.Span.t;  (* per-request ledgers; disabled w/o anatomy *)
+  anatomy : Anatomy.t option;  (* phase quantiles + tail, when requested *)
 }
 
 let nclasses = Array.length Workload.classes
@@ -68,10 +70,19 @@ let stats_of_hist cls h =
   }
 
 module Make (R : Nowa_runtime.Runtime_intf.S) = struct
-  let run ?conf (spec : Workload.spec) : report =
+  let run ?conf ?(anatomy = false) (spec : Workload.spec) : report =
     let events = Workload.generate spec in
+    (* One rid per scheduled event (warmup included, flagged unmeasured)
+       so the allocation order — and hence every rid — is the schedule
+       order: deterministic across runs and runtimes. *)
+    let span =
+      if anatomy then
+        Nowa_trace.Span.create ~capacity:(Array.length events) ()
+      else Nowa_trace.Span.disabled
+    in
     let kv =
-      Kv.create ~shards:spec.shards ~buckets_per_shard:spec.buckets_per_shard ()
+      Kv.create ~shards:spec.shards ~buckets_per_shard:spec.buckets_per_shard
+        ~span ()
     in
     (* Standalone (unregistered) histograms so each run starts at zero;
        the long-lived Serve_metrics registry series accumulate too. *)
@@ -102,12 +113,23 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
                   Domain.cpu_relax ()
                 done;
                 let record = i >= spec.warmup in
+                let rid =
+                  Nowa_trace.Span.alloc span ~cls:(class_idx ev.cls)
+                    ~measured:record ~sched_ns:target
+                in
                 R.spawn_unit sc (fun () ->
-                    match Kv.exec kv ev.op with
+                    match Kv.exec ~rid kv ev.op with
                     | Kv.Dropped -> () (* counted at the store *)
                     | _ ->
+                      (* One clock read for both the histogram sample and
+                         the span's Reply close, so the conservation law
+                         ties the ledger to this exact latency. *)
+                      let now = Nowa_util.Clock.now_ns () in
+                      Nowa_trace.Span.finish span rid ~ts:now;
+                      Nowa_trace.Current.emit Nowa_trace.Event.Req_done
+                        ~arg:0 ~arg2:rid;
                       if record then begin
-                        let lat = Nowa_util.Clock.now_ns () - target in
+                        let lat = now - target in
                         Nowa_obs.Histogram.observe hists.(class_idx ev.cls) lat;
                         Nowa_obs.Histogram.observe total_hist lat;
                         Serve_metrics.observe ev.cls lat;
@@ -147,6 +169,13 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
       throughput = float_of_int completed /. elapsed_s;
       per_class;
       total = stats_of_hist None total_hist;
+      span;
+      anatomy =
+        (if anatomy then begin
+           Anatomy.publish span;
+           Some (Anatomy.of_span span)
+         end
+         else None);
     }
 end
 
@@ -171,7 +200,8 @@ let pp_report (r : report) =
   in
   Nowa_util.Table.print
     ~header:[ "op"; "count"; "mean us"; "p50 us"; "p99 us"; "p999 us" ]
-    (List.map row r.per_class @ [ row r.total ])
+    (List.map row r.per_class @ [ row r.total ]);
+  match r.anatomy with None -> () | Some a -> Anatomy.pp a
 
 let json_of_report (r : report) =
   let b = Buffer.create 512 in
@@ -193,5 +223,9 @@ let json_of_report (r : report) =
     (fun s ->
       Printf.bprintf b ", \"%s\": %s" (class_label s) (stats_json s))
     r.per_class;
-  Buffer.add_string b "}}";
+  Buffer.add_string b "}";
+  (match r.anatomy with
+  | None -> ()
+  | Some a -> Printf.bprintf b ", \"anatomy\": %s" (Anatomy.json a));
+  Buffer.add_string b "}";
   Buffer.contents b

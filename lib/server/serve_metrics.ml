@@ -39,6 +39,13 @@ let rmw_latency =
   Nowa_obs.Registry.histogram "nowa_serve_rmw_latency_ns"
     ~help:"Read-modify-write latency from scheduled arrival to completion (ns)."
 
+let latency =
+  Nowa_obs.Registry.histogram "nowa_serve_latency_ns"
+    ~help:
+      "Latency from scheduled arrival to completion, all op classes \
+       (ns).  Scraped as cumulative nowa_serve_latency_ns_bucket{le=...} \
+       lines for SLO math across mixes."
+
 let latency_of = function
   | Workload.Read -> read_latency
   | Workload.Update -> update_latency
@@ -46,4 +53,19 @@ let latency_of = function
   | Workload.Scan -> scan_latency
   | Workload.Rmw -> rmw_latency
 
-let observe cls ns = Nowa_obs.Histogram.observe (latency_of cls) ns
+let observe cls ns =
+  Nowa_obs.Histogram.observe (latency_of cls) ns;
+  Nowa_obs.Histogram.observe latency ns
+
+(* Per-phase anatomy histograms, fed by {!Anatomy.publish} after a run
+   so a scrape shows where serve time went, not just how much. *)
+let phase_hists =
+  Array.map
+    (fun p ->
+      let n = Nowa_trace.Span.phase_name p in
+      Nowa_obs.Registry.histogram
+        (Printf.sprintf "nowa_serve_phase_%s_ns" n)
+        ~help:(Printf.sprintf "Per-request %s phase time (ns)." n))
+    Nowa_trace.Span.phases
+
+let observe_phase i ns = Nowa_obs.Histogram.observe phase_hists.(i) ns

@@ -1,0 +1,28 @@
+(** Per-domain "who am I" context for layers that sit above the runtime.
+
+    The engines know which worker is running — their domain bodies close
+    over the worker record — but library code called from inside a task
+    (the KV combiner, for instance) does not.  Each engine publishes its
+    worker id and trace ring into domain-local storage at domain start so
+    that such code can emit ring events and attribute work to the right
+    worker without any API threading.
+
+    Outside any runtime (or on a runtime that predates this hook) the
+    defaults are worker [-1] and {!Ring.disabled}, so every operation
+    here degrades to a cheap no-op. *)
+
+type ctx = { worker : int; ring : Ring.t }
+
+let none = { worker = -1; ring = Ring.disabled }
+let key : ctx Domain.DLS.key = Domain.DLS.new_key (fun () -> none)
+let set ~worker ring = Domain.DLS.set key { worker; ring }
+let clear () = Domain.DLS.set key none
+
+(** Worker id of the calling domain, or [-1] outside a runtime. *)
+let worker () = (Domain.DLS.get key).worker
+
+(** Emit into the calling worker's ring; no-op outside a runtime or when
+    tracing is off. *)
+let[@inline] emit kind ~arg ~arg2 =
+  let c = Domain.DLS.get key in
+  Ring.emit2 c.ring kind arg arg2

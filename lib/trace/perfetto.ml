@@ -75,6 +75,26 @@ let to_buffer ?(process_name = "nowa") ?(counters = []) (t : Trace.t) =
             | None ->
               buf_event b ~first ~name:"unpark" ~ph:"i" ~ts_us ~pid ~tid:w
                 ",\"s\":\"t\"")
+          | (Event.Req_submit | Event.Req_claim | Event.Req_apply) as k ->
+            (* Request lifecycle: an instant for the station plus a flow
+               event sharing id = rid, so Perfetto draws arrows
+               submit -> claim -> apply across worker tracks. *)
+            let rid = e.Event.arg2 in
+            buf_event b ~first ~name:(Event.name k) ~ph:"i" ~ts_us ~pid ~tid:w
+              (Printf.sprintf ",\"s\":\"t\",\"args\":{\"shard\":%d,\"req\":%d}"
+                 e.Event.arg rid);
+            let ph, extra =
+              match k with
+              | Event.Req_submit -> ("s", "")
+              | Event.Req_claim -> ("t", "")
+              | _ -> ("f", ",\"bp\":\"e\"")
+            in
+            buf_event b ~first ~name:"req" ~ph ~ts_us ~pid ~tid:w
+              (Printf.sprintf ",\"cat\":\"req\",\"id\":%d%s" rid extra)
+          | (Event.Req_defer | Event.Req_handoff | Event.Req_done) as k ->
+            buf_event b ~first ~name:(Event.name k) ~ph:"i" ~ts_us ~pid ~tid:w
+              (Printf.sprintf ",\"s\":\"t\",\"args\":{\"shard\":%d,\"req\":%d}"
+                 e.Event.arg e.Event.arg2)
           | k ->
             let args =
               match k with

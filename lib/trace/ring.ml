@@ -17,6 +17,7 @@ type t = {
   ts : int array;  (* timestamp (ns) per slot *)
   kinds : int array;  (* Event.to_int per slot *)
   args : int array;  (* event argument per slot *)
+  args2 : int array;  (* second argument (request id) per slot *)
   mutable head : int;  (* total events ever emitted (not wrapped) *)
   _pre : int array;  (* Padding spacers: keep this worker's hot state *)
   _post : int array;  (* on cache lines no other worker's ring shares *)
@@ -29,6 +30,7 @@ let disabled =
     ts = [| 0 |];
     kinds = [| 0 |];
     args = [| 0 |];
+    args2 = [| 0 |];
     head = 0;
     _pre = [||];
     _post = [||];
@@ -47,25 +49,44 @@ let create ~capacity =
     let ts = Array.make cap 0 in
     let kinds = Array.make cap 0 in
     let args = Array.make cap 0 in
+    let args2 = Array.make cap 0 in
     let post = Nowa_util.Padding.int_array 1 in
-    { enabled = true; mask = cap - 1; ts; kinds; args; head = 0; _pre = pre; _post = post }
+    {
+      enabled = true;
+      mask = cap - 1;
+      ts;
+      kinds;
+      args;
+      args2;
+      head = 0;
+      _pre = pre;
+      _post = post;
+    }
   end
 
 let capacity r = if r.enabled then r.mask + 1 else 0
 
-(* Hot path: one predictable branch when disabled; three int stores, an
-   int store of the clock reading and an index bump when enabled. *)
-let[@inline] emit_at r ~ts kind arg =
+(* Hot path: one predictable branch when disabled; four int stores, an
+   int store of the clock reading and an index bump when enabled.  The
+   args2 store is unconditional so scheduler events (which carry no
+   request id) pay exactly one extra int store over the PR-1 layout. *)
+let[@inline] emit_at2 r ~ts kind arg arg2 =
   if r.enabled then begin
     let i = r.head land r.mask in
     r.ts.(i) <- ts;
     r.kinds.(i) <- Event.to_int kind;
     r.args.(i) <- arg;
+    r.args2.(i) <- arg2;
     r.head <- r.head + 1
   end
 
+let[@inline] emit_at r ~ts kind arg = emit_at2 r ~ts kind arg 0
+
+let[@inline] emit2 r kind arg arg2 =
+  if r.enabled then emit_at2 r ~ts:(Nowa_util.Clock.now_ns ()) kind arg arg2
+
 let[@inline] emit r kind arg =
-  if r.enabled then emit_at r ~ts:(Nowa_util.Clock.now_ns ()) kind arg
+  if r.enabled then emit_at2 r ~ts:(Nowa_util.Clock.now_ns ()) kind arg 0
 
 let length r = if r.enabled then min r.head (r.mask + 1) else 0
 let emitted r = r.head
@@ -83,4 +104,5 @@ let events r ~worker =
         worker;
         kind = Event.of_int r.kinds.(i);
         arg = r.args.(i);
+        arg2 = r.args2.(i);
       })

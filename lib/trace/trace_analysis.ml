@@ -24,6 +24,9 @@ type worker_summary = {
   suspends : int;
   parks : int;
   parked_ns : int;  (** time spent blocked on the worker's condvar *)
+  req_submits : int;  (** serving-layer requests injected from this worker *)
+  req_claims : int;  (** requests this worker claimed as combiner *)
+  req_defers : int;  (** requests it parked behind a bucket loan *)
   busy_ns : int;
   sched_ns : int;
   utilization : float;  (** busy / span of the whole trace *)
@@ -72,6 +75,7 @@ let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
   let tasks = ref 0 and spawns = ref 0 and steals = ref 0 in
   let attempts = ref 0 and suspends = ref 0 in
   let parks = ref 0 and parked = ref 0 in
+  let submits = ref 0 and claims = ref 0 and defers = ref 0 in
   let busy = ref 0 in
   let open_start = ref None in
   let park_since = ref None in
@@ -114,8 +118,12 @@ let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
           parked := !parked + (e.Event.ts - t);
           park_since := None
         | None -> ())
+      | Event.Req_submit -> incr submits
+      | Event.Req_claim -> incr claims
+      | Event.Req_defer -> incr defers
       | Event.Steal_abort | Event.Lost_continuation | Event.Resume
-      | Event.Stack_acquire | Event.Stack_release ->
+      | Event.Stack_acquire | Event.Stack_release | Event.Req_handoff
+      | Event.Req_apply | Event.Req_done ->
         ())
     evs;
   let busy = !busy in
@@ -131,6 +139,9 @@ let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
     suspends = !suspends;
     parks = !parks;
     parked_ns = !parked;
+    req_submits = !submits;
+    req_claims = !claims;
+    req_defers = !defers;
     busy_ns = busy;
     sched_ns = max 0 (span_ns - busy);
     utilization = float_of_int busy /. float_of_int span;
@@ -208,6 +219,10 @@ let pp ppf t =
             Printf.sprintf " parks=%d/%.2fms" w.parks
               (float_of_int w.parked_ns /. 1e6)
           else "")
+        ^ (if w.req_claims > 0 || w.req_submits > 0 then
+             Printf.sprintf " reqs=%d/%d/%d" w.req_submits w.req_claims
+               w.req_defers
+           else "")
         ^
         if w.dropped > 0 then Printf.sprintf " dropped=%d" w.dropped else ""))
     t.workers;

@@ -158,6 +158,53 @@ let test_prometheus_golden () =
   Alcotest.(check string) "golden exposition" expected
     (Obs.Expose.to_prometheus ~registry ())
 
+(* Serve-latency exposition: the aggregate serve histogram must scrape as
+   cumulative le-buckets (Prometheus histogram convention) so SLO math
+   works on the raw lines.  Uses the default registry, like a real serve
+   run; assertions are structural so other tests' metrics don't matter. *)
+let test_serve_latency_buckets () =
+  let module SM = Nowa_server.Serve_metrics in
+  SM.observe Nowa_server.Workload.Read 800;
+  SM.observe Nowa_server.Workload.Update 6_000;
+  SM.observe Nowa_server.Workload.Read 130_000;
+  SM.observe_phase 0 500;
+  let body = Obs.Expose.to_prometheus () in
+  let lines = String.split_on_char '\n' body in
+  let prefixed p l = String.length l >= String.length p
+                     && String.sub l 0 (String.length p) = p in
+  let buckets =
+    List.filter (prefixed "nowa_serve_latency_ns_bucket{le=\"") lines
+  in
+  Alcotest.(check bool) "several le-buckets emitted" true
+    (List.length buckets >= 3);
+  let count_of l =
+    match String.rindex_opt l ' ' with
+    | Some i ->
+      int_of_string (String.sub l (i + 1) (String.length l - i - 1))
+    | None -> Alcotest.failf "unparseable bucket line: %s" l
+  in
+  let counts = List.map count_of buckets in
+  let rec monotone = function
+    | a :: (b :: _ as tl) -> a <= b && monotone tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "bucket counts cumulative" true (monotone counts);
+  (* The +Inf bucket closes the series and equals the sample count. *)
+  let inf =
+    List.filter (prefixed "nowa_serve_latency_ns_bucket{le=\"+Inf\"}") lines
+  in
+  Alcotest.(check int) "one +Inf bucket" 1 (List.length inf);
+  let total =
+    List.find (prefixed "nowa_serve_latency_ns_count") lines |> count_of
+  in
+  Alcotest.(check int) "+Inf equals _count" total (count_of (List.hd inf));
+  Alcotest.(check bool) "all observations counted" true (total >= 3);
+  (* Per-class and per-phase series ride along on the same scrape. *)
+  Alcotest.(check bool) "read class series present" true
+    (List.exists (prefixed "nowa_serve_read_latency_ns_bucket{le=") lines);
+  Alcotest.(check bool) "sched_wait phase series present" true
+    (List.exists (prefixed "nowa_serve_phase_sched_wait_ns_bucket{le=") lines)
+
 (* -- TCP endpoint while a computation runs ------------------------------- *)
 
 let http_get ~port =
@@ -205,21 +252,36 @@ let test_server_scrape_during_run () =
               let conf = Nowa.Config.with_workers 2 in
               Nowa.run ~conf (fun () -> fib 27))
         in
-        let body = http_get ~port in
-        let result = Domain.join runner in
-        Alcotest.(check int) "computation correct" 196418 result;
-        Alcotest.(check bool) "HTTP 200" true
-          (String.length body > 0
-          && String.sub body 0 15 = "HTTP/1.0 200 OK");
         let contains s sub =
           let n = String.length s and m = String.length sub in
           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
           go 0
         in
+        let body = http_get ~port in
+        Alcotest.(check bool) "HTTP 200" true
+          (String.length body > 0
+          && String.sub body 0 15 = "HTTP/1.0 200 OK");
+        (* The engine publishes its metrics source when the run starts,
+           so on a loaded box an early scrape can win that race and see
+           no scheduler counters yet.  Poll while the run is live; the
+           source stays published after the join, so the post-join
+           scrape below is a guaranteed fallback. *)
+        let rec poll tries =
+          let b = http_get ~port in
+          if tries = 0 || contains b "nowa_scheduler_spawns_total" then b
+          else poll (tries - 1)
+        in
+        let during = poll 1_000 in
+        let result = Domain.join runner in
+        Alcotest.(check int) "computation correct" 196418 result;
+        let counters =
+          if contains during "nowa_scheduler_spawns_total" then during
+          else http_get ~port
+        in
         Alcotest.(check bool) "serves scheduler counters" true
-          (contains body "nowa_scheduler_spawns_total");
+          (contains counters "nowa_scheduler_spawns_total");
         Alcotest.(check bool) "serves sync histograms" true
-          (contains body "nowa_sync_wfc_rmw_retries_bucket");
+          (contains counters "nowa_sync_wfc_rmw_retries_bucket");
         (* A second scrape must also succeed (server loops). *)
         let body2 = http_get ~port in
         Alcotest.(check bool) "second scrape" true
@@ -279,7 +341,11 @@ let () =
             test_histogram_quantile_golden;
         ] );
       ( "expose",
-        [ Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden ] );
+        [
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "serve latency buckets" `Quick
+            test_serve_latency_buckets;
+        ] );
       ( "server",
         [
           Alcotest.test_case "scrape during run" `Quick

@@ -264,6 +264,169 @@ let test_loadgen_smoke () =
   Alcotest.(check bool) "json has mix" true
     (String.length json > 0 && json.[0] = '{')
 
+(* -- request spans & anatomy ---------------------------------------------- *)
+
+module Span = Nowa_trace.Span
+module LG = Nowa_server.Loadgen
+
+let anatomy_spec ~mix_name ~requests =
+  let mix = Option.get (Workload.find_mix mix_name) in
+  {
+    (Workload.default_spec ~mix) with
+    Workload.records = 200;
+    rate = 200_000.0;
+    warmup = 50;
+    requests;
+    shards = 4;
+    buckets_per_shard = 4;
+  }
+
+(* The conservation law is the tentpole invariant: for every finished
+   request the six phase ledgers must sum to end-to-end latency exactly
+   (integer ns, zero residual), on any mix and any engine family. *)
+let prop_conservation =
+  QCheck.Test.make ~name:"span ledgers conserve (random mix/runtime/workers)"
+    ~count:10
+    QCheck.(triple (int_range 0 5) bool (int_range 2 4))
+    (fun (mix_i, serial, workers) ->
+      let mix_name = String.make 1 (Char.chr (Char.code 'A' + mix_i)) in
+      let spec = anatomy_spec ~mix_name ~requests:300 in
+      let r =
+        if serial then
+          let module L = LG.Make (Nowa_runtime.Serial_runtime) in
+          L.run ~anatomy:true spec
+        else
+          let module L = LG.Make (Nowa.Presets.Nowa) in
+          L.run ~conf:(Nowa.Config.with_workers workers) ~anatomy:true spec
+      in
+      let span = r.LG.span in
+      Alcotest.(check bool) "span enabled" true (Span.enabled span);
+      for rid = 0 to Span.allocated span - 1 do
+        if Span.finished span rid then begin
+          let err = Span.conservation_error span rid in
+          if err <> 0 then
+            Alcotest.failf "mix %s rid %d: residual %d ns" mix_name rid err;
+          if Span.total_ns span rid < 0 then
+            Alcotest.failf "mix %s rid %d: negative latency" mix_name rid
+        end
+      done;
+      (match r.LG.anatomy with
+      | None -> Alcotest.fail "anatomy report missing"
+      | Some a ->
+        Alcotest.(check int) "no conservation violations" 0
+          a.Nowa_server.Anatomy.violations;
+        Alcotest.(check int) "zero max residual" 0
+          a.Nowa_server.Anatomy.max_abs_err_ns;
+        Alcotest.(check int) "every measured request sampled" 300
+          (a.Nowa_server.Anatomy.sampled + a.Nowa_server.Anatomy.dropped));
+      true)
+
+(* The reservoir must hold exactly the top-K offered latencies even when
+   the offers race from several domains. *)
+let test_tail_topk_domains () =
+  let k = 8 and n = 4_096 in
+  let span = Span.create ~tail:k ~capacity:n () in
+  let lat_of_rid rid = 1 + ((rid * 7_919) mod 1_000_003) in
+  let domains = 4 in
+  let per = n / domains in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = d * per to ((d + 1) * per) - 1 do
+              Span.offer_tail span ~rid:i ~lat_ns:(lat_of_rid i)
+            done))
+  in
+  List.iter Domain.join ds;
+  let got = Span.tail_entries span in
+  Alcotest.(check int) "reservoir full" k (List.length got);
+  let expect =
+    List.init n lat_of_rid |> List.sort (fun a b -> compare b a)
+    |> List.filteri (fun i _ -> i < k)
+  in
+  List.iteri
+    (fun i (rid, lat) ->
+      Alcotest.(check int) (Printf.sprintf "slot %d latency" i)
+        (List.nth expect i) lat;
+      Alcotest.(check int) (Printf.sprintf "slot %d rid consistent" i)
+        (lat_of_rid rid) lat)
+    got;
+  (* The cached threshold never exceeds the true reservoir minimum. *)
+  let min_kept = List.fold_left (fun m (_, l) -> min m l) max_int got in
+  Alcotest.(check bool) "threshold is a sound lower bound" true
+    (Span.tail_threshold span <= min_kept)
+
+(* Request ids come from the injection loop in schedule order, so a
+   serial replay (the DAG recorder) assigns identical ids, classes and
+   combiners across runs — spans are usable as a deterministic key. *)
+let test_recorder_span_determinism () =
+  let module L = LG.Make (Nowa_dag.Recorder) in
+  let spec = anatomy_spec ~mix_name:"F" ~requests:200 in
+  let r1 = L.run ~anatomy:true spec in
+  let r2 = L.run ~anatomy:true spec in
+  let s1 = r1.LG.span and s2 = r2.LG.span in
+  Alcotest.(check int) "same rid count" (Span.allocated s1) (Span.allocated s2);
+  for rid = 0 to Span.allocated s1 - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "rid %d finished in both" rid)
+      (Span.finished s1 rid) (Span.finished s2 rid);
+    Alcotest.(check int)
+      (Printf.sprintf "rid %d same class" rid)
+      (Span.cls_of s1 rid) (Span.cls_of s2 rid);
+    (* The recorder executes on the initial domain, worker 0. *)
+    if Span.finished s1 rid && not (Span.was_dropped s1 rid) then
+      Alcotest.(check int)
+        (Printf.sprintf "rid %d combined on worker 0" rid)
+        0 (Span.combiner_of s1 rid)
+  done
+
+let test_anatomy_report () =
+  let module L = LG.Make (Nowa.Presets.Nowa) in
+  let spec = anatomy_spec ~mix_name:"A" ~requests:400 in
+  let conf = Nowa.Config.with_workers 4 in
+  let r = L.run ~conf ~anatomy:true spec in
+  match r.LG.anatomy with
+  | None -> Alcotest.fail "anatomy missing from report"
+  | Some a ->
+    let open Nowa_server.Anatomy in
+    Alcotest.(check int) "all measured requests sampled" 400
+      (a.sampled + a.dropped);
+    Alcotest.(check int) "no violations" 0 a.violations;
+    (match a.classes with
+    | { label = "total"; count; phases } :: rest ->
+      Alcotest.(check int) "total counts sampled requests" a.sampled count;
+      Alcotest.(check int) "one row per phase" Span.n_phases
+        (Array.length phases);
+      Array.iter
+        (fun ps ->
+          Alcotest.(check bool) "quantiles ordered" true
+            (ps.p50_ns <= ps.p99_ns && ps.p99_ns <= ps.p999_ns
+           && ps.p999_ns <= ps.max_ns))
+        phases;
+      Alcotest.(check bool) "mix A yields read and update rows" true
+        (List.length rest >= 2)
+    | _ -> Alcotest.fail "first anatomy class must be total");
+    (* Tail is sorted slowest-first and within collector bounds. *)
+    let rec desc = function
+      | a :: (b :: _ as tl) -> a.total_ns >= b.total_ns && desc tl
+      | _ -> true
+    in
+    Alcotest.(check bool) "tail sorted" true (desc a.tail);
+    List.iter
+      (fun te ->
+        Alcotest.(check bool) "tail rid in range" true
+          (te.rid >= 0 && te.rid < Span.capacity r.LG.span);
+        Alcotest.(check int) "tail ledger conserves" te.total_ns
+          (Array.fold_left ( + ) 0 te.phase_ns))
+      a.tail;
+    let js = json a in
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "json mentions phases" true
+      (contains "\"sched_wait\"" js && contains "\"violations\"" js)
+
 let () =
   Alcotest.run "nowa_server"
     [
@@ -293,5 +456,15 @@ let () =
           Alcotest.test_case "workload deterministic" `Quick
             test_workload_deterministic;
           Alcotest.test_case "open-loop smoke" `Quick test_loadgen_smoke;
+        ] );
+      ( "anatomy",
+        [
+          QCheck_alcotest.to_alcotest prop_conservation;
+          Alcotest.test_case "tail reservoir top-K across domains" `Quick
+            test_tail_topk_domains;
+          Alcotest.test_case "recorder span determinism" `Quick
+            test_recorder_span_determinism;
+          Alcotest.test_case "anatomy report structure" `Quick
+            test_anatomy_report;
         ] );
     ]

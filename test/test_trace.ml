@@ -74,6 +74,44 @@ let test_ring_emit_wall_clock_monotone () =
   done;
   Alcotest.(check bool) "wall timestamps non-decreasing" true !ok
 
+let test_ring_arg2 () =
+  let r = Ring.create ~capacity:16 in
+  Ring.emit_at2 r ~ts:10 Ev.Req_submit 3 41;
+  Ring.emit2 r Ev.Req_claim 3 41;
+  (* The 3-arg entry points still work and stamp arg2 = 0. *)
+  Ring.emit_at r ~ts:30 Ev.Spawn 7;
+  let evs = Ring.events r ~worker:0 in
+  Alcotest.(check int) "arg2 roundtrip" 41 evs.(0).Ev.arg2;
+  Alcotest.(check int) "arg kept" 3 evs.(0).Ev.arg;
+  Alcotest.(check int) "emit2 arg2" 41 evs.(1).Ev.arg2;
+  Alcotest.(check int) "legacy emit arg2 = 0" 0 evs.(2).Ev.arg2;
+  Alcotest.(check bool) "req kind roundtrip" true
+    (evs.(1).Ev.kind = Ev.Req_claim)
+
+let test_event_pp () =
+  (* Chronological dump format: ts first, then worker, both args. *)
+  let e = { Ev.ts = 1500; worker = 3; kind = Ev.Req_submit; arg = 2; arg2 = 42 } in
+  Alcotest.(check string) "pp order" "1500ns w3 req-submit(2,42)"
+    (Format.asprintf "%a" Ev.pp e);
+  let e2 = { Ev.ts = 7; worker = 0; kind = Ev.Spawn; arg = 0; arg2 = 0 } in
+  Alcotest.(check string) "pp scheduler event" "7ns w0 spawn(0,0)"
+    (Format.asprintf "%a" Ev.pp e2)
+
+let test_current_context () =
+  Alcotest.(check int) "no context = worker -1" (-1)
+    (Nowa_trace.Current.worker ());
+  (* Emission without a context is a no-op, not a crash. *)
+  Nowa_trace.Current.emit Ev.Req_submit ~arg:0 ~arg2:9;
+  let r = Ring.create ~capacity:16 in
+  Nowa_trace.Current.set ~worker:5 r;
+  Alcotest.(check int) "worker visible" 5 (Nowa_trace.Current.worker ());
+  Nowa_trace.Current.emit Ev.Req_claim ~arg:1 ~arg2:7;
+  Nowa_trace.Current.clear ();
+  Nowa_trace.Current.emit Ev.Req_claim ~arg:1 ~arg2:8;
+  Alcotest.(check int) "cleared context stops emission" 1 (Ring.length r);
+  let evs = Ring.events r ~worker:5 in
+  Alcotest.(check int) "emitted through context" 7 evs.(0).Ev.arg2
+
 (* -- trace container -------------------------------------------------- *)
 
 let test_trace_container () =
@@ -411,6 +449,62 @@ let test_perfetto_unmatched_end_dropped () =
   let slices = List.filter (fun e -> Json.member "ph" e = Json.Str "X") evs in
   Alcotest.(check int) "one well-formed slice" 1 (List.length slices)
 
+let test_perfetto_req_flow () =
+  (* Request lifecycle events become instants plus s/t/f flow events that
+     share id = rid, so Perfetto draws arrows across worker tracks. *)
+  let t = Trace.create ~workers:2 ~capacity:16 () in
+  let w0 = Trace.worker t 0 and w1 = Trace.worker t 1 in
+  let rid = 42 in
+  Ring.emit_at2 w0 ~ts:1_000 Ev.Req_submit 3 rid;
+  Ring.emit_at2 w1 ~ts:2_000 Ev.Req_claim 3 rid;
+  Ring.emit_at2 w1 ~ts:2_500 Ev.Req_apply 3 rid;
+  Ring.emit_at2 w0 ~ts:3_000 Ev.Req_done 0 rid;
+  let json = Json.parse (Perfetto.to_string t) in
+  let evs =
+    match Json.member "traceEvents" json with
+    | Json.List l -> l
+    | _ -> Alcotest.fail "traceEvents is not an array"
+  in
+  let flows =
+    List.filter (fun e -> Json.member_opt "cat" e = Some (Json.Str "req")) evs
+  in
+  Alcotest.(check int) "submit/claim/apply each get a flow event" 3
+    (List.length flows);
+  let flow_ph ph =
+    List.find_opt (fun e -> Json.member "ph" e = Json.Str ph) flows
+  in
+  List.iter
+    (fun ph ->
+      match flow_ph ph with
+      | None -> Alcotest.fail ("missing flow phase " ^ ph)
+      | Some f ->
+        Alcotest.(check bool)
+          ("flow " ^ ph ^ " carries rid as id")
+          true
+          (Json.member "id" f = Json.Num (float_of_int rid)))
+    [ "s"; "t"; "f" ];
+  (* The terminating flow event binds to the enclosing slice's end. *)
+  (match flow_ph "f" with
+  | Some f ->
+    Alcotest.(check bool) "f has bp=e" true
+      (Json.member_opt "bp" f = Some (Json.Str "e"))
+  | None -> ());
+  (* Station instants keep shard and request id readable in the UI. *)
+  let claim =
+    List.find (fun e -> Json.member "name" e = Json.Str "req-claim") evs
+  in
+  (match Json.member_opt "args" claim with
+  | Some args ->
+    Alcotest.(check bool) "claim shard arg" true
+      (Json.member "shard" args = Json.Num 3.0);
+    Alcotest.(check bool) "claim req arg" true
+      (Json.member "req" args = Json.Num (float_of_int rid))
+  | None -> Alcotest.fail "req-claim instant has no args");
+  let dones =
+    List.filter (fun e -> Json.member "name" e = Json.Str "req-done") evs
+  in
+  Alcotest.(check int) "req-done stays a plain instant" 1 (List.length dones)
+
 (* -- analysis ---------------------------------------------------------- *)
 
 let test_analysis_synthetic () =
@@ -511,6 +605,9 @@ let () =
           Alcotest.test_case "wraparound overwrites oldest" `Quick test_ring_wraparound;
           Alcotest.test_case "disabled is a no-op" `Quick test_ring_disabled;
           Alcotest.test_case "wall clock monotone" `Quick test_ring_emit_wall_clock_monotone;
+          Alcotest.test_case "arg2 roundtrip" `Quick test_ring_arg2;
+          Alcotest.test_case "event pp format" `Quick test_event_pp;
+          Alcotest.test_case "current context" `Quick test_current_context;
         ] );
       ("trace", [ Alcotest.test_case "container" `Quick test_trace_container ]);
       ( "engines",
@@ -527,6 +624,7 @@ let () =
           Alcotest.test_case "real run parses" `Quick test_perfetto_real_run_parses;
           Alcotest.test_case "unmatched end dropped" `Quick
             test_perfetto_unmatched_end_dropped;
+          Alcotest.test_case "request flow events" `Quick test_perfetto_req_flow;
         ] );
       ( "analysis",
         [
