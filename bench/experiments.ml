@@ -899,6 +899,213 @@ let serve ~opts () =
   Printf.printf "wrote BENCH_serve.json (total dropped across cells: %d)\n"
     !total_dropped
 
+(* Hot-path cost trajectory and the cost of runtime health.  Three
+   micro cells, each a min-of-N per-operation cost so scheduler jitter
+   on small hosts is damped:
+
+   - spawn_sync: a 1-worker run of the spawn-bound kernel, where every
+     spawn takes the fast path (deque push, inline child, pop, fast
+     sync); elapsed/spawns is the paper's spawn+sync hot-path cost and
+     the number the heartbeat store must not move;
+   - steal: direct Chase-Lev steal drain, per-element;
+   - heartbeat_overhead: the spawn cell with Config.heartbeats on vs
+     off — the tentpole's "one plain store" claim, gated at 5%;
+
+   plus an end-to-end wedge_detection cell: a combiner wedge injected
+   under a live watchdog must surface as a convoy verdict.
+
+   Emits BENCH_micro.json.  When a committed baseline exists the new
+   p50s are compared against it; NOWA_MICRO_GATE=1 makes a regression
+   past NOWA_MICRO_TOLERANCE (default 10%) on spawn_sync/steal, a blown
+   heartbeat budget, or a missed wedge fatal — the CI perf gate. *)
+
+let find_sub hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub hay i m = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Pull ["field": <float>] out of the row object tagged with [kind] in
+   our own BENCH_micro.json — a scanner, not a JSON parser, which is
+   fine for a file this harness itself writes. *)
+let baseline_float ~kind ~field json =
+  match find_sub json (Printf.sprintf "\"kind\": \"%s\"" kind) with
+  | None -> None
+  | Some i -> (
+    let rest = String.sub json i (String.length json - i) in
+    match find_sub rest (Printf.sprintf "\"%s\": " field) with
+    | None -> None
+    | Some j -> (
+      let k = j + String.length field + 4 in
+      let stop = ref k in
+      while
+        !stop < String.length rest
+        && (match rest.[!stop] with
+           | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      match float_of_string_opt (String.sub rest k (!stop - k)) with
+      | Some f -> Some f
+      | None -> None))
+
+let hotpath ~opts () =
+  section "Hot path: spawn/sync/steal costs, heartbeat tax, wedge detection";
+  ignore opts;
+  let module R = Nowa.Presets.Nowa in
+  let baseline =
+    if Sys.file_exists "BENCH_micro.json" then begin
+      let ic = open_in "BENCH_micro.json" in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    end
+    else None
+  in
+  let reps = 5 in
+  let spawn_cell ~heartbeats () =
+    let inst = Registry.find Registry.Test "fib" in
+    let thunk = inst.Registry.make_thunk (module R) in
+    let conf = { (Nowa.Config.with_workers 1) with Nowa.Config.heartbeats } in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Nowa_util.Clock.now_ns () in
+      ignore (R.run ~conf thunk);
+      let dt = float_of_int (Nowa_util.Clock.now_ns () - t0) in
+      let spawns =
+        match R.last_metrics () with
+        | Some m -> Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.spawns)
+        | None -> 0
+      in
+      if spawns > 0 then best := Float.min !best (dt /. float_of_int spawns)
+    done;
+    !best
+  in
+  let steal_cell () =
+    let module Q = Nowa_deque.Chase_lev.Make (struct
+      type t = int
+
+      let dummy = 0
+    end) in
+    let n = 20_000 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let q = Q.create ~capacity:1024 () in
+      for i = 1 to n do
+        Q.push_bottom q i
+      done;
+      let t0 = Nowa_util.Clock.now_ns () in
+      let got = ref 0 in
+      let misses = ref 0 in
+      while !got < n && !misses = 0 do
+        match Q.steal q ~on_commit:(fun _ -> ()) with
+        | Some _ -> incr got
+        | None -> incr misses (* impossible when quiescent *)
+      done;
+      let dt = float_of_int (Nowa_util.Clock.now_ns () - t0) in
+      if !got = n then best := Float.min !best (dt /. float_of_int n)
+    done;
+    !best
+  in
+  subsection "per-operation p50 (min of 5 cells)";
+  let spawn_on = spawn_cell ~heartbeats:true () in
+  let spawn_off = spawn_cell ~heartbeats:false () in
+  let steal = steal_cell () in
+  let hb_pct = (spawn_on -. spawn_off) /. Float.max 1e-9 spawn_off *. 100.0 in
+  let hb_ok = hb_pct <= 5.0 in
+  Nowa_util.Table.print
+    ~header:[ "cell"; "p50 ns/op" ]
+    [
+      [ "spawn+sync (hb on)"; Printf.sprintf "%.1f" spawn_on ];
+      [ "spawn+sync (hb off)"; Printf.sprintf "%.1f" spawn_off ];
+      [ "steal (chase-lev)"; Printf.sprintf "%.1f" steal ];
+    ];
+  Printf.printf "heartbeat overhead on spawn+sync: %+.2f%% (%s)\n" hb_pct
+    (if hb_ok then "<=5% ok" else "OVER BUDGET");
+  subsection "combiner wedge detection under a live watchdog";
+  let watchdog_ms = 50 and wedge_ms = 300 in
+  let detected =
+    let module W = Nowa_server.Workload in
+    let module L = Nowa_server.Loadgen.Make (R) in
+    let spec =
+      {
+        (W.default_spec ~mix:(Option.get (W.find_mix "A"))) with
+        W.records = 500;
+        requests = 1_500;
+        warmup = 0;
+        rate = 2_000.;
+      }
+    in
+    let conf =
+      {
+        (Nowa.Config.with_workers 2) with
+        Nowa.Config.watchdog_interval_ms = watchdog_ms;
+        watchdog_dump = false;
+      }
+    in
+    Nowa_server.Kv.inject_wedge ~shard:0 ~ms:wedge_ms;
+    ignore (L.run ~conf spec);
+    Nowa_server.Kv.clear_wedge ();
+    List.exists
+      (function Nowa.Health.Convoy _ -> true | _ -> false)
+      (Nowa.Health.verdicts ())
+  in
+  Printf.printf "wedge (%dms hold, %dms scans): %s\n" wedge_ms watchdog_ms
+    (if detected then "convoy verdict raised" else "NOT DETECTED");
+  (* Trajectory comparison against the committed baseline. *)
+  let tolerance =
+    match Sys.getenv_opt "NOWA_MICRO_TOLERANCE" with
+    | Some s -> (try float_of_string s with _ -> 10.0)
+    | None -> 10.0
+  in
+  let regressions = ref [] in
+  (match baseline with
+  | None -> Printf.printf "no committed BENCH_micro.json: baseline run\n"
+  | Some b ->
+    List.iter
+      (fun (kind, now) ->
+        match baseline_float ~kind ~field:"p50_ns" b with
+        | None -> ()
+        | Some old ->
+          let pct = (now -. old) /. Float.max 1e-9 old *. 100.0 in
+          Printf.printf "%s p50: %.1f -> %.1f ns/op (%+.1f%% vs baseline)\n"
+            kind old now pct;
+          if pct > tolerance then
+            regressions :=
+              Printf.sprintf "%s regressed %.1f%% (> %.0f%%)" kind pct
+                tolerance
+              :: !regressions)
+      [ ("spawn_sync", spawn_on); ("steal", steal) ]);
+  let oc = open_out "BENCH_micro.json" in
+  Printf.fprintf oc
+    "[\n\
+    \  {\"kind\": \"spawn_sync\", \"p50_ns\": %.1f},\n\
+    \  {\"kind\": \"steal\", \"p50_ns\": %.1f},\n\
+    \  {\"kind\": \"heartbeat_overhead\", \"p50_on_ns\": %.1f, \
+     \"p50_off_ns\": %.1f, \"overhead_pct\": %.2f, \"overhead_ok\": %b},\n\
+    \  {\"kind\": \"wedge_detection\", \"watchdog_ms\": %d, \"wedge_ms\": \
+     %d, \"detected\": %b}\n\
+     ]\n"
+    spawn_on steal spawn_on spawn_off hb_pct hb_ok watchdog_ms wedge_ms
+    detected;
+  close_out oc;
+  Printf.printf "wrote BENCH_micro.json\n";
+  let gate = Sys.getenv_opt "NOWA_MICRO_GATE" = Some "1" in
+  let failures =
+    !regressions
+    @ (if hb_ok then [] else [ Printf.sprintf "heartbeat overhead %.2f%% > 5%%" hb_pct ])
+    @ if detected then [] else [ "combiner wedge not detected" ]
+  in
+  if failures <> [] then begin
+    List.iter (fun f -> Printf.eprintf "hotpath gate: %s\n" f) failures;
+    if gate then exit 1
+  end
+
 let all ~opts () =
   table1 ~opts ();
   figure1 ~opts ();
@@ -927,5 +1134,6 @@ let by_name =
     ("causal", causal);
     ("idle", idle);
     ("serve", serve);
+    ("hotpath", hotpath);
     ("all", all);
   ]

@@ -65,6 +65,10 @@ let battery =
     ( "kv_parked_retry_no_loop",
       Violates,
       S.kv_parked_retry_spec ~variant:`No_recheck_loop );
+    ("watchdog_park", Verified, S.watchdog_park_spec ~variant:`Good ~scans:3);
+    ( "watchdog_park_bit_only",
+      Violates,
+      S.watchdog_park_spec ~variant:`No_waiting_flag ~scans:3 );
   ]
 
 let () =

@@ -157,7 +157,8 @@ let parse_idle_policy = function
    percentiles.  Composable with --runtime/-w/--idle-policy/
    --steal-sweep/--trace/--metrics-addr/--metrics-out. *)
 let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
-    ~rate ~requests ~warmup ~records ~shards ~theta =
+    ~rate ~requests ~warmup ~records ~shards ~theta ~watchdog ~slo_us
+    ~inject_wedge =
   let (module R : Nowa.RUNTIME) = resolve_runtime runtime in
   let mix =
     match Nowa_server.Workload.find_mix mix with
@@ -188,10 +189,54 @@ let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
       Nowa.Config.trace_capacity = (if trace = None then 0 else trace_capacity);
       idle_policy = parse_idle_policy idle_policy;
       steal_sweep = max 1 steal_sweep;
+      watchdog_interval_ms = watchdog;
     }
   in
+  let slo_ns =
+    if slo_us > 0.0 then Some (int_of_float (slo_us *. 1e3)) else None
+  in
+  (* SLO burn-rate as a watchdog verdict source: each monitor scan
+     samples the cumulative serve-latency histogram and judges the
+     multi-window burn.  1% error budget over the window set. *)
+  (match slo_ns with
+  | Some slo ->
+    let br = Nowa.Obs.Burn_rate.create ~slo_ns:slo ~budget:0.01 () in
+    Nowa.Health.register_source ~name:"slo" (fun () ->
+        Nowa.Obs.Burn_rate.observe br Nowa_server.Serve_metrics.latency
+          ~now_ns:(Nowa_util.Clock.now_ns ())
+        |> List.map (fun (b : Nowa.Obs.Burn_rate.breach) ->
+               Nowa.Health.Slo_burn
+                 {
+                   long_s = b.Nowa.Obs.Burn_rate.window.Nowa.Obs.Burn_rate.long_s;
+                   short_s = b.window.Nowa.Obs.Burn_rate.short_s;
+                   long_burn = b.long_burn;
+                   short_burn = b.short_burn;
+                 }))
+  | None -> ());
+  (* The KV convoy source is registered by the loadgen itself (it owns
+     the store); here we only arm the optional wedge fault. *)
+  (match inject_wedge with
+  | Some spec -> (
+    match String.split_on_char ':' spec with
+    | [ s; ms ] -> (
+      match (int_of_string_opt s, int_of_string_opt ms) with
+      | Some shard, Some ms -> Nowa_server.Kv.inject_wedge ~shard ~ms
+      | _ ->
+        Printf.eprintf "bad --inject-wedge %S (SHARD:MS)\n" spec;
+        exit 1)
+    | [ s ] -> (
+      match int_of_string_opt s with
+      | Some shard -> Nowa_server.Kv.inject_wedge ~shard ~ms:200
+      | None ->
+        Printf.eprintf "bad --inject-wedge %S (SHARD:MS)\n" spec;
+        exit 1)
+    | _ ->
+      Printf.eprintf "bad --inject-wedge %S (SHARD:MS)\n" spec;
+      exit 1)
+  | None -> ());
   let module L = Nowa_server.Loadgen.Make (R) in
-  let report = L.run ~conf ~anatomy spec in
+  let report = L.run ~conf ~anatomy ?slo_ns spec in
+  Nowa.Health.unregister_source ~name:"slo";
   Nowa_server.Loadgen.pp_report report;
   (match report.Nowa_server.Loadgen.anatomy with
   | None -> ()
@@ -233,18 +278,23 @@ let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
 
 let main list bench runtime workers runs size madvise idle_policy steal_sweep
     trace metrics_addr metrics_out verbose model ledger causal serve anatomy
-    mix rate requests warmup records shards theta =
+    mix rate requests warmup records shards theta watchdog slo_us inject_stall
+    inject_wedge dump_health =
   if list then list_benchmarks ()
   else begin
     (* Bare output filenames land in the gitignored artifacts/ dir. *)
     let trace = Option.map Nowa_util.Artifacts.path trace in
     (* Start the exposition endpoint before any run so the registry can
-       be scraped while the benchmark executes. *)
+       be scraped while the benchmark executes.  /healthz and /statusz
+       route to the watchdog's latest verdicts. *)
     let server =
       match metrics_addr with
       | None -> None
       | Some addr -> (
-        match Nowa.Obs.Server.start ~addr () with
+        match
+          Nowa.Obs.Server.start ~healthz:Nowa.Health.healthz
+            ~statusz:Nowa.Health.statusz ~addr ()
+        with
         | Ok s ->
           Printf.printf "metrics: serving Prometheus text on port %d\n%!"
             (Nowa.Obs.Server.port s);
@@ -253,9 +303,18 @@ let main list bench runtime workers runs size madvise idle_policy steal_sweep
           Printf.eprintf "metrics: %s\n" msg;
           exit 1)
     in
+    (match inject_stall with
+    | None -> ()
+    | Some spec -> (
+      match Nowa.Health.Inject.parse_stall spec with
+      | Some (worker, ms) -> Nowa.Health.Inject.stall ~worker ~ms
+      | None ->
+        Printf.eprintf "bad --inject-stall %S (WORKER:MS)\n" spec;
+        exit 1));
     if serve then
       serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy
-        ~mix ~rate ~requests ~warmup ~records ~shards ~theta
+        ~mix ~rate ~requests ~warmup ~records ~shards ~theta ~watchdog ~slo_us
+        ~inject_wedge
     else begin
     let size =
       match List.assoc_opt size sizes with
@@ -282,6 +341,7 @@ let main list bench runtime workers runs size madvise idle_policy steal_sweep
         trace_capacity = (if trace = None then 0 else trace_capacity);
         idle_policy = parse_idle_policy idle_policy;
         steal_sweep = max 1 steal_sweep;
+        watchdog_interval_ms = watchdog;
       }
     in
     let reference = Nowa_kernels.Registry.reference size bench in
@@ -371,6 +431,10 @@ let main list bench runtime workers runs size madvise idle_policy steal_sweep
         (p99 Nowa_sync.Sync_metrics.frame_lock_spins)
     end
     end
+    end;
+    if dump_health then begin
+      let dir = Nowa.Health.dump_now ~reason:"manual" in
+      Printf.printf "health: wrote postmortem bundle to %s\n" dir
     end;
     (match metrics_out with
     | None -> ()
@@ -557,8 +621,59 @@ let cmd =
       & info [ "theta" ] ~docv:"T"
           ~doc:"Zipfian skew parameter (0 < $(docv) < 1) for $(b,--serve).")
   in
+  let watchdog =
+    Arg.(
+      value & opt int 0
+      & info [ "watchdog" ] ~docv:"MS"
+          ~doc:
+            "Run the health watchdog: a monitor thread samples per-worker \
+             heartbeats and sleeper state every $(docv) milliseconds, \
+             distinguishes parked-idle from stalled workers, detects \
+             global starvation, KV combiner convoys and SLO burn, and \
+             dumps a postmortem bundle to artifacts/ on any verdict.  \
+             0 (the default) disables it.")
+  in
+  let slo_us =
+    Arg.(
+      value & opt float 0.0
+      & info [ "slo" ] ~docv:"US"
+          ~doc:
+            "With $(b,--serve): per-request latency SLO in microseconds.  \
+             Tags requests completing past it (deadline_misses in the \
+             report, nowa_serve_deadline_misses_total in the registry) \
+             and, with $(b,--watchdog), feeds the multi-window burn-rate \
+             evaluator over the serve latency histogram.  0 disables.")
+  in
+  let inject_stall =
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject-stall" ] ~docv:"WORKER:MS"
+          ~doc:
+            "Fault injection: the next heartbeat of $(b,WORKER) spins \
+             for $(b,MS) milliseconds (default 200), manufacturing the \
+             stall the watchdog must detect.  Test/CI only.")
+  in
+  let inject_wedge =
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject-wedge" ] ~docv:"SHARD:MS"
+          ~doc:
+            "With $(b,--serve): the next KV combiner to claim $(b,SHARD) \
+             spins for $(b,MS) milliseconds (default 200) while holding \
+             the combining flag, manufacturing the convoy the watchdog \
+             must detect.  Test/CI only.")
+  in
+  let dump_health =
+    Arg.(
+      value & flag
+      & info [ "dump-health" ]
+          ~doc:
+            "Write a postmortem bundle (watchdog verdict table, metrics \
+             snapshot, frozen trace window) to artifacts/ after the run, \
+             even without an anomaly verdict.")
+  in
   Cmd.v
     (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
-    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal $ serve $ anatomy $ mix $ rate $ requests $ warmup $ records $ shards $ theta)
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal $ serve $ anatomy $ mix $ rate $ requests $ warmup $ records $ shards $ theta $ watchdog $ slo_us $ inject_stall $ inject_wedge $ dump_health)
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,6 @@
 module Config = Nowa_runtime.Config
 module Metrics = Nowa_runtime.Metrics
+module Health = Nowa_runtime.Health
 module Obs = Nowa_obs
 module Trace = Nowa_trace.Trace
 module Trace_event = Nowa_trace.Event

@@ -22,6 +22,16 @@
 module Config = Nowa_runtime.Config
 module Metrics = Nowa_runtime.Metrics
 
+(** {1 Runtime health}
+
+    Wait-free per-worker heartbeats, the stall/convoy/starvation/SLO
+    watchdog and the dump-on-anomaly flight recorder.  Enable with
+    {!Config.t.watchdog_interval_ms} > 0; query {!Health.status},
+    {!Health.healthz} and {!Health.statusz}; force a postmortem bundle
+    with {!Health.dump_now}. *)
+
+module Health = Nowa_runtime.Health
+
 (** {1 Live observability}
 
     The metrics registry ({!Obs.Registry}) carries the scheduler, stack

@@ -1129,3 +1129,82 @@ let kv_parked_retry_spec ?(variant = `Good) () =
     && Cell.peek mail = []
   in
   (threads, invariant)
+
+(* The watchdog's parked-vs-stalled classification across the park/wake
+   token race (lib/runtime/health.ml Monitor.scan_once against
+   lib/runtime/sleepers.ml).  One worker starts parked: its mask bit is
+   published and its per-slot waiting flag is set; a waker runs
+   [wake_one] (claim the bit, bump the wake stamp, mint a token) and the
+   worker resumes (consume the token, clear waiting, heartbeat).  A
+   monitor samples {beat, stamp, bit, waiting} per scan and counts a
+   worker stalled after two consecutive quiet unparked scans.
+
+   The hazardous window is after the waker claimed the bit but before
+   the worker has beaten again: the bit says "not parked" while the
+   worker is blocked with a wake in flight.  The real monitor is safe
+   there for two independent reasons, both modelled: the waiting flag
+   still reads parked, and the stamp bump reads as progress.  The check
+   asserts a stall is only ever declared with no parked indication and
+   no token in flight; [`No_waiting_flag] classifies parked by the mask
+   bit alone, and the checker exhibits the false stall. *)
+let watchdog_park_spec ?(variant = `Good) ~scans () =
+  let bit = Cell.make true (* mask bit: published before the scenario *) in
+  let waiting = Cell.make 1 in
+  let token = Cell.make 0 in
+  let stamp = Cell.make 0 in
+  let beat = Cell.make 0 in
+  let done_ = Cell.make false in
+  let worker () =
+    (* parked: blocked until the waker mints the token *)
+    ignore (Cell.await token (fun t -> t > 0));
+    ignore (Cell.fetch_add token (-1));
+    Cell.write waiting 0;
+    ignore (Cell.fetch_add beat 1);
+    Cell.write done_ true
+  in
+  let waker () =
+    (* wake_one: claim the bit, bump the epoch stamp, mint the token *)
+    if Cell.cas bit true false then begin
+      ignore (Cell.fetch_add stamp 1);
+      ignore (Cell.fetch_add token 1)
+    end
+  in
+  let monitor () =
+    let prev_beat = ref (Cell.read beat) in
+    let prev_stamp = ref (Cell.read stamp) in
+    let quiet = ref 0 in
+    for _ = 1 to scans do
+      let b = Cell.read beat in
+      let s = Cell.read stamp in
+      let announced = Cell.read bit in
+      let w = Cell.read waiting in
+      let parked =
+        match variant with
+        | `Good -> announced || w = 1
+        | `No_waiting_flag -> announced
+      in
+      let progressed = b <> !prev_beat || s <> !prev_stamp in
+      prev_beat := b;
+      prev_stamp := s;
+      if parked || progressed then quiet := 0
+      else begin
+        incr quiet;
+        if !quiet >= 2 then begin
+          (* Declaring a stall: by now the worker must be genuinely
+             awake and unparked -- no mask bit, no waiting flag, no
+             wake token still in flight. *)
+          let t = Cell.read token in
+          check
+            ((not announced) && w = 0 && t = 0)
+            "parked worker flagged stalled during the wake race"
+        end
+      end
+    done
+  in
+  let threads = [ worker; waker; monitor ] in
+  (* Liveness framing: the wake always lands, so the worker must have
+     retired with the token consumed and the waiting flag down. *)
+  let invariant () =
+    Cell.peek done_ && Cell.peek token = 0 && Cell.peek waiting = 0
+  in
+  (threads, invariant)

@@ -145,3 +145,17 @@ val kv_parked_retry_spec :
     [`No_recheck_loop] releases on an empty mailbox alone — the checker
     exhibits the stranded parked txn (liveness loss with no message
     left to re-enter the combiner). *)
+
+val watchdog_park_spec :
+  ?variant:[ `Good | `No_waiting_flag ] -> scans:int ->
+  unit -> (unit -> unit) list * (unit -> bool)
+(** The watchdog's parked-vs-stalled rule across the sleeper park/wake
+    token race: a parked worker is woken ([wake_one] claims its mask
+    bit, bumps the wake stamp, mints a token) while a monitor samples
+    heartbeat/stamp/bit/waiting and declares a stall after two quiet
+    unparked scans.  The inline check asserts a stall is never declared
+    while any parked indication or an in-flight wake token remains.
+    [`No_waiting_flag] classifies parked by the mask bit alone — the
+    checker exhibits the false stall inside the wake window that the
+    per-slot waiting flag (health.ml reads it alongside the mask)
+    closes. *)

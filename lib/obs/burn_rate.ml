@@ -1,0 +1,133 @@
+(** Multi-window SLO burn-rate evaluation over histogram snapshots.
+
+    A latency SLO is "fraction of requests slower than [slo_ns] stays
+    below [budget]" (e.g. no more than 0.1% of requests over 50ms).  The
+    classic single-threshold alert is either too twitchy (one bad second
+    pages) or too slow (a slow leak never pages), so SRE practice pairs
+    windows: an alert fires only when the error budget is burning at
+    [factor]x the sustainable rate over BOTH a long window and a short
+    companion window — the long window supplies confidence, the short
+    one makes the alert reset quickly once the problem stops.
+
+    The evaluator is fed by whoever owns the scan cadence (the runtime
+    watchdog): each [sample] call snapshots the histogram and appends a
+    cumulative (total, over-SLO) pair to a bounded time-indexed series;
+    [judge] then computes, for every configured window pair, the burn
+    rate over the trailing window as
+
+      burn = (delta_bad / delta_total) / budget
+
+    so burn = 1.0 means "exactly consuming the budget", and flags the
+    pair when both windows exceed [factor].  Time is passed in
+    explicitly (nanoseconds) so tests can drive the clock.
+
+    Over-SLO counting is bucketed: every histogram bucket whose lower
+    bound is at or above [slo_ns] counts as bad in full, the bucket
+    straddling the threshold is apportioned by the threshold's position
+    inside the (power-of-two) bucket.  That makes the estimate exact for
+    SLOs on bucket boundaries and at worst one bucket coarse elsewhere —
+    fine for a watchdog verdict. *)
+
+type window = {
+  long_s : float;  (** confidence window, seconds *)
+  short_s : float;  (** fast-reset companion window, seconds *)
+  factor : float;  (** burn-rate multiple that fires the pair *)
+}
+
+(** Google-SRE-shaped defaults scaled down to bench-length runs: a
+    fast burn (14.4x over 5s, confirmed over 1s) and a slow burn (6x
+    over 30s / 5s). *)
+let default_windows =
+  [| { long_s = 5.0; short_s = 1.0; factor = 14.4 };
+     { long_s = 30.0; short_s = 5.0; factor = 6.0 } |]
+
+type point = { at_ns : int; total : int; bad : float }
+
+type t = {
+  slo_ns : int;
+  budget : float;
+  windows : window array;
+  mutable points : point list;  (* newest first, pruned past max window *)
+}
+
+type breach = {
+  window : window;
+  long_burn : float;
+  short_burn : float;
+}
+
+let create ?(windows = default_windows) ~slo_ns ~budget () =
+  if budget <= 0.0 then invalid_arg "Burn_rate.create: budget must be > 0";
+  { slo_ns; budget; windows; points = [] }
+
+let slo_ns t = t.slo_ns
+let budget t = t.budget
+
+(* Observations at or above [slo_ns] in a snapshot, with the straddling
+   bucket apportioned linearly inside its [lo, le] span. *)
+let over_slo (s : Histogram.snapshot) ~slo_ns =
+  let slo = float_of_int slo_ns in
+  let bad = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let le = s.Histogram.le.(i) in
+        let lo = if i = 0 then 0.0 else s.Histogram.le.(i - 1) +. 1.0 in
+        if lo >= slo then bad := !bad +. float_of_int c
+        else if le >= slo then begin
+          let frac = (le -. slo +. 1.0) /. (le -. lo +. 1.0) in
+          bad := !bad +. (float_of_int c *. frac)
+        end
+      end)
+    s.Histogram.counts;
+  !bad
+
+let max_window_s t =
+  Array.fold_left (fun acc w -> Float.max acc w.long_s) 0.0 t.windows
+
+(** Record one cumulative sample of [hist] taken at [now_ns]. *)
+let sample t hist ~now_ns =
+  let s = Histogram.snapshot hist in
+  let p = { at_ns = now_ns; total = s.Histogram.count; bad = over_slo s ~slo_ns:t.slo_ns } in
+  let horizon = now_ns - int_of_float ((max_window_s t +. 1.0) *. 1e9) in
+  t.points <- p :: List.filter (fun q -> q.at_ns >= horizon) t.points
+
+(* Burn rate over the trailing [win_s] seconds ending at the newest
+   sample; 0.0 when the window has no traffic or too little history. *)
+let burn_over t ~win_s =
+  match t.points with
+  | [] -> 0.0
+  | newest :: _ -> (
+    let cutoff = newest.at_ns - int_of_float (win_s *. 1e9) in
+    (* Oldest sample still inside the window's reach: the first point at
+       or before the cutoff anchors the delta; lacking one, the oldest
+       sample we have does (partial window: better than silence). *)
+    let rec anchor best = function
+      | [] -> best
+      | p :: rest -> if p.at_ns <= cutoff then p else anchor p rest
+    in
+    match t.points with
+    | [] | [ _ ] -> 0.0
+    | _ :: older ->
+      let a = anchor (List.hd older) older in
+      let dt = newest.total - a.total in
+      if dt <= 0 then 0.0
+      else
+        let db = newest.bad -. a.bad in
+        db /. float_of_int dt /. t.budget)
+
+(** Evaluate every window pair against the recorded series; returns the
+    pairs currently burning past their factor (empty = healthy). *)
+let judge t =
+  Array.to_list t.windows
+  |> List.filter_map (fun w ->
+         let long_burn = burn_over t ~win_s:w.long_s in
+         let short_burn = burn_over t ~win_s:w.short_s in
+         if long_burn > w.factor && short_burn > w.factor then
+           Some { window = w; long_burn; short_burn }
+         else None)
+
+(** [sample] then [judge] in one step — the watchdog's per-scan call. *)
+let observe t hist ~now_ns =
+  sample t hist ~now_ns;
+  judge t

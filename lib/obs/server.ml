@@ -2,15 +2,30 @@
 
     Speaks just enough HTTP for [curl host:port/metrics] and a
     Prometheus scraper: read one request line, answer with an HTTP/1.0
-    [200] carrying the text exposition of the registry, close.  The
-    accept loop runs on its own domain and polls with a short [select]
-    timeout so [stop] converges quickly. *)
+    response, close.  The accept loop runs on its own domain and polls
+    with a short [select] timeout so [stop] converges quickly.
+
+    Three routes:
+    - [/healthz]: liveness verdict from the optional [healthz] callback
+      — [200 ok] when healthy, [503] with the reason otherwise.  With no
+      callback installed the endpoint answers [200 ok] (a process that
+      can serve the socket is at least alive).
+    - [/statusz]: human-oriented status page from the optional [statusz]
+      callback (the runtime watchdog installs its per-worker verdict
+      table here).
+    - anything else: the Prometheus text exposition of the registry, so
+      existing scrapers keep working unrouted. *)
 
 type t = {
   sock : Unix.file_descr;
   port : int;
   stop_flag : bool Atomic.t;
   dom : unit Domain.t;
+}
+
+type handlers = {
+  healthz : (unit -> bool * string) option;
+  statusz : (unit -> string) option;
 }
 
 (* "HOST:PORT", ":PORT" or bare "PORT"; host defaults to 127.0.0.1. *)
@@ -34,20 +49,57 @@ let parse_addr s =
     Error
       (Printf.sprintf "malformed metrics address %S (expected [HOST:]PORT)" s)
 
-let respond registry client =
-  (* Drain the request line; content is irrelevant, every path gets the
-     full exposition. *)
-  (try ignore (Unix.read client (Bytes.create 1024) 0 1024)
-   with Unix.Unix_error _ -> ());
-  let body = Expose.to_prometheus ?registry () in
+(* Path of the request line ("GET /statusz HTTP/1.1" -> "/statusz");
+   defaults to "/" on anything unparseable. *)
+let request_path buf n =
+  if n <= 0 then "/"
+  else begin
+    let line =
+      match Bytes.index_opt buf '\r' with
+      | Some i when i < n -> Bytes.sub_string buf 0 i
+      | _ -> Bytes.sub_string buf 0 n
+    in
+    match String.split_on_char ' ' line with
+    | _meth :: target :: _ ->
+      let target =
+        match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target
+      in
+      if target = "" then "/" else target
+    | _ -> "/"
+  end
+
+let respond registry handlers client =
+  let buf = Bytes.create 1024 in
+  let n = try Unix.read client buf 0 1024 with Unix.Unix_error _ -> 0 in
+  let status, body =
+    match request_path buf n with
+    | "/healthz" -> (
+      match handlers.healthz with
+      | None -> ("200 OK", "ok\n")
+      | Some f -> (
+        match f () with
+        | true, msg -> ("200 OK", if msg = "" then "ok\n" else msg ^ "\n")
+        | false, msg -> ("503 Service Unavailable", msg ^ "\n")
+        | exception _ -> ("500 Internal Server Error", "healthz callback raised\n")))
+    | "/statusz" -> (
+      match handlers.statusz with
+      | None -> ("200 OK", "no status source installed\n")
+      | Some f -> (
+        match f () with
+        | s -> ("200 OK", s)
+        | exception _ -> ("500 Internal Server Error", "statusz callback raised\n")))
+    | _ -> ("200 OK", Expose.to_prometheus ?registry ())
+  in
   let resp =
     Printf.sprintf
-      "HTTP/1.0 200 OK\r\n\
+      "HTTP/1.0 %s\r\n\
        Content-Type: text/plain; version=0.0.4\r\n\
        Content-Length: %d\r\n\
        \r\n\
        %s"
-      (String.length body) body
+      status (String.length body) body
   in
   let b = Bytes.of_string resp in
   let n = Bytes.length b in
@@ -59,20 +111,20 @@ let respond registry client =
    with Unix.Unix_error _ -> ());
   try Unix.close client with Unix.Unix_error _ -> ()
 
-let accept_loop registry sock stop_flag () =
+let accept_loop registry handlers sock stop_flag () =
   while not (Atomic.get stop_flag) do
     match Unix.select [ sock ] [] [] 0.2 with
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
       match Unix.accept sock with
-      | client, _ -> respond registry client
+      | client, _ -> respond registry handlers client
       | exception Unix.Unix_error _ -> ())
     | exception Unix.Unix_error _ ->
       (* Listening socket closed by [stop]. *)
       Atomic.set stop_flag true
   done
 
-let start ?registry ~addr () =
+let start ?registry ?healthz ?statusz ~addr () =
   match parse_addr addr with
   | Error _ as e -> e
   | Ok (ip, port) -> (
@@ -91,7 +143,8 @@ let start ?registry ~addr () =
         | _ -> port
       in
       let stop_flag = Atomic.make false in
-      let dom = Domain.spawn (accept_loop registry sock stop_flag) in
+      let handlers = { healthz; statusz } in
+      let dom = Domain.spawn (accept_loop registry handlers sock stop_flag) in
       Ok { sock; port; stop_flag; dom })
 
 let port t = t.port

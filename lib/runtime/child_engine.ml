@@ -55,6 +55,7 @@ module Make
     rng : Nowa_util.Xoshiro.t;
     m : Metrics.worker;
     tr : Ring.t;
+    hb : Health.Beats.t;  (* shared heartbeat words; worker beats its slot *)
     mutable depth : int;  (* task nesting while helping at a taskwait *)
   }
 
@@ -84,7 +85,8 @@ module Make
     if w.depth = 1 then Ring.emit w.tr Ev.Task_start 0;
     f ();
     if w.depth = 1 then Ring.emit w.tr Ev.Task_end 0;
-    w.depth <- w.depth - 1
+    w.depth <- w.depth - 1;
+    Health.Beats.beat w.hb w.id
 
   let no_commit _ = ()
 
@@ -108,6 +110,7 @@ module Make
         else begin
           let v = (w.id + 1 + ((start + i) mod (n - 1))) mod n in
           w.m.steal_attempts <- w.m.steal_attempts + 1;
+          Health.Beats.beat w.hb w.id;
           Ring.emit w.tr Ev.Steal_attempt v;
           match
             Q.steal_batch pool.workers.(v).deque ~max:sweep
@@ -179,6 +182,7 @@ module Make
       go 0
 
   let park_round pool w =
+    Health.Beats.beat w.hb w.id;
     ignore (Sleepers.announce pool.sleepers ~worker:w.id);
     let cancel () =
       if not (Sleepers.cancel pool.sleepers ~worker:w.id) then
@@ -195,6 +199,7 @@ module Make
         Ring.emit w.tr Ev.Park 0;
         let t0 = Nowa_util.Clock.now_ns () in
         Sleepers.park pool.sleepers ~worker:w.id;
+        Health.Beats.beat w.hb w.id;
         w.m.parked_ns <- w.m.parked_ns + (Nowa_util.Clock.now_ns () - t0);
         Ring.emit w.tr Ev.Unpark 0
       end;
@@ -274,6 +279,10 @@ module Make
     let ring_for i =
       match trace with Some t -> Nowa_trace.Trace.worker t i | None -> Ring.disabled
     in
+    let hb =
+      if conf.Config.heartbeats then Health.Beats.create ~workers:nw
+      else Health.Beats.disabled
+    in
     let pool =
       {
         conf;
@@ -287,11 +296,47 @@ module Make
                 rng = Nowa_util.Xoshiro.make ~seed:(conf.Config.seed + (i * 7919) + 1);
                 m = Metrics.make_worker i;
                 tr = ring_for i;
+                hb;
                 depth = 0;
               });
       }
     in
     Metrics.publish (Array.map (fun w -> w.m) pool.workers);
+    (match trace with
+    | Some t ->
+      Health.Recorder.register ~name:"trace" (fun ~dir ->
+          let evs, _dropped = Nowa_trace.Trace.freeze ~window:4096 t in
+          Nowa_trace.Perfetto.write_events_file
+            (Filename.concat dir "trace.json")
+            evs)
+    | None -> Health.Recorder.unregister ~name:"trace");
+    if conf.Config.watchdog_interval_ms > 0 then
+      Runtime_guard.start_monitor (fun () ->
+          let probe =
+            {
+              Health.engine = name;
+              workers = nw;
+              beat_of = (fun i -> Health.Beats.read hb i);
+              announced = (fun i -> Sleepers.announced pool.sleepers ~worker:i);
+              waiting = (fun i -> Sleepers.waiting pool.sleepers ~worker:i);
+              wake_stamp =
+                (fun i -> Sleepers.wake_stamp pool.sleepers ~worker:i);
+              ready =
+                (fun () ->
+                  Array.fold_left
+                    (fun acc w -> acc + Q.size w.deque)
+                    0 pool.workers);
+              sleepers = (fun () -> Sleepers.sleepers pool.sleepers);
+              draining = (fun () -> Atomic.get pool.finished);
+            }
+          in
+          let h =
+            Health.Monitor.spawn
+              ~interval_ms:conf.Config.watchdog_interval_ms
+              ~stall_scans:conf.Config.watchdog_stall_scans
+              ~dump:conf.Config.watchdog_dump probe
+          in
+          fun () -> Health.Monitor.stop h);
     let result = ref None in
     let root =
       Task
@@ -372,6 +417,7 @@ module Make
   let spawn fr thunk =
     let pool, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
+    Health.Beats.beat w.hb w.id;
     Ring.emit w.tr Ev.Spawn 0;
     let p = Promise.make () in
     (* Pending is raised before the task is visible to thieves, so the
@@ -394,6 +440,7 @@ module Make
   let spawn_unit fr thunk =
     let pool, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
+    Health.Beats.beat w.hb w.id;
     Ring.emit w.tr Ev.Spawn 0;
     ignore (Atomic.fetch_and_add fr.pending 1);
     let body () =

@@ -70,6 +70,28 @@ type t = {
           victims before counting the round as failed; the child-stealing
           and central baselines additionally grab up to this many tasks in
           one batched ([steal_half]-style) acquisition. *)
+  heartbeats : bool;
+      (** Per-worker heartbeat words, bumped by one plain padded int
+          store at each scheduler station point (task completion, steal
+          attempt, park/unpark).  On by default — the cost is one
+          unfenced store — and only turned off by the overhead gate in
+          [bench micro]. *)
+  watchdog_interval_ms : int;
+      (** Scan cadence of the health watchdog monitor thread; 0 (the
+          default) leaves the monitor off.  When positive, the engine
+          hands {!Runtime_guard} a monitor that samples heartbeats and
+          sleeper state every interval, classifies each worker as
+          active / parked / stalled, and triggers the flight recorder on
+          anomalies (see {!Health}). *)
+  watchdog_stall_scans : int;
+      (** Consecutive no-progress scans of an unparked worker before the
+          watchdog declares it stalled (and, pool-wide with ready work
+          visible, before it declares starvation).  Detection latency is
+          bounded by [watchdog_stall_scans * watchdog_interval_ms]. *)
+  watchdog_dump : bool;
+      (** Whether a watchdog verdict triggers a flight-recorder
+          postmortem bundle under [artifacts/] (on by default; verdicts
+          are still recorded and exported when off). *)
 }
 
 val default : unit -> t

@@ -67,6 +67,7 @@ module Make
     stacks : Stack_pool.t;
     finished : bool Atomic.t;
     sleepers : Sleepers.t;
+    hb : Health.Beats.t;  (* per-worker heartbeat words; watchdog input *)
   }
 
   type _ Effect.t +=
@@ -156,6 +157,11 @@ module Make
    fun fr thunk k ->
     let pool, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
+    (* Spawn is a station point too: a worker descending a deep inline
+       subtree may not complete a task or probe a victim for a long
+       time, and without this beat the watchdog would read that busy
+       worker as stalled. *)
+    Health.Beats.beat pool.hb w.id;
     Ring.emit w.tr Ev.Spawn 0;
     (match w.stack with
     | Some s -> Stack_pool.touch s ~pages:1 ~max_pages:pool.conf.Config.stack_pages
@@ -207,6 +213,7 @@ module Make
     let n = Array.length pool.workers in
     let attempt victim =
       w.m.steal_attempts <- w.m.steal_attempts + 1;
+      Health.Beats.beat pool.hb w.id;
       Ring.emit w.tr Ev.Steal_attempt victim.id;
       match Q.steal victim.deque ~on_commit with
       | Some _ as r ->
@@ -266,7 +273,8 @@ module Make
          here, just before the stolen continuation resumes. *)
       C.note_resume fr.counter;
       Effect.Deep.continue k ());
-    Ring.emit w.tr Ev.Task_end 0
+    Ring.emit w.tr Ev.Task_end 0;
+    Health.Beats.beat pool.hb w.id
 
   (* Pre-park re-check: a deterministic sweep over EVERY deque (own
      included) using real steal operations.  Size reads would not do —
@@ -296,6 +304,7 @@ module Make
      the re-check found, bail out on shutdown, or block until a spawner
      posts a token.  Returns work if the re-check produced any. *)
   let park_round pool w =
+    Health.Beats.beat pool.hb w.id;
     ignore (Sleepers.announce pool.sleepers ~worker:w.id);
     let cancel () =
       if not (Sleepers.cancel pool.sleepers ~worker:w.id) then
@@ -314,6 +323,7 @@ module Make
         Ring.emit w.tr Ev.Park 0;
         let t0 = Nowa_util.Clock.now_ns () in
         Sleepers.park pool.sleepers ~worker:w.id;
+        Health.Beats.beat pool.hb w.id;
         w.m.parked_ns <- w.m.parked_ns + (Nowa_util.Clock.now_ns () - t0);
         Ring.emit w.tr Ev.Unpark 0
       end;
@@ -397,6 +407,9 @@ module Make
         stacks = Stack_pool.create conf;
         finished = Atomic.make false;
         sleepers = Sleepers.create ~workers:nw;
+        hb =
+          (if conf.Config.heartbeats then Health.Beats.create ~workers:nw
+           else Health.Beats.disabled);
         workers =
           Array.init nw (fun i ->
               {
@@ -423,6 +436,44 @@ module Make
     in
     Metrics.publish ~stacks:stack_stats
       (Array.map (fun w -> w.m) pool.workers);
+    (* Flight-recorder contributor: freeze the live rings' most recent
+       window into a Perfetto file inside the bundle.  Registered even
+       though the watchdog may be off — an explicit dump wants it too. *)
+    (match trace with
+    | Some t ->
+      Health.Recorder.register ~name:"trace" (fun ~dir ->
+          let evs, _dropped = Nowa_trace.Trace.freeze ~window:4096 t in
+          Nowa_trace.Perfetto.write_events_file
+            (Filename.concat dir "trace.json")
+            evs)
+    | None -> Health.Recorder.unregister ~name:"trace");
+    if conf.Config.watchdog_interval_ms > 0 then
+      Runtime_guard.start_monitor (fun () ->
+          let probe =
+            {
+              Health.engine = name;
+              workers = nw;
+              beat_of = (fun i -> Health.Beats.read pool.hb i);
+              announced = (fun i -> Sleepers.announced pool.sleepers ~worker:i);
+              waiting = (fun i -> Sleepers.waiting pool.sleepers ~worker:i);
+              wake_stamp =
+                (fun i -> Sleepers.wake_stamp pool.sleepers ~worker:i);
+              ready =
+                (fun () ->
+                  Array.fold_left
+                    (fun acc w -> acc + Q.size w.deque)
+                    0 pool.workers);
+              sleepers = (fun () -> Sleepers.sleepers pool.sleepers);
+              draining = (fun () -> Atomic.get pool.finished);
+            }
+          in
+          let h =
+            Health.Monitor.spawn
+              ~interval_ms:conf.Config.watchdog_interval_ms
+              ~stall_scans:conf.Config.watchdog_stall_scans
+              ~dump:conf.Config.watchdog_dump probe
+          in
+          fun () -> Health.Monitor.stop h);
     let result = ref None in
     let root =
       Root

@@ -10,20 +10,41 @@ let last_metrics () = !last_metrics_ref
 (* The serial elision has no scheduler events to trace. *)
 let last_trace () = None
 
+(* One heartbeat slot for the single "worker": beaten at every elided
+   spawn and at the run boundaries, so the watchdog can tell a busy
+   serial run from a wedged one with the same machinery as the pools. *)
+let hb = ref Health.Beats.disabled
+
 let run ?conf main =
-  ignore conf;
+  let conf = match conf with Some c -> c | None -> Config.default () in
   Runtime_guard.enter name;
   (* Publish a worker-0 context (ring stays disabled) so layers above —
      the KV combiner's span attribution, for one — see a deterministic
      worker id instead of -1 under the elision. *)
   Nowa_trace.Current.set ~worker:0 Nowa_trace.Ring.disabled;
+  hb :=
+    (if conf.Config.heartbeats then Health.Beats.create ~workers:1
+     else Health.Beats.disabled);
+  let beats = !hb in
+  Health.Beats.beat beats 0;
+  if conf.Config.watchdog_interval_ms > 0 then
+    Runtime_guard.start_monitor (fun () ->
+        let probe = Health.static_probe ~engine:name ~workers:1 ~beats in
+        let h =
+          Health.Monitor.spawn ~interval_ms:conf.Config.watchdog_interval_ms
+            ~stall_scans:conf.Config.watchdog_stall_scans
+            ~dump:conf.Config.watchdog_dump probe
+        in
+        fun () -> Health.Monitor.stop h);
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
       Nowa_trace.Current.clear ();
+      hb := Health.Beats.disabled;
       Runtime_guard.exit ())
     (fun () ->
       let r = main () in
+      Health.Beats.beat beats 0;
       last_metrics_ref :=
         Some
           (Metrics.make
@@ -38,8 +59,12 @@ let spawn () thunk =
   (* Elision semantics: the child runs here and now, and its exception
      propagates immediately, exactly as in the unannotated program. *)
   Promise.fill p (thunk ());
+  Health.Beats.beat !hb 0;
   p
 
-let spawn_unit () thunk = thunk ()
+let spawn_unit () thunk =
+  thunk ();
+  Health.Beats.beat !hb 0
+
 let sync () = ()
 let get p = Promise.get ~runtime:name p

@@ -5,8 +5,30 @@ let epoch_one = 1 lsl mask_bits
 
 (* Per-worker counting semaphore.  [tokens] only moves under [mu]; it can
    exceed 1 transiently when a wake races a cancel, which just makes the
-   next park return immediately. *)
-type slot = { mu : Mutex.t; cv : Condition.t; mutable tokens : int }
+   next park return immediately.
+
+   [waiting] and [stamp] exist for the health watchdog, which samples
+   sleeper state from outside without taking [mu]:
+
+   - [waiting] is 1 for the whole span a worker can block inside {!park}
+     — set before the token check, cleared only after the token is
+     consumed.  It covers the announce-claimed-but-token-in-flight
+     window where the worker's mask bit is already gone (a waker owns
+     it) yet the worker is still, or about to be, blocked: without it a
+     sampler would read "unparked, no progress" and misflag a healthy
+     parked worker.
+   - [stamp] counts ownership transitions of the worker's mask bit
+     (claimed by a waker, or cancelled by the worker itself).  A sampler
+     that sees the stamp move knows the worker was woken or self-woke
+     inside the window, i.e. made progress even if no heartbeat landed
+     yet. *)
+type slot = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable tokens : int;
+  waiting : int Atomic.t;
+  stamp : int Atomic.t;
+}
 
 type t = { word : int Atomic.t; slots : slot array }
 
@@ -15,7 +37,13 @@ let create ~workers =
     word = Atomic.make 0;
     slots =
       Array.init workers (fun _ ->
-          { mu = Mutex.create (); cv = Condition.create (); tokens = 0 });
+          {
+            mu = Mutex.create ();
+            cv = Condition.create ();
+            tokens = 0;
+            waiting = Nowa_util.Padding.atomic 0;
+            stamp = Nowa_util.Padding.atomic 0;
+          });
   }
 
 let announce t ~worker =
@@ -36,7 +64,10 @@ let cancel t ~worker =
   let rec go () =
     let cur = Atomic.get t.word in
     if cur land bit = 0 then false (* a waker claimed us first *)
-    else if Atomic.compare_and_set t.word cur (cur lxor bit) then true
+    else if Atomic.compare_and_set t.word cur (cur lxor bit) then begin
+      Atomic.incr t.slots.(worker).stamp;
+      true
+    end
     else go ()
   in
   go ()
@@ -49,12 +80,14 @@ let post slot =
 
 let park t ~worker =
   let slot = t.slots.(worker) in
+  Atomic.set slot.waiting 1;
   Mutex.lock slot.mu;
   while slot.tokens = 0 do
     Condition.wait slot.cv slot.mu
   done;
   slot.tokens <- slot.tokens - 1;
-  Mutex.unlock slot.mu
+  Mutex.unlock slot.mu;
+  Atomic.set slot.waiting 0
 
 (* Lowest set bit index in constant time via binary search on the
    isolated bit (the de Bruijn multiply is unsound on OCaml's 63-bit
@@ -90,6 +123,7 @@ let wake_one t =
         let w = (ctz rot + r) mod mask_bits in
         let next = (cur lxor (1 lsl w)) + epoch_one in
         if Atomic.compare_and_set t.word cur next then begin
+          Atomic.incr t.slots.(w).stamp;
           post t.slots.(w);
           true
         end
@@ -108,6 +142,7 @@ let wake_all t =
       let rec signal m =
         if m <> 0 then begin
           let w = ctz m in
+          Atomic.incr t.slots.(w).stamp;
           post t.slots.(w);
           signal (m lxor (1 lsl w))
         end
@@ -124,3 +159,15 @@ let popcount m =
 
 let sleepers t = popcount (Atomic.get t.word land mask_all)
 let epoch t = (Atomic.get t.word lsr mask_bits) land 0x7fff
+
+(* --- watchdog sampling accessors (read-only, no locks) ------------------- *)
+
+let announced t ~worker =
+  worker < mask_bits && Atomic.get t.word land (1 lsl worker) <> 0
+
+let waiting t ~worker =
+  worker < Array.length t.slots && Atomic.get t.slots.(worker).waiting = 1
+
+let wake_stamp t ~worker =
+  if worker < Array.length t.slots then Atomic.get t.slots.(worker).stamp
+  else 0

@@ -72,3 +72,25 @@ val sleepers : t -> int
 
 val epoch : t -> int
 (** Wake epoch: total successful wake transitions so far (mod 2^15). *)
+
+(** {2 Watchdog sampling}
+
+    Read-only accessors for the health monitor, which samples sleeper
+    state from its own thread without locks.  A worker counts as
+    {e parked-or-parking} when its mask bit is set {b or} its waiting
+    flag is up; the wake stamp distinguishes "woken but not yet
+    rescheduled" from "no motion at all" across a sampling window. *)
+
+val announced : t -> worker:int -> bool
+(** This worker's sleeper bit is currently set. *)
+
+val waiting : t -> worker:int -> bool
+(** This worker is inside the blocking span of {!park}: the flag rises
+    before the token check and falls only after a token is consumed, so
+    it stays up across the announce-claimed-but-token-in-flight window
+    where the mask bit alone would misread the worker as running. *)
+
+val wake_stamp : t -> worker:int -> int
+(** Count of this worker's bit-ownership transitions (wakes by others,
+    cancels by itself).  A change between two samples is progress even
+    when no heartbeat landed in between. *)

@@ -61,6 +61,10 @@ type shard = {
   mail : msg list Atomic.t;  (* Treiber-style LIFO; drained by exchange *)
   depth : int Atomic.t;  (* messages in [mail], for admission control *)
   combining : bool Atomic.t;
+  claimed_at_ns : int Atomic.t;
+      (* when the current combiner won the flag; 0 while released.  The
+         watchdog's convoy probe reads it racily — a stale nonzero value
+         is filtered by re-checking [combining]. *)
   buckets : bucket array;
   (* Combiner-private state below: protected by [combining]. *)
   mutable waiting : txn list;  (* home txns parked on a Grant or a local loan *)
@@ -93,6 +97,7 @@ let create ?(shards = 16) ?(buckets_per_shard = 64) ?(queue_cap = 65536)
       mail = Nowa_util.Padding.atomic [];
       depth = Nowa_util.Padding.atomic 0;
       combining = Nowa_util.Padding.atomic false;
+      claimed_at_ns = Nowa_util.Padding.atomic 0;
       buckets =
         Array.init buckets_per_shard (fun _ ->
             { tbl = H.create 16; loaned = None });
@@ -382,7 +387,35 @@ let retry_waiting t s =
      nothing would ever wake the combiner for it ([try_combine] only
      enters on mail).  Looping on [s.recheck] re-runs the retry before
      release (kv_parked_retry spec). *)
+(* Fault injection for the watchdog's convoy detector: a one-shot
+   (shard, ms) wedge consumed by the next combiner to claim that shard,
+   which then spins while holding the flag — exactly the pathology the
+   convoy probe is meant to catch. *)
+let wedge_armed : bool ref = ref false
+let wedge_spec : (int * int) option Atomic.t = Atomic.make None
+
+let inject_wedge ~shard ~ms =
+  Atomic.set wedge_spec (Some (shard, ms));
+  wedge_armed := true
+
+let clear_wedge () =
+  Atomic.set wedge_spec None;
+  wedge_armed := false
+
+let[@inline never] maybe_wedge sid =
+  (* CAS against the witnessed value (physical equality), so exactly one
+     combiner consumes the wedge. *)
+  let cur = Atomic.get wedge_spec in
+  match cur with
+  | Some (w, ms) when w = sid ->
+    if Atomic.compare_and_set wedge_spec cur None then begin
+      wedge_armed := false;
+      Nowa_util.Clock.spin_ns (ms * 1_000_000)
+    end
+  | _ -> ()
+
 let rec combine t (s : shard) =
+  if !wedge_armed then maybe_wedge s.sid;
   (match Atomic.exchange s.mail [] with
   | [] -> ()
   | batch -> List.iter (handle t s) (List.rev batch));
@@ -394,6 +427,7 @@ let rec combine t (s : shard) =
   else begin
     let pokes = s.to_poke in
     s.to_poke <- [];
+    Atomic.set s.claimed_at_ns 0;
     Atomic.set s.combining false;
     List.iter (fun j -> try_combine t j) pokes;
     if Atomic.get s.mail <> [] then try_combine t s.sid
@@ -405,7 +439,34 @@ and try_combine t j =
     Atomic.get s.mail <> []
     && (not (Atomic.get s.combining))
     && Atomic.compare_and_set s.combining false true
-  then combine t s
+  then begin
+    Atomic.set s.claimed_at_ns (Nowa_util.Clock.now_ns ());
+    combine t s
+  end
+
+(* Watchdog probe: shards whose combiner has held the claim past
+   [hold_ms] with at least [min_depth] messages backed up behind it.
+   All reads are racy by design; [combining] is re-checked last so a
+   released-then-reclaimed shard reports the fresh claim time. *)
+let convoys ?(hold_ms = 50.0) ?(min_depth = 1) t =
+  let now = Nowa_util.Clock.now_ns () in
+  let out = ref [] in
+  Array.iter
+    (fun s ->
+      let t0 = Atomic.get s.claimed_at_ns in
+      let depth = Atomic.get s.depth in
+      if
+        t0 > 0
+        && depth >= min_depth
+        && float (now - t0) /. 1e6 > hold_ms
+        && Atomic.get s.combining
+      then
+        out :=
+          Nowa_runtime.Health.Convoy
+            { shard = s.sid; depth; held_ms = float (now - t0) /. 1e6 }
+          :: !out)
+    t.shards_;
+  !out
 
 (* -- client API ----------------------------------------------------------- *)
 

@@ -103,3 +103,22 @@ val handoffs : t -> int
 val log : t -> log_entry list
 (** Applied-step log in global [seq] order ([] unless created with
     [~log:true]).  Quiescent use only. *)
+
+(** {2 Watchdog integration} *)
+
+val convoys :
+  ?hold_ms:float -> ?min_depth:int -> t -> Nowa_runtime.Health.verdict list
+(** Live-convoy probe for the health watchdog: one
+    [Health.Convoy {shard; depth; held_ms}] per shard whose current
+    combiner has held the combining flag for more than [hold_ms]
+    (default 50) milliseconds while at least [min_depth] (default 1)
+    messages wait behind it.  All reads are racy snapshots; safe to
+    call from the monitor thread at any time. *)
+
+val inject_wedge : shard:int -> ms:int -> unit
+(** Arm a one-shot fault: the next combiner to claim [shard] spins for
+    [ms] milliseconds while holding the flag, manufacturing exactly the
+    convoy that {!convoys} detects.  Test/bench only. *)
+
+val clear_wedge : unit -> unit
+(** Disarm a pending {!inject_wedge}. *)

@@ -40,6 +40,8 @@ type report = {
   throughput : float;  (* completed / elapsed *)
   per_class : class_stats list;  (* classes with traffic only *)
   total : class_stats;
+  slo_ns : int option;  (* per-request deadline, when one was set *)
+  deadline_misses : int;  (* measured requests completing past it *)
   span : Nowa_trace.Span.t;  (* per-request ledgers; disabled w/o anatomy *)
   anatomy : Anatomy.t option;  (* phase quantiles + tail, when requested *)
 }
@@ -70,7 +72,7 @@ let stats_of_hist cls h =
   }
 
 module Make (R : Nowa_runtime.Runtime_intf.S) = struct
-  let run ?conf ?(anatomy = false) (spec : Workload.spec) : report =
+  let run ?conf ?(anatomy = false) ?slo_ns (spec : Workload.spec) : report =
     let events = Workload.generate spec in
     (* One rid per scheduled event (warmup included, flagged unmeasured)
        so the allocation order — and hence every rid — is the schedule
@@ -84,6 +86,10 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
       Kv.create ~shards:spec.shards ~buckets_per_shard:spec.buckets_per_shard
         ~span ()
     in
+    (* Convoy verdicts for the health watchdog: polled once per monitor
+       scan, a no-op when no monitor is running. *)
+    Nowa_runtime.Health.register_source ~name:"kv-convoy" (fun () ->
+        Kv.convoys kv);
     (* Standalone (unregistered) histograms so each run starts at zero;
        the long-lived Serve_metrics registry series accumulate too. *)
     let hists =
@@ -93,6 +99,7 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
     in
     let total_hist = Nowa_obs.Histogram.create "total" in
     let completed = Nowa_util.Padding.atomic 0 in
+    let misses = Nowa_util.Padding.atomic 0 in
     let t0 = ref 0 and t_done = ref 0 in
     let workers =
       match conf with
@@ -134,11 +141,20 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
                         Nowa_obs.Histogram.observe total_hist lat;
                         Serve_metrics.observe ev.cls lat;
                         Nowa_obs.Counter.incr Serve_metrics.requests;
+                        (* Deadline tag: charged against the scheduled
+                           arrival, same no-coordinated-omission clock
+                           as the latency sample itself. *)
+                        (match slo_ns with
+                        | Some slo when lat > slo ->
+                          Nowa_obs.Counter.incr Serve_metrics.deadline_misses;
+                          ignore (Atomic.fetch_and_add misses 1)
+                        | _ -> ());
                         ignore (Atomic.fetch_and_add completed 1)
                       end))
               events);
         (* Scope exit synced: every request has completed. *)
         t_done := Nowa_util.Clock.now_ns ());
+    Nowa_runtime.Health.unregister_source ~name:"kv-convoy";
     Nowa_obs.Counter.add Serve_metrics.dropped (Kv.dropped kv);
     Nowa_obs.Counter.add Serve_metrics.handoffs (Kv.handoffs kv);
     let measure_start =
@@ -169,6 +185,8 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
       throughput = float_of_int completed /. elapsed_s;
       per_class;
       total = stats_of_hist None total_hist;
+      slo_ns;
+      deadline_misses = Atomic.get misses;
       span;
       anatomy =
         (if anatomy then begin
@@ -188,6 +206,13 @@ let pp_report (r : report) =
   Printf.printf
     "  offered=%d completed=%d dropped=%d handoffs=%d elapsed=%.3fs throughput=%.0f/s\n"
     r.offered r.completed r.dropped r.handoffs r.elapsed_s r.throughput;
+  (match r.slo_ns with
+  | Some slo ->
+    Printf.printf "  slo=%.1fus deadline_misses=%d (%.3f%%)\n" (float slo /. 1e3)
+      r.deadline_misses
+      (if r.completed = 0 then 0.0
+       else 100.0 *. float r.deadline_misses /. float r.completed)
+  | None -> ());
   let row (s : class_stats) =
     [
       class_label s;
@@ -224,6 +249,11 @@ let json_of_report (r : report) =
       Printf.bprintf b ", \"%s\": %s" (class_label s) (stats_json s))
     r.per_class;
   Buffer.add_string b "}";
+  (match r.slo_ns with
+  | Some slo ->
+    Printf.bprintf b ", \"slo_ns\": %d, \"deadline_misses\": %d" slo
+      r.deadline_misses
+  | None -> ());
   (match r.anatomy with
   | None -> ()
   | Some a -> Printf.bprintf b ", \"anatomy\": %s" (Anatomy.json a));

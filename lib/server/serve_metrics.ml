@@ -39,6 +39,12 @@ let rmw_latency =
   Nowa_obs.Registry.histogram "nowa_serve_rmw_latency_ns"
     ~help:"Read-modify-write latency from scheduled arrival to completion (ns)."
 
+let deadline_misses =
+  Nowa_obs.Registry.counter "nowa_serve_deadline_misses_total"
+    ~help:
+      "Measured requests whose arrival-to-completion latency exceeded \
+       the configured SLO deadline."
+
 let latency =
   Nowa_obs.Registry.histogram "nowa_serve_latency_ns"
     ~help:

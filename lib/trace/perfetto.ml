@@ -29,18 +29,28 @@ let buf_meta b ~first ~name ~pid ?tid value =
 
 let us_of_ns ns = float_of_int ns /. 1e3
 
-(** Render a trace to a Buffer.  [process_name] labels the single process
-    row ("nowa", "wsim:nowa/256w", ...).  [counters] adds named counter
-    tracks ("ph":"C") — e.g. the queue-depth-per-resource tracks of the
-    convoy detector — rebased onto the same timeline as the events. *)
-let to_buffer ?(process_name = "nowa") ?(counters = []) (t : Trace.t) =
+(** Render per-worker event arrays to a Buffer.  [process_name] labels
+    the single process row ("nowa", "wsim:nowa/256w", ...).  [counters]
+    adds named counter tracks ("ph":"C") — e.g. the
+    queue-depth-per-resource tracks of the convoy detector — rebased
+    onto the same timeline as the events.  Taking plain event arrays
+    (rather than a {!Trace.t}) lets the flight recorder export a frozen
+    {!Trace.freeze} window through the same code path as a post-join
+    drain. *)
+let events_to_buffer ?(process_name = "nowa") ?(counters = [])
+    (per_worker : Event.t array array) =
   let b = Buffer.create 65536 in
   let first = ref true in
   let pid = 0 in
   Buffer.add_string b "{\"traceEvents\":[\n";
   buf_meta b ~first ~name:"process_name" ~pid process_name;
-  let per_worker = Trace.per_worker_events t in
-  let t0 = Trace.base_ts t in
+  let t0 =
+    Array.fold_left
+      (fun acc evs ->
+        if Array.length evs > 0 then min acc evs.(0).Event.ts else acc)
+      max_int per_worker
+    |> fun m -> if m = max_int then 0 else m
+  in
   Array.iteri
     (fun w evs ->
       if Array.length evs > 0 then
@@ -122,6 +132,17 @@ let to_buffer ?(process_name = "nowa") ?(counters = []) (t : Trace.t) =
     counters;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   b
+
+let to_buffer ?process_name ?counters (t : Trace.t) =
+  events_to_buffer ?process_name ?counters (Trace.per_worker_events t)
+
+(** Write per-worker event arrays (e.g. a {!Trace.freeze} window) as a
+    Perfetto JSON file. *)
+let write_events_file ?process_name ?counters path per_worker =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      Buffer.output_buffer oc
+        (events_to_buffer ?process_name ?counters per_worker))
 
 let to_string ?process_name ?counters t =
   Buffer.contents (to_buffer ?process_name ?counters t)

@@ -34,6 +34,23 @@ let emitted t = Array.fold_left (fun acc r -> acc + Ring.emitted r) 0 t.rings
 let per_worker_events t =
   Array.mapi (fun i r -> Ring.events r ~worker:i) t.rings
 
+(** Live freeze: per-worker event arrays sampled from the rings while
+    their writers may still be running, via {!Ring.snapshot}.  [window]
+    bounds the events kept per worker.  Returns the arrays (each
+    oldest-first) and the total number of slots discarded as torn or
+    recycled mid-copy. *)
+let freeze ?window t =
+  let dropped = ref 0 in
+  let evs =
+    Array.mapi
+      (fun i r ->
+        let arr, d = Ring.snapshot ?window r ~worker:i in
+        dropped := !dropped + d;
+        arr)
+      t.rings
+  in
+  (evs, !dropped)
+
 (** All events merged and sorted by timestamp (stable across workers). *)
 let events t =
   let all = Array.concat (Array.to_list (per_worker_events t)) in
