@@ -899,25 +899,34 @@ let serve ~opts () =
   Printf.printf "wrote BENCH_serve.json (total dropped across cells: %d)\n"
     !total_dropped
 
-(* Hot-path cost trajectory and the cost of runtime health.  Three
-   micro cells, each a min-of-N per-operation cost so scheduler jitter
-   on small hosts is damped:
+(* Hot-path cost trajectory and the cost of runtime health.  Micro
+   cells, each reported as min-of-N (jitter floor) and p50 (typical),
+   after one untimed warmup run so first-run effect/fiber setup cost
+   does not pollute the distribution:
 
    - spawn_sync: a 1-worker run of the spawn-bound kernel, where every
      spawn takes the fast path (deque push, inline child, pop, fast
      sync); elapsed/spawns is the paper's spawn+sync hot-path cost and
      the number the heartbeat store must not move;
+   - alloc_per_spawn: Gc.minor_words delta across the same run divided
+     by spawns — the allocation-free-spawn ratchet (ISSUE 9);
    - steal: direct Chase-Lev steal drain, per-element;
+   - false_sharing: 2-domain ping-pong on two atomics allocated
+     back-to-back (same birth cache line) vs through Padding.atomic —
+     the isolated cost is the ratcheted number, the contended/isolated
+     separation shows what the padding sweep buys;
    - heartbeat_overhead: the spawn cell with Config.heartbeats on vs
-     off — the tentpole's "one plain store" claim, gated at 5%;
+     off — the "one plain store" claim, gated at 5%;
 
    plus an end-to-end wedge_detection cell: a combiner wedge injected
    under a live watchdog must surface as a convoy verdict.
 
    Emits BENCH_micro.json.  When a committed baseline exists the new
-   p50s are compared against it; NOWA_MICRO_GATE=1 makes a regression
-   past NOWA_MICRO_TOLERANCE (default 10%) on spawn_sync/steal, a blown
-   heartbeat budget, or a missed wedge fatal — the CI perf gate. *)
+   numbers are compared against it; NOWA_MICRO_GATE=1 makes a
+   regression past NOWA_MICRO_TOLERANCE (default 10%) on
+   spawn_sync/steal p50, alloc_per_spawn words, or the isolated
+   false-sharing cost, a blown heartbeat budget, or a missed wedge
+   fatal — the CI perf gate. *)
 
 let find_sub hay needle =
   let n = String.length hay and m = String.length needle in
@@ -968,23 +977,61 @@ let hotpath ~opts () =
     else None
   in
   let reps = 5 in
-  let spawn_cell ~heartbeats () =
+  (* min-of-N damps scheduler jitter; p50 is the honest "typical" cost. *)
+  let summarize samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    (a.(0), a.(Array.length a / 2))
+  in
+  (* The hb-on and hb-off reps are interleaved: running one
+     configuration's reps back-to-back lets slow drift on small shared
+     hosts (and the first-run warmup cliff) masquerade as heartbeat
+     cost.  Alternating pairs makes both configurations sample the same
+     noise. *)
+  let spawn_cells () =
     let inst = Registry.find Registry.Test "fib" in
     let thunk = inst.Registry.make_thunk (module R) in
-    let conf = { (Nowa.Config.with_workers 1) with Nowa.Config.heartbeats } in
-    let best = ref infinity in
-    for _ = 1 to reps do
+    let conf hb = { (Nowa.Config.with_workers 1) with Nowa.Config.heartbeats = hb } in
+    (* A single fib-15 run is ~250us — jitter-bound on a small shared
+       host.  Each sample times a batch of runs (a few ms) instead. *)
+    let batch = 10 in
+    let one hb =
+      let w0 = Gc.minor_words () in
       let t0 = Nowa_util.Clock.now_ns () in
-      ignore (R.run ~conf thunk);
+      for _ = 1 to batch do
+        ignore (R.run ~conf:(conf hb) thunk)
+      done;
       let dt = float_of_int (Nowa_util.Clock.now_ns () - t0) in
+      let dw = Gc.minor_words () -. w0 in
       let spawns =
+        batch
+        *
         match R.last_metrics () with
         | Some m -> Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.spawns)
         | None -> 0
       in
-      if spawns > 0 then best := Float.min !best (dt /. float_of_int spawns)
+      if spawns = 0 then None
+      else Some (dt /. float_of_int spawns, dw /. float_of_int spawns)
+    in
+    (* Warmup: the first runs in a process pay one-off effect/fiber and
+       stack-pool setup (~60% over steady state) — never time them. *)
+    ignore (one false);
+    ignore (one true);
+    let on_times = ref [] and off_times = ref [] and allocs = ref [] in
+    for _ = 1 to reps do
+      (match one false with
+      | Some (t, a) ->
+        off_times := t :: !off_times;
+        allocs := a :: !allocs
+      | None -> ());
+      match one true with
+      | Some (t, _) -> on_times := t :: !on_times
+      | None -> ()
     done;
-    !best
+    let on_min, on_p50 = summarize !on_times in
+    let off_min, off_p50 = summarize !off_times in
+    let alloc_min, _ = summarize !allocs in
+    (on_min, on_p50, off_min, off_p50, alloc_min)
   in
   let steal_cell () =
     let module Q = Nowa_deque.Chase_lev.Make (struct
@@ -993,7 +1040,7 @@ let hotpath ~opts () =
       let dummy = 0
     end) in
     let n = 20_000 in
-    let best = ref infinity in
+    let samples = ref [] in
     for _ = 1 to reps do
       let q = Q.create ~capacity:1024 () in
       for i = 1 to n do
@@ -1008,23 +1055,91 @@ let hotpath ~opts () =
         | None -> incr misses (* impossible when quiescent *)
       done;
       let dt = float_of_int (Nowa_util.Clock.now_ns () - t0) in
-      if !got = n then best := Float.min !best (dt /. float_of_int n)
+      if !got = n then samples := (dt /. float_of_int n) :: !samples
     done;
-    !best
+    summarize !samples
   in
-  subsection "per-operation p50 (min of 5 cells)";
-  let spawn_on = spawn_cell ~heartbeats:true () in
-  let spawn_off = spawn_cell ~heartbeats:false () in
-  let steal = steal_cell () in
-  let hb_pct = (spawn_on -. spawn_off) /. Float.max 1e-9 spawn_off *. 100.0 in
+  (* Two domains hammer independent atomics.  Allocated back-to-back the
+     two words share their birth cache line and every incr invalidates
+     the sibling's line; through Padding.atomic the spacer lines keep
+     them apart.  The same pathology this repo sweeps out of the deque
+     top/bottom words, the Sleepers word and the per-worker metric
+     records. *)
+  let false_sharing_cell () =
+    let iters = 1_000_000 in
+    let run_pair a b =
+      let worker c () =
+        for _ = 1 to iters do
+          Atomic.incr c
+        done
+      in
+      let t0 = Nowa_util.Clock.now_ns () in
+      let d1 = Domain.spawn (worker a) in
+      let d2 = Domain.spawn (worker b) in
+      Domain.join d1;
+      Domain.join d2;
+      float_of_int (Nowa_util.Clock.now_ns () - t0) /. float_of_int iters
+    in
+    (* Untimed warmup pair to absorb domain-spawn setup. *)
+    ignore (run_pair (Atomic.make 0) (Atomic.make 0));
+    let contended = ref [] and isolated = ref [] in
+    for _ = 1 to reps do
+      let a = Atomic.make 0 in
+      let b = Atomic.make 0 in
+      contended := run_pair a b :: !contended;
+      let a = Nowa_util.Padding.atomic 0 in
+      let b = Nowa_util.Padding.atomic 0 in
+      isolated := run_pair a b :: !isolated
+    done;
+    (* Report min-of-N for both: the ping-pong loop is deterministic, so
+       anything above the minimum is host noise, not sharing cost. *)
+    let cont, _ = summarize !contended in
+    let isol, _ = summarize !isolated in
+    (cont, isol)
+  in
+  subsection
+    (Printf.sprintf "per-operation cost (min and p50 of %d cells, 1 warmup)"
+       reps);
+  let on_min, on_p50, off_min, off_p50, alloc_words = spawn_cells () in
+  let steal_min, steal_p50 = steal_cell () in
+  let fs_contended, fs_isolated = false_sharing_cell () in
+  let fs_sep = fs_contended /. Float.max 1e-9 fs_isolated in
+  (* The heartbeat is a constant per-spawn store, so the jitter-robust
+     min-of-N difference is the estimator for its cost; p50s carry the
+     host's tail noise and would flag phantom overheads. *)
+  let hb_pct = (on_min -. off_min) /. Float.max 1e-9 off_min *. 100.0 in
   let hb_ok = hb_pct <= 5.0 in
   Nowa_util.Table.print
-    ~header:[ "cell"; "p50 ns/op" ]
+    ~header:[ "cell"; "min ns/op"; "p50 ns/op" ]
     [
-      [ "spawn+sync (hb on)"; Printf.sprintf "%.1f" spawn_on ];
-      [ "spawn+sync (hb off)"; Printf.sprintf "%.1f" spawn_off ];
-      [ "steal (chase-lev)"; Printf.sprintf "%.1f" steal ];
+      [
+        "spawn+sync (hb on)";
+        Printf.sprintf "%.1f" on_min;
+        Printf.sprintf "%.1f" on_p50;
+      ];
+      [
+        "spawn+sync (hb off)";
+        Printf.sprintf "%.1f" off_min;
+        Printf.sprintf "%.1f" off_p50;
+      ];
+      [
+        "steal (chase-lev)";
+        Printf.sprintf "%.1f" steal_min;
+        Printf.sprintf "%.1f" steal_p50;
+      ];
+      [
+        "ping-pong same line";
+        "-";
+        Printf.sprintf "%.1f" fs_contended;
+      ];
+      [
+        "ping-pong isolated";
+        "-";
+        Printf.sprintf "%.1f" fs_isolated;
+      ];
     ];
+  Printf.printf "minor alloc per spawn: %.1f words\n" alloc_words;
+  Printf.printf "false-sharing separation: %.2fx (contended/isolated)\n" fs_sep;
   Printf.printf "heartbeat overhead on spawn+sync: %+.2f%% (%s)\n" hb_pct
     (if hb_ok then "<=5% ok" else "OVER BUDGET");
   subsection "combiner wedge detection under a live watchdog";
@@ -1068,31 +1183,47 @@ let hotpath ~opts () =
   | None -> Printf.printf "no committed BENCH_micro.json: baseline run\n"
   | Some b ->
     List.iter
-      (fun (kind, now) ->
-        match baseline_float ~kind ~field:"p50_ns" b with
+      (fun (kind, field, unit_, now) ->
+        (* The ratchet compares min-of-N: the one estimator host jitter
+           cannot inflate.  Baselines written before min_ns existed
+           carried a min-of-5 in p50_ns, so fall back to it. *)
+        let old =
+          match baseline_float ~kind ~field b with
+          | Some _ as v -> v
+          | None -> baseline_float ~kind ~field:"p50_ns" b
+        in
+        match old with
         | None -> ()
         | Some old ->
           let pct = (now -. old) /. Float.max 1e-9 old *. 100.0 in
-          Printf.printf "%s p50: %.1f -> %.1f ns/op (%+.1f%% vs baseline)\n"
-            kind old now pct;
+          Printf.printf "%s %s: %.1f -> %.1f %s (%+.1f%% vs baseline)\n" kind
+            field old now unit_ pct;
           if pct > tolerance then
             regressions :=
               Printf.sprintf "%s regressed %.1f%% (> %.0f%%)" kind pct
                 tolerance
               :: !regressions)
-      [ ("spawn_sync", spawn_on); ("steal", steal) ]);
+      [
+        ("spawn_sync", "min_ns", "ns/op", on_min);
+        ("steal", "min_ns", "ns/op", steal_min);
+        ("alloc_per_spawn", "words", "words", alloc_words);
+        ("false_sharing", "isolated_ns", "ns/op", fs_isolated);
+      ]);
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc
     "[\n\
-    \  {\"kind\": \"spawn_sync\", \"p50_ns\": %.1f},\n\
-    \  {\"kind\": \"steal\", \"p50_ns\": %.1f},\n\
-    \  {\"kind\": \"heartbeat_overhead\", \"p50_on_ns\": %.1f, \
-     \"p50_off_ns\": %.1f, \"overhead_pct\": %.2f, \"overhead_ok\": %b},\n\
+    \  {\"kind\": \"spawn_sync\", \"p50_ns\": %.1f, \"min_ns\": %.1f},\n\
+    \  {\"kind\": \"steal\", \"p50_ns\": %.1f, \"min_ns\": %.1f},\n\
+    \  {\"kind\": \"alloc_per_spawn\", \"words\": %.1f},\n\
+    \  {\"kind\": \"false_sharing\", \"contended_ns\": %.1f, \
+     \"isolated_ns\": %.1f, \"separation\": %.2f},\n\
+    \  {\"kind\": \"heartbeat_overhead\", \"min_on_ns\": %.1f, \
+     \"min_off_ns\": %.1f, \"overhead_pct\": %.2f, \"overhead_ok\": %b},\n\
     \  {\"kind\": \"wedge_detection\", \"watchdog_ms\": %d, \"wedge_ms\": \
      %d, \"detected\": %b}\n\
      ]\n"
-    spawn_on steal spawn_on spawn_off hb_pct hb_ok watchdog_ms wedge_ms
-    detected;
+    on_p50 on_min steal_p50 steal_min alloc_words fs_contended fs_isolated
+    fs_sep on_min off_min hb_pct hb_ok watchdog_ms wedge_ms detected;
   close_out oc;
   Printf.printf "wrote BENCH_micro.json\n";
   let gate = Sys.getenv_opt "NOWA_MICRO_GATE" = Some "1" in

@@ -47,6 +47,7 @@ let battery =
       Verified,
       S.locked_batch_spec ~pushes:3 ~pops:1 ~batch:2 ~thieves:1 );
     ("snzi_2", Verified, S.snzi_spec ~threads:2);
+    ("snzi_batch", Verified, S.snzi_batch_spec ~threads:2 ~batch:2);
     ("barrier_sense_2x2", Verified, S.barrier_spec ~variant:`Sense ~n:2 ~rounds:2);
     ( "barrier_sense_reordered_2x2",
       Violates,

@@ -40,9 +40,9 @@ struct
     t.slots.(b) <- v;
     Atomic.set t.bot (b + 1)
 
-  let pop_bottom t =
+  let pop t =
     let b = Atomic.get t.bot in
-    if b = 0 then None
+    if b = 0 then E.dummy
     else begin
       let b = b - 1 in
       Atomic.set t.bot b;
@@ -51,20 +51,24 @@ struct
       let tag, top = unpack old_age in
       if b > top then begin
         t.slots.(b) <- E.dummy;
-        Some v
+        v
       end
       else begin
         (* Deque is now empty or this is the last element: reset indices,
            bumping the tag so in-flight thieves cannot commit stale tops. *)
         Atomic.set t.bot 0;
         let new_age = pack ~tag:(tag + 1) ~top:0 in
-        if b = top && Atomic.compare_and_set t.age old_age new_age then Some v
+        if b = top && Atomic.compare_and_set t.age old_age new_age then v
         else begin
           Atomic.set t.age new_age;
-          None
+          E.dummy
         end
       end
     end
+
+  let pop_bottom t =
+    let v = pop t in
+    if v == E.dummy then None else Some v
 
   let steal t ~on_commit =
     let old_age = Atomic.get t.age in

@@ -66,7 +66,7 @@ struct
     slot_set buf b v;
     Atomic.set t.bottom (b + 1)
 
-  let pop_bottom t =
+  let pop t =
     let b = Atomic.get t.bottom - 1 in
     Atomic.set t.bottom b;
     (* The seq_cst store above acts as the store-load fence the algorithm
@@ -75,14 +75,14 @@ struct
     let size = b - tp in
     if size < 0 then begin
       Atomic.set t.bottom tp;
-      None
+      E.dummy
     end
     else
       let buf = Atomic.get t.buf in
       let v = slot_get buf b in
       if size > 0 then begin
         slot_set buf b E.dummy;
-        Some v
+        v
       end
       else begin
         (* Single element left: race against thieves for it. *)
@@ -90,10 +90,14 @@ struct
         Atomic.set t.bottom (tp + 1);
         if won then begin
           slot_set buf b E.dummy;
-          Some v
+          v
         end
-        else None
+        else E.dummy
       end
+
+  let pop_bottom t =
+    let v = pop t in
+    if v == E.dummy then None else Some v
 
   let steal t ~on_commit =
     let tp = Atomic.get t.top in

@@ -47,19 +47,23 @@ struct
     t.tail <- t.tail + 1;
     Mutex.unlock t.lock
 
-  let pop_bottom t =
+  let pop t =
     Mutex.lock t.lock;
     let r =
-      if t.tail = t.head then None
+      if t.tail = t.head then E.dummy
       else begin
         t.tail <- t.tail - 1;
         let v = t.slots.(t.tail land t.mask) in
         t.slots.(t.tail land t.mask) <- E.dummy;
-        Some v
+        v
       end
     in
     Mutex.unlock t.lock;
     r
+
+  let pop_bottom t =
+    let v = pop t in
+    if v == E.dummy then None else Some v
 
   let steal t ~on_commit =
     Mutex.lock t.lock;

@@ -60,7 +60,7 @@ struct
     t.slots.(tail land t.mask) <- v;
     Atomic.set t.tail (tail + 1)
 
-  let pop_bottom t =
+  let pop t =
     let tail = Atomic.get t.tail - 1 in
     Atomic.set t.tail tail;
     let head = Atomic.get t.head in
@@ -74,20 +74,24 @@ struct
       if head > tail then begin
         Atomic.set t.tail head;
         Mutex.unlock t.lock;
-        None
+        E.dummy
       end
       else begin
         let v = t.slots.(tail land t.mask) in
         t.slots.(tail land t.mask) <- E.dummy;
         Mutex.unlock t.lock;
-        Some v
+        v
       end
     end
     else begin
       let v = t.slots.(tail land t.mask) in
       t.slots.(tail land t.mask) <- E.dummy;
-      Some v
+      v
     end
+
+  let pop_bottom t =
+    let v = pop t in
+    if v == E.dummy then None else Some v
 
   let steal t ~on_commit =
     Mutex.lock t.lock;

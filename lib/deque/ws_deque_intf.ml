@@ -33,9 +33,17 @@ module type S = sig
   val push_bottom : t -> elt -> unit
   (** Owner only.  May raise {!Full} on bounded implementations. *)
 
-  val pop_bottom : t -> elt option
+  val pop : t -> elt
   (** Owner only.  LIFO: returns the most recently pushed element that has
-      not been stolen. *)
+      not been stolen, or [E.dummy] when the deque is empty (or the last
+      element was lost to a racing thief).  This is the allocation-free
+      variant used on the scheduler's per-spawn hot path — no [option]
+      box is built per pop.  Callers must never push the dummy element;
+      all implementations already reserve it for blanking freed slots. *)
+
+  val pop_bottom : t -> elt option
+  (** Owner only.  LIFO: [pop] wrapped in an [option]; kept for tests and
+      cold paths where the extra allocation does not matter. *)
 
   val steal : t -> on_commit:(elt -> unit) -> elt option
   (** Thief operation; FIFO from the top.  [on_commit] runs exactly once if

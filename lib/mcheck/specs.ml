@@ -798,6 +798,87 @@ let snzi_spec ~threads:nthreads () =
   let invariant () = Cell.peek root = 0 && c2_of (Cell.peek node) = 0 in
   (threads, invariant)
 
+(* -- SNZI batched arrive_n/depart_n (lib/sync/snzi.ml) -----------------
+   The batched forms fold a burst of units into one CAS: only the unit
+   that moves the node away from zero walks to the root; the remainder
+   is a local increment legal because the walker's own completed unit
+   pins the node non-zero.  Threads arrive different batch sizes, check
+   the indicator, and retire their whole batch with one batched depart
+   (parent decremented iff the node reaches zero). *)
+
+let snzi_batch_spec ~threads:nthreads ~batch () =
+  let node = Cell.make 0 in
+  let root = Cell.make 0 in
+  let pack ~c2 ~v = (c2 lsl 8) lor (v land 255) in
+  let c2_of x = x lsr 8 and v_of x = x land 255 in
+  let depart_root () = ignore (Cell.fetch_add root (-1)) in
+  let arrive_one () =
+    let undo = ref 0 in
+    let rec loop () =
+      let x = Cell.read node in
+      let c2 = c2_of x and v = v_of x in
+      if c2 >= 2 then begin
+        if not (Cell.cas node x (pack ~c2:(c2 + 2) ~v)) then loop ()
+      end
+      else if c2 = 1 then begin
+        ignore (Cell.fetch_add root 1);
+        if not (Cell.cas node x (pack ~c2:2 ~v)) then incr undo;
+        loop ()
+      end
+      else begin
+        if Cell.cas node x (pack ~c2:1 ~v:(v + 1)) then begin
+          ignore (Cell.fetch_add root 1);
+          if not (Cell.cas node (pack ~c2:1 ~v:(v + 1)) (pack ~c2:2 ~v:(v + 1)))
+          then incr undo
+        end
+        else loop ()
+      end
+    in
+    loop ();
+    for _ = 1 to !undo do
+      depart_root ()
+    done
+  in
+  let arrive_n n =
+    let x = Cell.read node in
+    let c2 = c2_of x and v = v_of x in
+    if c2 >= 2 && Cell.cas node x (pack ~c2:(c2 + (2 * n)) ~v) then ()
+    else begin
+      arrive_one ();
+      if n > 1 then begin
+        let rec add () =
+          let x = Cell.read node in
+          let c2 = c2_of x and v = v_of x in
+          check (c2 >= 2) "remainder add found the node zero under own unit";
+          if not (Cell.cas node x (pack ~c2:(c2 + (2 * (n - 1))) ~v)) then
+            add ()
+        in
+        add ()
+      end
+    end
+  in
+  let depart_n n =
+    let rec loop () =
+      let x = Cell.read node in
+      let c2 = c2_of x and v = v_of x in
+      check (c2 >= 2 * n) "batched depart found surplus short of the batch";
+      if Cell.cas node x (pack ~c2:(c2 - (2 * n)) ~v) then begin
+        if c2 = 2 * n then depart_root ()
+      end
+      else loop ()
+    in
+    loop ()
+  in
+  let worker i () =
+    let n = 1 + (i mod batch) in
+    arrive_n n;
+    check (Cell.peek root > 0) "batch arrived but the indicator reads zero";
+    depart_n n
+  in
+  let threads = List.init nthreads worker in
+  let invariant () = Cell.peek root = 0 && c2_of (Cell.peek node) = 0 in
+  (threads, invariant)
+
 (* -- barrier reuse across rounds (lib/sync/barrier.ml) -----------------
    [`Sense] is the pre-fix sense-reversing barrier (my_sense read from
    the global flag at entry); [`Sense_reordered] is the same protocol

@@ -100,6 +100,15 @@ val snzi_spec :
     path and the surplus undo.  Invariant: the indicator is non-zero
     while any arrive is unmatched, and everything returns to zero. *)
 
+val snzi_batch_spec :
+  threads:int -> batch:int -> unit -> (unit -> unit) list * (unit -> bool)
+(** The batched SNZI operations ([Snzi.arrive_n]/[depart_n]): each
+    thread arrives a batch of 1..[batch] units (one tree walk for the
+    zero-to-non-zero unit, one local CAS for the remainder), checks the
+    indicator, then retires the whole batch in one batched depart.
+    Invariant: the remainder CAS never runs on a zero node, departs
+    never find the surplus short, and everything returns to zero. *)
+
 val barrier_spec :
   ?variant:[ `Sense | `Sense_reordered | `Epoch ] ->
   n:int -> rounds:int ->

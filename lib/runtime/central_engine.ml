@@ -40,6 +40,17 @@ end) : Runtime_intf.S = struct
   type pool = {
     conf : Config.t;
     queue : task Nowa_deque.Central_queue.t;
+    work : Nowa_sync.Snzi.t;
+        (* Non-zero indicator over the queue: spawners arrive before the
+           push, poppers depart after the grab ([depart_n]: one CAS per
+           batch), so surplus >= queue length always and [query] = false
+           proves the queue is empty.  Idle workers read the padded SNZI
+           root instead of hammering the central mutex — the query-skip.
+           SNZI departs must retire units at their arrival leaf, and a
+           queued task carries no leaf memory, so the indicator runs
+           single-leaf: the leaf CAS traffic matches what a plain atomic
+           counter would cost, while the query side stays one uncontended
+           root read. *)
     workers : worker array;
     finished : bool Atomic.t;
     sleepers : Sleepers.t;
@@ -72,21 +83,30 @@ end) : Runtime_intf.S = struct
     | t :: rest ->
       w.stash <- rest;
       Some t
-    | [] -> (
+    | [] ->
       w.m.steal_attempts <- w.m.steal_attempts + 1;
       Health.Beats.beat w.hb w.id;
       Ring.emit w.tr Ev.Steal_attempt 0;
-      match
-        Nowa_deque.Central_queue.pop_batch pool.queue
-          ~max:(max 1 pool.conf.Config.steal_sweep)
-      with
-      | [] ->
+      if not (Nowa_sync.Snzi.query pool.work) then begin
+        (* Indicator at zero proves the queue is empty: skip the mutex. *)
         Ring.emit w.tr Ev.Steal_abort 0;
         None
-      | head :: rest ->
-        Ring.emit w.tr Ev.Steal_commit 0;
-        w.stash <- rest;
-        Some head)
+      end
+      else begin
+        match
+          Nowa_deque.Central_queue.pop_batch pool.queue
+            ~max:(max 1 pool.conf.Config.steal_sweep)
+        with
+        | [] ->
+          Ring.emit w.tr Ev.Steal_abort 0;
+          None
+        | head :: rest ->
+          (* One batched depart retires the whole grab's units. *)
+          Nowa_sync.Snzi.depart_n pool.work ~leaf:0 (1 + List.length rest);
+          Ring.emit w.tr Ev.Steal_commit 0;
+          w.stash <- rest;
+          Some head
+      end
 
   let wait_for pool w fr =
     w.m.suspensions <- w.m.suspensions + 1;
@@ -108,7 +128,14 @@ end) : Runtime_intf.S = struct
     | t :: rest ->
       w.stash <- rest;
       Some t
-    | [] -> Nowa_deque.Central_queue.pop pool.queue
+    | [] -> (
+      (* No query-skip here: this probe is the park protocol's lost-wakeup
+         guard, so it must hit the queue itself. *)
+      match Nowa_deque.Central_queue.pop pool.queue with
+      | Some _ as r ->
+        Nowa_sync.Snzi.depart pool.work ~leaf:0;
+        r
+      | None -> None)
 
   let park_round pool w =
     Health.Beats.beat w.hb w.id;
@@ -207,6 +234,7 @@ end) : Runtime_intf.S = struct
       {
         conf;
         queue = Nowa_deque.Central_queue.create ();
+        work = Nowa_sync.Snzi.create ~leaves:1 ();
         finished = Atomic.make false;
         sleepers = Sleepers.create ~workers:nw;
         workers =
@@ -339,6 +367,9 @@ end) : Runtime_intf.S = struct
         note_exn fr e);
       ignore (Atomic.fetch_and_add fr.pending (-1))
     in
+    (* Arrive before push: a task in the queue always has a visible unit
+       behind it, so a zero indicator proves the queue is empty. *)
+    Nowa_sync.Snzi.arrive pool.work ~leaf:0;
     Nowa_deque.Central_queue.push pool.queue (Task body);
     (* One load when nobody sleeps; CAS + signal only for a sleeper. *)
     if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1;
@@ -354,6 +385,7 @@ end) : Runtime_intf.S = struct
       (match thunk () with () -> () | exception e -> note_exn fr e);
       ignore (Atomic.fetch_and_add fr.pending (-1))
     in
+    Nowa_sync.Snzi.arrive pool.work ~leaf:0;
     Nowa_deque.Central_queue.push pool.queue (Task body);
     if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1
 

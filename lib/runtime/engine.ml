@@ -16,7 +16,32 @@
     miss means the continuation was stolen, turning the rest of this
     control flow into a joining strand (the implicit sync of Figure 5,
     lines 4-5).  Suspension is simply the effect handler returning to the
-    scheduler loop without resuming anything. *)
+    scheduler loop without resuming anything.
+
+    {2 Hot-path allocation discipline (ISSUE 9)}
+
+    A spawn+sync round trip performs no minor-heap allocation beyond the
+    unavoidable effect machinery (the [Spawn] effect value and the fiber
+    the child runs on) and, for value-returning [spawn], one flat promise
+    record:
+
+    - the deque element is a mutable {e task box} recycled through a
+      per-worker [spare] slot — the box popped on the steal-free path is
+      immediately reused for the next push;
+    - the per-scope frame (counter + suspension slot + per-frame effect
+      handler) is recycled through a per-worker free list — frames are
+      pristine after a completed sync;
+    - the suspension slot is three flat fields guarded by one int atomic
+      instead of an [option Atomic.t] exchange box;
+    - the per-child handler closures live in the frame (shared by all its
+      children) instead of being rebuilt per [match_with];
+    - the deque's [pop] returns the dummy element instead of an [option].
+
+    Task boxes are mutated only under exclusive ownership: a box belongs
+    to the pushing worker until a deque commit (pop CAS / steal CAS /
+    critical section) transfers it, and thieves read its fields only
+    after their commit, so the plain mutable fields ride the deques'
+    existing release/acquire ordering. *)
 
 module Make
     (QM : Nowa_deque.Ws_deque_intf.MAKER)
@@ -37,18 +62,43 @@ module Make
 
   type frame = {
     counter : C.t;
-    suspended : (cont * Stack_pool.stack option) option Atomic.t;
+    mutable susp_k : cont;  (* valid iff susp_state = 1 *)
+    mutable susp_stack : Stack_pool.stack option;
+    susp_state : int Atomic.t;  (* 0 = empty, 1 = published *)
     exn_slot : exn option Atomic.t;
+    mutable handler : (unit, unit) Effect.Deep.handler;
+        (* retc/exnc close over this very frame; built once in
+           [make_frame], shared by every child of the frame. *)
   }
 
   type scope = frame
 
-  type task = Root of (unit -> unit) | Stolen of cont * frame
+  (* Sentinels for the recycled mutable slots.  They are immediates
+     ([Obj.magic ()] = the unit word), safe for the GC to scan in pointer
+     fields and never dereferenced: a dummy cont/frame only ever sits in
+     a cleared slot or in the deque's blanked buffer cells. *)
+  let dummy_cont : cont = Obj.magic ()
+  let dummy_frame : frame = Obj.magic ()
+
+  (* The deque element: one mutable box per in-flight continuation,
+     recycled via the worker's [spare] slot once ownership returns. *)
+  type task = {
+    mutable kind : int;  (* [kind_stolen] or [kind_root] *)
+    mutable tk : cont;
+    mutable tfn : unit -> unit;  (* root thunk; [ignore] otherwise *)
+    mutable tfr : frame;
+  }
+
+  let kind_stolen = 0
+  let kind_root = 1
+
+  let dummy_task =
+    { kind = kind_root; tk = dummy_cont; tfn = ignore; tfr = dummy_frame }
 
   module Q = QM (struct
     type t = task
 
-    let dummy = Root ignore
+    let dummy = dummy_task
   end)
 
   type worker = {
@@ -59,6 +109,13 @@ module Make
     tr : Ring.t;  (* wait-free event ring; Ring.disabled when not tracing *)
     mutable stack : Stack_pool.stack option;
     mutable next_victim : int;  (* Round_robin victim scan position *)
+    mutable spare : task;  (* recycled task box; [dummy_task] when empty *)
+    mutable child_thunk : unit -> Obj.t;
+        (* in-flight child relay: written by [handle_spawn], read back at
+           the top of the child fiber — never lives across an effect *)
+    mutable child_promise : Obj.t Promise.t;
+    frames : frame array;  (* free list of pristine frames *)
+    mutable nframes : int;
   }
 
   type pool = {
@@ -70,9 +127,18 @@ module Make
     hb : Health.Beats.t;  (* per-worker heartbeat words; watchdog input *)
   }
 
+  (* The effect carries the untyped thunk and promise directly (the
+     uniform-representation coercion confined to [spawn]/[spawn_unit]),
+     so no per-spawn wrapper closure is built. *)
   type _ Effect.t +=
-    | Spawn : frame * (unit -> unit) -> unit Effect.t
+    | Spawn : frame * (unit -> Obj.t) * Obj.t Promise.t -> unit Effect.t
     | Sync : frame -> unit Effect.t
+
+  let dummy_thunk : unit -> Obj.t = fun () -> Obj.repr ()
+
+  (* Shared sentinel promise for [spawn_unit]; never filled (guarded by
+     physical inequality in [child_body]). *)
+  let dummy_promise : Obj.t Promise.t = Promise.make ()
 
   let current : (pool * worker) option Domain.DLS.key =
     Domain.DLS.new_key (fun () -> None)
@@ -105,56 +171,85 @@ module Make
       Ring.emit w.tr Ev.Stack_release 0;
       w.stack <- None
 
-  (* Resume a frame whose sync condition this caller observed: take the
-     stored continuation (exactly one strand ever gets here per sync),
+  (* Clear a task box we own and park it in the worker's spare slot for
+     the next push.  Clearing drops the references so a parked box never
+     retains a continuation or frame. *)
+  let recycle_task w (t : task) =
+    t.kind <- kind_stolen;
+    t.tk <- dummy_cont;
+    t.tfn <- ignore;
+    t.tfr <- dummy_frame;
+    w.spare <- t
+
+  (* Body of every child fiber.  A static function (no per-child closure):
+     the thunk and promise travel through the spawning worker's relay
+     fields, read back here before anything else can run on this domain. *)
+  let child_body w =
+    let thunk = w.child_thunk and p = w.child_promise in
+    w.child_thunk <- dummy_thunk;
+    w.child_promise <- dummy_promise;
+    match thunk () with
+    | v -> if p != dummy_promise then Promise.fill p v
+    | exception e ->
+      if p != dummy_promise then Promise.fill_exn p e;
+      raise e
+  (* the re-raise lands in the frame handler's [exnc], which records the
+     exception in the frame and joins as usual *)
+
+  (* Resume a frame whose sync condition this caller observed: claim the
+     published continuation (exactly one strand ever gets here per sync),
      re-arm the counter for a possible next spawn phase, adopt the
      suspended stack if one travelled with the frame. *)
   let rec resume_frame pool w fr =
-    match Atomic.exchange fr.suspended None with
-    | None ->
-      (* Unreachable: the counter designates a unique zero-observer, and
-         the continuation is published before the counter can reach 0. *)
-      assert false
-    | Some (k, stk) ->
-      w.m.resumes <- w.m.resumes + 1;
-      Ring.emit w.tr Ev.Resume 0;
-      C.reset fr.counter;
-      (match stk with
-      | None -> ()
-      | Some s ->
-        drop_stack pool w;
-        Stack_pool.reactivate pool.stacks s;
-        w.stack <- Some s);
-      Effect.Deep.continue k ()
+    let claimed = Atomic.exchange fr.susp_state 0 in
+    (* claimed = 1 always: the counter designates a unique zero-observer,
+       and the continuation is published before the counter can reach 0. *)
+    assert (claimed = 1);
+    let k = fr.susp_k in
+    let stk = fr.susp_stack in
+    fr.susp_k <- dummy_cont;
+    fr.susp_stack <- None;
+    w.m.resumes <- w.m.resumes + 1;
+    Ring.emit w.tr Ev.Resume 0;
+    C.reset fr.counter;
+    (match stk with
+    | None -> ()
+    | Some s ->
+      drop_stack pool w;
+      Stack_pool.reactivate pool.stacks s;
+      w.stack <- Some s);
+    Effect.Deep.continue k ()
 
   (* Figure 5, lines 4-5: runs after a spawned child returned. *)
   and after_child fr =
     let pool, w = get_current () in
-    match Q.pop_bottom w.deque with
-    | Some (Stolen (k, _)) ->
+    let t = Q.pop w.deque in
+    if t != dummy_task then begin
       (* Not stolen: this is necessarily the continuation pushed for this
-         very child (LIFO and balanced nesting); proceed with it. *)
+         very child (LIFO and balanced nesting; root tasks never enter a
+         deque).  Recycle the box before resuming — the continuation's
+         next spawn reuses it. *)
+      let k = t.tk in
+      t.tk <- dummy_cont;
+      t.tfr <- dummy_frame;
+      w.spare <- t;
       Effect.Deep.continue k ()
-    | Some (Root _) -> assert false
-    | None ->
+    end
+    else begin
       (* The continuation was stolen: implicit sync. *)
       w.m.lost_continuations <- w.m.lost_continuations + 1;
       Ring.emit w.tr Ev.Lost_continuation 0;
       if C.child_joined fr.counter then resume_frame pool w fr
+    end
 
-  and exec_child fr thunk =
-    Effect.Deep.match_with thunk ()
-      {
-        retc = (fun () -> after_child fr);
-        exnc =
-          (fun e ->
-            note_exn fr e;
-            after_child fr);
-        effc;
-      }
+  and exec_child w fr thunk p =
+    w.child_thunk <- thunk;
+    w.child_promise <- p;
+    Effect.Deep.match_with child_body w fr.handler
 
-  and handle_spawn : frame -> (unit -> unit) -> cont -> unit =
-   fun fr thunk k ->
+  and handle_spawn : frame -> (unit -> Obj.t) -> Obj.t Promise.t -> cont -> unit
+      =
+   fun fr thunk p k ->
     let pool, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
     (* Spawn is a station point too: a worker descending a deep inline
@@ -166,48 +261,113 @@ module Make
     (match w.stack with
     | Some s -> Stack_pool.touch s ~pages:1 ~max_pages:pool.conf.Config.stack_pages
     | None -> ());
-    Q.push_bottom w.deque (Stolen (k, fr));
+    let t = w.spare in
+    let t =
+      if t != dummy_task then begin
+        w.spare <- dummy_task;
+        t.tk <- k;
+        t.tfr <- fr;
+        t
+      end
+      else { kind = kind_stolen; tk = k; tfn = ignore; tfr = fr }
+    in
+    Q.push_bottom w.deque t;
     (* One atomic load when nobody sleeps — the spawn path stays
        wait-free; the CAS + signal run only against an actual sleeper. *)
     if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1;
-    exec_child fr thunk
+    exec_child w fr thunk p
 
   and handle_sync : frame -> cont -> unit =
    fun fr k ->
     let pool, w = get_current () in
-    (* If strands are still outstanding we will very likely suspend: the
-       frame's stack is handed over now (paying the modelled madvise cost
-       when configured), because after [reach_sync] returns [false] this
-       strand no longer owns the frame. *)
-    let stk =
-      if C.pending_hint fr.counter > 0 then (
+    if C.pending_hint fr.counter = 0 then begin
+      (* Fused fast path: every stolen strand has already joined (the
+         hint is exact here — no continuation of this frame sits in any
+         deque at an explicit sync, so no new steal or join can race us)
+         and [reach_sync] must succeed.  Skip the stack handover, the
+         publication store and the resume exchange entirely. *)
+      let ok = C.reach_sync fr.counter in
+      assert ok;
+      w.m.fused_syncs <- w.m.fused_syncs + 1;
+      C.reset fr.counter;
+      Effect.Deep.continue k ()
+    end
+    else begin
+      (* Strands are still outstanding, so we will very likely suspend:
+         the frame's stack is handed over now (paying the modelled
+         madvise cost when configured), because after [reach_sync]
+         returns [false] this strand no longer owns the frame. *)
+      let stk =
         match w.stack with
         | Some s ->
           Stack_pool.suspend pool.stacks s;
           w.stack <- None;
           Some s
-        | None -> None)
-      else None
-    in
-    Atomic.set fr.suspended (Some (k, stk));
-    if C.reach_sync fr.counter then resume_frame pool w fr
-    else begin
-      w.m.suspensions <- w.m.suspensions + 1;
-      Ring.emit w.tr Ev.Suspend 0
+        | None -> None
+      in
+      fr.susp_k <- k;
+      fr.susp_stack <- stk;
+      Atomic.set fr.susp_state 1;
+      if C.reach_sync fr.counter then resume_frame pool w fr
+      else begin
+        w.m.suspensions <- w.m.suspensions + 1;
+        Ring.emit w.tr Ev.Suspend 0
+      end
     end
   (* returning without resuming = this strand is suspended; control goes
      back to the scheduler loop, which hunts for work. *)
 
   and effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
       = function
-    | Spawn (fr, thunk) -> Some (fun k -> handle_spawn fr thunk k)
+    | Spawn (fr, thunk, p) -> Some (fun k -> handle_spawn fr thunk p k)
     | Sync fr -> Some (fun k -> handle_sync fr k)
     | _ -> None
 
-  let on_commit t =
-    match t with
-    | Stolen (_, fr) -> C.note_steal fr.counter
-    | Root _ -> ()
+  let null_handler : (unit, unit) Effect.Deep.handler =
+    { retc = ignore; exnc = raise; effc = (fun _ -> None) }
+
+  let make_frame () =
+    let fr =
+      {
+        counter = C.create ();
+        susp_k = dummy_cont;
+        susp_stack = None;
+        susp_state = Atomic.make 0;
+        exn_slot = Atomic.make None;
+        handler = null_handler;
+      }
+    in
+    fr.handler <-
+      {
+        Effect.Deep.retc = (fun () -> after_child fr);
+        exnc =
+          (fun e ->
+            note_exn fr e;
+            after_child fr);
+        effc;
+      };
+    fr
+
+  (* Frames returned to the free list are pristine: the counter was reset
+     on every completed-sync path, the exn slot was drained by [sync] and
+     the suspension slot was cleared by its unique claimer. *)
+  let recycle_frame w fr =
+    if w.nframes < Array.length w.frames then begin
+      w.frames.(w.nframes) <- fr;
+      w.nframes <- w.nframes + 1
+    end
+
+  let take_frame w =
+    if w.nframes > 0 then begin
+      let n = w.nframes - 1 in
+      w.nframes <- n;
+      let fr = w.frames.(n) in
+      w.frames.(n) <- dummy_frame;
+      fr
+    end
+    else make_frame ()
+
+  let on_commit t = if t.kind == kind_stolen then C.note_steal t.tfr.counter
 
   let try_steal pool w =
     let n = Array.length pool.workers in
@@ -261,18 +421,26 @@ module Make
         probe 0
       end
 
-  let execute pool w task =
+  let execute pool w (t : task) =
     w.m.tasks <- w.m.tasks + 1;
     ignore (ensure_stack pool w);
     Ring.emit w.tr Ev.Task_start 0;
-    (match task with
-    | Root f -> f ()
-    | Stolen (k, fr) ->
-      w.m.steals <- w.m.steals + 1;
-      (* Invariant II: α is bumped by the (unique) main-path control flow,
-         here, just before the stolen continuation resumes. *)
-      C.note_resume fr.counter;
-      Effect.Deep.continue k ());
+    (if t.kind == kind_root then begin
+       let f = t.tfn in
+       recycle_task w t;
+       f ()
+     end
+     else begin
+       let k = t.tk and fr = t.tfr in
+       (* The box is ours after the steal/pop commit: strip it and hand
+          it to this worker's spare slot before resuming. *)
+       recycle_task w t;
+       w.m.steals <- w.m.steals + 1;
+       (* Invariant II: α is bumped by the (unique) main-path control
+          flow, here, just before the stolen continuation resumes. *)
+       C.note_resume fr.counter;
+       Effect.Deep.continue k ()
+     end);
     Ring.emit w.tr Ev.Task_end 0;
     Health.Beats.beat pool.hb w.id
 
@@ -385,6 +553,11 @@ module Make
   let last_trace_ref = ref None
   let last_trace () = !last_trace_ref
 
+  (* Frames cached per worker; deeper recycling simply falls back to the
+     GC.  Completed scopes return frames innermost-first, so the steady-
+     state free-list depth is tiny — the slack absorbs bursts. *)
+  let frame_cache = 64
+
   let run ?conf main =
     let conf = match conf with Some c -> c | None -> Config.default () in
     let nw = max 1 conf.Config.workers in
@@ -411,16 +584,26 @@ module Make
           (if conf.Config.heartbeats then Health.Beats.create ~workers:nw
            else Health.Beats.disabled);
         workers =
+          (* Worker records hold hot mutable fields (spare slot, stack,
+             frame-list cursor); isolate each record's birth cache line. *)
           Array.init nw (fun i ->
-              {
-                id = i;
-                deque = Q.create ~capacity:conf.Config.deque_capacity ();
-                rng = Nowa_util.Xoshiro.make ~seed:(conf.Config.seed + (i * 7919) + 1);
-                m = Metrics.make_worker i;
-                tr = ring_for i;
-                stack = None;
-                next_victim = i + 1;
-              });
+              Nowa_util.Padding.isolate (fun () ->
+                  {
+                    id = i;
+                    deque = Q.create ~capacity:conf.Config.deque_capacity ();
+                    rng =
+                      Nowa_util.Xoshiro.make
+                        ~seed:(conf.Config.seed + (i * 7919) + 1);
+                    m = Metrics.make_worker i;
+                    tr = ring_for i;
+                    stack = None;
+                    next_victim = i + 1;
+                    spare = dummy_task;
+                    child_thunk = dummy_thunk;
+                    child_promise = dummy_promise;
+                    frames = Array.make frame_cache dummy_frame;
+                    nframes = 0;
+                  }));
       }
     in
     (* Expose this run's counters live: scrapes read the worker records
@@ -476,22 +659,27 @@ module Make
           fun () -> Health.Monitor.stop h);
     let result = ref None in
     let root =
-      Root
-        (fun () ->
-          Effect.Deep.match_with main ()
-            {
-              retc =
-                (fun v ->
-                  result := Some (Ok v);
-                  Atomic.set pool.finished true;
-                  Sleepers.wake_all pool.sleepers);
-              exnc =
-                (fun e ->
-                  result := Some (Error e);
-                  Atomic.set pool.finished true;
-                  Sleepers.wake_all pool.sleepers);
-              effc;
-            })
+      {
+        kind = kind_root;
+        tk = dummy_cont;
+        tfn =
+          (fun () ->
+            Effect.Deep.match_with main ()
+              {
+                retc =
+                  (fun v ->
+                    result := Some (Ok v);
+                    Atomic.set pool.finished true;
+                    Sleepers.wake_all pool.sleepers);
+                exnc =
+                  (fun e ->
+                    result := Some (Error e);
+                    Atomic.set pool.finished true;
+                    Sleepers.wake_all pool.sleepers);
+                effc;
+              });
+        tfr = dummy_frame;
+      }
     in
     let t0 = Unix.gettimeofday () in
     let domains =
@@ -557,53 +745,61 @@ module Make
     | Some (Error e) -> raise e
     | None -> assert false
 
-  let make_frame () =
-    {
-      counter = C.create ();
-      suspended = Atomic.make None;
-      exn_slot = Atomic.make None;
-    }
-
   let sync fr =
     let _, w = get_current () in
-    if C.forked fr.counter then Effect.perform (Sync fr)
-    else w.m.fast_syncs <- w.m.fast_syncs + 1;
+    (if C.forked fr.counter then begin
+       if C.pending_hint fr.counter = 0 then begin
+         (* Fused explicit sync: all stolen strands have joined, so
+            [reach_sync] is guaranteed to succeed (see [handle_sync]) —
+            complete the sync inline without even capturing the
+            continuation.  This is the post-steal analogue of the
+            never-forked fast path below. *)
+         let ok = C.reach_sync fr.counter in
+         assert ok;
+         w.m.fused_syncs <- w.m.fused_syncs + 1;
+         C.reset fr.counter
+       end
+       else Effect.perform (Sync fr)
+     end
+     else w.m.fast_syncs <- w.m.fast_syncs + 1);
     match Atomic.exchange fr.exn_slot None with
     | Some e -> raise e
     | None -> ()
 
   let scope f =
-    ignore (get_current ());
-    let fr = make_frame () in
+    let _, w = get_current () in
+    let fr = take_frame w in
     match f fr with
     | v ->
       sync fr;
+      (* [sync] may have migrated this strand: recycle to wherever the
+         main path landed. *)
+      let _, w = get_current () in
+      recycle_frame w fr;
       v
     | exception e ->
       (* Fully strict: join the children even on the exceptional path;
          the original exception wins over any child exception. *)
       (try sync fr with _ -> ());
+      let _, w = get_current () in
+      recycle_frame w fr;
       raise e
 
-  let spawn fr thunk =
-    let p = Promise.make () in
-    let wrapped () =
-      match thunk () with
-      | v -> Promise.fill p v
-      | exception e ->
-        Promise.fill_exn p e;
-        note_exn fr e
-    in
-    Effect.perform (Spawn (fr, wrapped));
+  let spawn (type a) fr (thunk : unit -> a) : a promise =
+    let p : a promise = Promise.make () in
+    (* Uniform-representation coercions: every OCaml function value uses
+       the generic calling convention, so a [unit -> a] thunk and an
+       [a Promise.t] can travel through the monomorphic effect; the value
+       is only ever read back at type [a] (in [Promise.get]). *)
+    Effect.perform
+      (Spawn (fr, (Obj.magic thunk : unit -> Obj.t), (Obj.magic p : Obj.t Promise.t)));
     p
 
-  (* Promise-free spawn for request-shaped work: the wrapper closure is
-     the only allocation on the dispatch path. *)
+  (* Promise-free spawn for request-shaped work: the only allocation on
+     the dispatch path is the effect value itself. *)
   let spawn_unit fr thunk =
-    let wrapped () =
-      match thunk () with () -> () | exception e -> note_exn fr e
-    in
-    Effect.perform (Spawn (fr, wrapped))
+    Effect.perform
+      (Spawn (fr, (Obj.magic thunk : unit -> Obj.t), dummy_promise))
 
   let get p = Promise.get ~runtime:name p
 end

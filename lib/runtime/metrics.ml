@@ -6,6 +6,7 @@ type worker = {
   mutable lost_continuations : int;
   mutable suspensions : int;
   mutable fast_syncs : int;
+  mutable fused_syncs : int;
   mutable resumes : int;
   mutable tasks : int;
   mutable stack_acquires : int;
@@ -30,24 +31,29 @@ type t = {
   stacks : stack_stats option;
 }
 
+(* Worker records are written on every spawn/steal/sync by their owning
+   worker; isolating each record's birth cache line keeps one worker's
+   counter stores from invalidating a neighbour's line. *)
 let make_worker id =
-  {
-    id;
-    spawns = 0;
-    steals = 0;
-    steal_attempts = 0;
-    lost_continuations = 0;
-    suspensions = 0;
-    fast_syncs = 0;
-    resumes = 0;
-    tasks = 0;
-    stack_acquires = 0;
-    stack_releases = 0;
-    parks = 0;
-    parked_ns = 0;
-    wakeups = 0;
-    wake_retries = 0;
-  }
+  Nowa_util.Padding.isolate (fun () ->
+      {
+        id;
+        spawns = 0;
+        steals = 0;
+        steal_attempts = 0;
+        lost_continuations = 0;
+        suspensions = 0;
+        fast_syncs = 0;
+        fused_syncs = 0;
+        resumes = 0;
+        tasks = 0;
+        stack_acquires = 0;
+        stack_releases = 0;
+        parks = 0;
+        parked_ns = 0;
+        wakeups = 0;
+        wake_retries = 0;
+      })
 
 let make ?stacks workers ~elapsed_s = { workers; elapsed_s; stacks }
 
@@ -63,8 +69,9 @@ let total t f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>workers=%d elapsed=%.4fs spawns=%d steals=%d attempts=%d \
-     lost-conts=%d suspensions=%d fast-syncs=%d resumes=%d tasks=%d \
-     stack-acq=%d parks=%d parked=%.2fms wakeups=%d wake-retries=%d"
+     lost-conts=%d suspensions=%d fast-syncs=%d fused-syncs=%d resumes=%d \
+     tasks=%d stack-acq=%d parks=%d parked=%.2fms wakeups=%d \
+     wake-retries=%d"
     (Array.length t.workers) t.elapsed_s
     (total t (fun w -> w.spawns))
     (total t (fun w -> w.steals))
@@ -72,6 +79,7 @@ let pp ppf t =
     (total t (fun w -> w.lost_continuations))
     (total t (fun w -> w.suspensions))
     (total t (fun w -> w.fast_syncs))
+    (total t (fun w -> w.fused_syncs))
     (total t (fun w -> w.resumes))
     (total t (fun w -> w.tasks))
     (total t (fun w -> w.stack_acquires))
@@ -147,6 +155,10 @@ let collect () =
           "Explicit syncs that had to suspend." (fun w -> w.suspensions);
         counter "nowa_scheduler_fast_syncs_total"
           "Explicit syncs satisfied immediately." (fun w -> w.fast_syncs);
+        counter "nowa_scheduler_fused_syncs_total"
+          "Explicit syncs that took the fused no-steal fast path \
+           (no publication, no suspension, no resume exchange)."
+          (fun w -> w.fused_syncs);
         counter "nowa_scheduler_resumes_total"
           "Suspended frames resumed." (fun w -> w.resumes);
         counter "nowa_scheduler_tasks_total"

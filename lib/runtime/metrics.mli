@@ -11,6 +11,10 @@ type worker = {
       (** pops that came back empty because a thief won (implicit syncs) *)
   mutable suspensions : int;  (** explicit syncs that had to suspend *)
   mutable fast_syncs : int;  (** explicit syncs satisfied immediately *)
+  mutable fused_syncs : int;
+      (** explicit syncs that took the fused no-steal fast path: the
+          pending hint was zero, so publication, stack handover and the
+          resume exchange were all skipped (fusion audit, ISSUE 9) *)
   mutable resumes : int;  (** suspended frames resumed by this worker *)
   mutable tasks : int;  (** tasks executed from the scheduler loop *)
   mutable stack_acquires : int;

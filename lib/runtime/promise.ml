@@ -1,15 +1,34 @@
-type 'a state = Pending | Done of 'a | Failed of exn
-type 'a t = { mutable st : 'a state }
+(* Flat result cell: one two-field record per spawn, no per-fill variant
+   box.  [state] is 0 = pending, 1 = done, 2 = failed; [value] holds the
+   result (or the exception) behind [Obj.t] so filling writes an existing
+   field instead of allocating a [Done v] constructor.  The [Obj.magic]
+   is confined to this module: [value] is only read as ['a] after [state]
+   was observed as 1, and only as [exn] after 2, and both writes happen
+   before the join-counter decrement that publishes them (see the .mli
+   for the cross-domain argument). *)
 
-let make () = { st = Pending }
-let fill p v = p.st <- Done v
-let fill_exn p e = p.st <- Failed e
+type 'a t = { mutable value : Obj.t; mutable state : int }
+
+let pending = 0
+let done_ = 1
+let failed = 2
+let nil = Obj.repr ()
+
+let make () = { value = nil; state = pending }
+
+let fill p v =
+  p.value <- Obj.repr v;
+  p.state <- done_
+
+let fill_exn p e =
+  p.value <- Obj.repr e;
+  p.state <- failed
 
 let get ~runtime p =
-  match p.st with
-  | Done v -> v
-  | Failed e -> raise e
-  | Pending ->
+  let s = p.state in
+  if s = done_ then (Obj.obj p.value : 'a)
+  else if s = failed then raise (Obj.obj p.value : exn)
+  else
     invalid_arg
       (runtime
      ^ ": promise read before the child was synced (fully-strictness \

@@ -34,7 +34,9 @@ type t = { word : int Atomic.t; slots : slot array }
 
 let create ~workers =
   {
-    word = Atomic.make 0;
+    (* Every spawn loads this word (the wake-one fast path); isolate it
+       so sleeper announcements don't share a line with neighbours. *)
+    word = Nowa_util.Padding.atomic 0;
     slots =
       Array.init workers (fun _ ->
           {

@@ -100,6 +100,15 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
     let total_hist = Nowa_obs.Histogram.create "total" in
     let completed = Nowa_util.Padding.atomic 0 in
     let misses = Nowa_util.Padding.atomic 0 in
+    (* Admission ledger: a SNZI tracking admitted-but-not-completed
+       requests.  The dispatch loop arrives once per chunk
+       ([Snzi.arrive_n]: one tree walk amortised over the burst) and each
+       request departs at the leaf its chunk used — the leaf index rides
+       in the request closure, honouring the depart-at-arrival-leaf
+       contract.  [query] after the drain is the conservation check: a
+       surviving unit means a request was admitted but never ran. *)
+    let inflight = Nowa_sync.Snzi.create ~leaves:8 () in
+    let admit_chunk = 32 in
     let t0 = ref 0 and t_done = ref 0 in
     let workers =
       match conf with
@@ -120,12 +129,16 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
                   Domain.cpu_relax ()
                 done;
                 let record = i >= spec.warmup in
+                let lf = i / admit_chunk mod 8 in
+                if i mod admit_chunk = 0 then
+                  Nowa_sync.Snzi.arrive_n inflight ~leaf:lf
+                    (min admit_chunk (Array.length events - i));
                 let rid =
                   Nowa_trace.Span.alloc span ~cls:(class_idx ev.cls)
                     ~measured:record ~sched_ns:target
                 in
                 R.spawn_unit sc (fun () ->
-                    match Kv.exec ~rid kv ev.op with
+                    (match Kv.exec ~rid kv ev.op with
                     | Kv.Dropped -> () (* counted at the store *)
                     | _ ->
                       (* One clock read for both the histogram sample and
@@ -150,10 +163,13 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
                           ignore (Atomic.fetch_and_add misses 1)
                         | _ -> ());
                         ignore (Atomic.fetch_and_add completed 1)
-                      end))
+                      end);
+                    Nowa_sync.Snzi.depart inflight ~leaf:lf))
               events);
         (* Scope exit synced: every request has completed. *)
         t_done := Nowa_util.Clock.now_ns ());
+    if Nowa_sync.Snzi.query inflight then
+      failwith "loadgen: admission ledger non-zero after drain";
     Nowa_runtime.Health.unregister_source ~name:"kv-convoy";
     Nowa_obs.Counter.add Serve_metrics.dropped (Kv.dropped kv);
     Nowa_obs.Counter.add Serve_metrics.handoffs (Kv.handoffs kv);

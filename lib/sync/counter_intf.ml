@@ -51,7 +51,13 @@ module type JOIN_COUNTER = sig
   val reach_sync : t -> bool
   (** Explicit sync on the main path; requires the frame's sync
       continuation to be published first.  [true] iff the sync condition
-      already holds and the caller proceeds. *)
+      already holds and the caller proceeds.
+
+      Fused-path exception: when {!pending_hint} returned [0] on the main
+      path at the sync point, every stolen strand has already joined and
+      no continuation of the frame remains stealable, so [reach_sync] is
+      guaranteed to return [true] — the engine then skips publication
+      entirely (the hot-path fusion of ISSUE 9) and asserts the result. *)
 
   val forked : t -> bool
   (** Main path only: has any continuation of this frame actually been
@@ -62,8 +68,13 @@ module type JOIN_COUNTER = sig
 
   val pending_hint : t -> int
   (** Main path, before sync: best-effort count of still-active strands.
-      Used only for heuristics (e.g. whether stack suspension bookkeeping
-      is worth doing); may be momentarily stale but never negative. *)
+      May be momentarily stale but never negative, and stale only in the
+      conservative direction: a result of [0] at an explicit sync point
+      is exact (all steals of the frame happen-before the main path
+      reaches its sync, and each join only shrinks the count), which is
+      what makes the engine's fused sync sound.  Nonzero results are
+      heuristic (e.g. whether stack suspension bookkeeping is worth
+      doing). *)
 
   val active : t -> int
   (** Diagnostic best-effort view of N_r (exact when quiescent). *)

@@ -120,4 +120,70 @@ let depart t ~leaf =
   let n = t.leaves.(leaf mod Array.length t.leaves) in
   depart_node t (Some n)
 
+(* -- batched operations --------------------------------------------------
+
+   A burst of [n] arrivals at one leaf only needs the full tree walk for
+   the unit that makes the leaf non-zero; every further unit is a local
+   increment that cannot change the indicator.  So the batch costs one
+   walk plus one CAS, instead of n walks — the amortisation the spawn
+   burst / batched-grab callers want.  Soundness hinges on one fact:
+   once this caller holds a completed arrive at the leaf, the leaf's
+   surplus (and hence c2 >= 2) cannot drop below that unit until this
+   caller departs it, because departs are only legal against one's own
+   completed arrives.  The remainder CAS therefore never observes the
+   transient c2 = 1 state and never touches the parent. *)
+
+let add_units node c2n =
+  let done_ = ref false in
+  while not !done_ do
+    let x = Atomic.get node.x in
+    let c2 = c2_of x and v = v_of x in
+    done_ := Atomic.compare_and_set node.x x (pack ~c2:(c2 + c2n) ~v)
+  done
+
+let arrive_n t ~leaf n =
+  if n < 0 then invalid_arg "Snzi.arrive_n: negative count";
+  if n > 0 then begin
+    let node = t.leaves.(leaf mod Array.length t.leaves) in
+    (* Fast path: the leaf is already plainly non-zero — fold the whole
+       batch into one CAS without walking anywhere. *)
+    let x = Atomic.get node.x in
+    let c2 = c2_of x and v = v_of x in
+    if
+      c2 >= 2
+      && Atomic.compare_and_set node.x x (pack ~c2:(c2 + (2 * n)) ~v)
+    then ()
+    else begin
+      (* Zero / transient leaf, or we lost the race: one full arrive
+         claims (or helps) the zero->non-zero transition, then the
+         remaining n-1 units land in one local CAS loop. *)
+      arrive_node t (Some node);
+      if n > 1 then add_units node (2 * (n - 1))
+    end
+  end
+
+let depart_n t ~leaf n =
+  if n < 0 then invalid_arg "Snzi.depart_n: negative count";
+  if n > 0 then begin
+    let node = t.leaves.(leaf mod Array.length t.leaves) in
+    let finished = ref false in
+    while not !finished do
+      let x = Atomic.get node.x in
+      let c2 = c2_of x and v = v_of x in
+      (* Same caller contract as [depart], batched: all n units must be
+         completed arrives at this leaf owned by this caller. *)
+      if c2 < 2 * n then
+        invalid_arg
+          (Printf.sprintf
+             "Snzi.depart_n: node surplus %d below batch %d — \
+              arrive/depart calls are unbalanced"
+             (c2 / 2) n);
+      if Atomic.compare_and_set node.x x (pack ~c2:(c2 - (2 * n)) ~v)
+      then begin
+        if c2 = 2 * n then depart_node t node.parent;
+        finished := true
+      end
+    done
+  end
+
 let query t = Atomic.get t.root > 0

@@ -34,5 +34,20 @@ val depart : t -> leaf:int -> unit
     against ABA; see the layout comment in snzi.ml for why wraparound
     (2^40 transitions during one stalled operation) is unreachable. *)
 
+val arrive_n : t -> leaf:int -> int -> unit
+(** [arrive_n t ~leaf n] increments the surplus by [n] via one leaf: at
+    most one full tree walk (for the unit that takes the leaf from zero
+    to non-zero) plus a single local CAS for the rest, instead of [n]
+    walks.  The amortisation for spawn bursts and batched grabs.
+    [n = 0] is a no-op; negative [n] raises [Invalid_argument].
+    Model-checked by [Specs.snzi_batch_spec]. *)
+
+val depart_n : t -> leaf:int -> int -> unit
+(** [depart_n t ~leaf n] retires [n] completed arrives from the same
+    leaf in one CAS (plus the parent walk iff the leaf reaches zero).
+    All [n] units must be this caller's own completed arrives at [leaf]
+    — the batched form of {!depart}'s contract, with the same
+    [Invalid_argument] diagnosis when the leaf's surplus is short. *)
+
 val query : t -> bool
 (** [true] iff the surplus is non-zero. *)

@@ -5,7 +5,11 @@
     Definitions:
     - {e busy} time is the union of task slices (task-start .. task-end);
       everything else inside the trace span is {e scheduler} time —
-      stealing, backoff, idling at syncs.
+      stealing, backoff, idling at syncs.  Slices cut by the ring's
+      truncation (a start overwritten after the ring wrapped, or an end
+      past a live snapshot's edge) are clamped to the surviving window
+      rather than discarded, so a long serial task that laps its ring
+      still registers as busy time.
     - a {e steal latency} sample is the time from a worker going idle
       (its last task-end, or its first steal-attempt if it never ran a
       task yet) to its next successful steal-commit: the "how long does
@@ -72,6 +76,9 @@ let histogram gaps =
 
 let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
   ignore t0;
+  let nev = Array.length evs in
+  let first_ts = if nev > 0 then evs.(0).Event.ts else 0 in
+  let last_ts = if nev > 0 then evs.(nev - 1).Event.ts else 0 in
   let tasks = ref 0 and spawns = ref 0 and steals = ref 0 in
   let attempts = ref 0 and suspends = ref 0 in
   let parks = ref 0 and parked = ref 0 in
@@ -96,7 +103,18 @@ let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
         | Some s ->
           busy := !busy + (e.Event.ts - s);
           open_start := None
-        | None -> ());
+        | None ->
+          (* An end with no start in the surviving window: when the ring
+             provably wrapped ([dropped > 0]) the matching [Task_start]
+             was overwritten — a long serial task (e.g. a steal-free run
+             whose spawn events alone lap the ring) looks exactly like
+             this.  The slice covered at least the whole observed prefix,
+             so count from the window's first event; without drops an
+             unmatched end is a malformed stream and stays ignored. *)
+          if dropped > 0 then begin
+            incr tasks;
+            busy := !busy + (e.Event.ts - first_ts)
+          end);
         idle_since := Some e.Event.ts
       | Event.Spawn -> incr spawns
       | Event.Steal_attempt ->
@@ -126,6 +144,13 @@ let summarize_worker ~span_ns ~t0 ~dropped w (evs : Event.t array) =
       | Event.Req_apply | Event.Req_done ->
         ())
     evs;
+  (* A slice still open at the end of the window (live snapshot, or a
+     worker cut down mid-task) was busy at least until its last observed
+     event; counting to [last_ts] undercounts but never exceeds the
+     span. *)
+  (match !open_start with
+  | Some s -> busy := !busy + (last_ts - s)
+  | None -> ());
   let busy = !busy in
   let span = max 1 span_ns in
   {

@@ -14,3 +14,16 @@ let atomic v =
   keep.(0) <- pre;
   keep.(1) <- post;
   a
+
+(* [isolate] generalises [atomic] to arbitrary allocations: whatever [f]
+   allocates last (its returned block) is fenced by spacer lines on both
+   sides, so two records built through [isolate] never share a birth
+   cache line.  Used for per-worker records whose mutable counters are
+   written on every scheduler operation. *)
+let isolate f =
+  let pre = int_array 1 in
+  let v = f () in
+  let post = int_array 1 in
+  keep.(0) <- pre;
+  keep.(1) <- post;
+  v

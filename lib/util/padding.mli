@@ -17,3 +17,10 @@ val cache_line_words : int
 val int_array : int -> int array
 (** [int_array n] is a fresh zero array of [n] cache lines worth of ints,
     usable as an explicit spacer field inside records. *)
+
+val isolate : (unit -> 'a) -> 'a
+(** [isolate f] runs [f] and returns its result, allocating cache-line
+    spacer blocks immediately before and after the call so the returned
+    block does not share its birth cache line with neighbouring
+    allocations.  Use for per-worker mutable records (metric counters,
+    worker state) that are written on the hot path. *)

@@ -291,6 +291,10 @@ let test_sleeper_shutdown () =
 let test_snzi_arrive_depart () =
   expect_exhaustive "snzi 2 threads" (M.explore (S.snzi_spec ~threads:2))
 
+let test_snzi_batch () =
+  expect_exhaustive "snzi batched, 2 threads"
+    (M.explore (S.snzi_batch_spec ~threads:2 ~batch:2))
+
 let test_barrier_sense_correct_under_sc () =
   expect_exhaustive "sense barrier, 2x2"
     (M.explore (S.barrier_spec ~variant:`Sense ~n:2 ~rounds:2))
@@ -428,6 +432,7 @@ let () =
       ( "snzi and barrier",
         [
           Alcotest.test_case "snzi arrive/depart" `Quick test_snzi_arrive_depart;
+          Alcotest.test_case "snzi batched ops" `Quick test_snzi_batch;
           Alcotest.test_case "sense barrier ok under SC" `Quick
             test_barrier_sense_correct_under_sc;
           Alcotest.test_case "reordered stores deadlock" `Quick

@@ -343,6 +343,173 @@ let test_metrics_steals_with_workers () =
       (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.steals))
       (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.lost_continuations))
 
+(* -- fusion audit (ISSUE 9) ---------------------------------------------- *)
+
+(* The paper's no-steal invariant: on a single worker nothing is ever
+   stolen, so the steal-free path must never take the lost-continuation
+   branch, never publish a sync continuation (no suspension), and never
+   touch the resume exchange.  The trace-derived counters prove it for
+   every continuation-stealing instantiation — both counter families and
+   all four deques. *)
+let test_no_steal_invariant_single_worker () =
+  let engines =
+    [
+      (module Nowa.Presets.Nowa : Nowa.RUNTIME);
+      (module Nowa.Presets.Nowa_the);
+      (module Nowa.Presets.Nowa_abp);
+      (module Nowa.Presets.Fibril);
+      (module Nowa.Presets.Cilk_plus);
+    ]
+  in
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let rec fib n =
+        if n < 2 then n
+        else
+          R.scope (fun sc ->
+              let a = R.spawn sc (fun () -> fib (n - 1)) in
+              let b = fib (n - 2) in
+              R.sync sc;
+              R.get a + b)
+      in
+      let r = R.run ~conf:(conf 1) (fun () -> fib 18) in
+      Alcotest.(check int) (R.name ^ " result") (fib_ref 18) r;
+      match R.last_metrics () with
+      | None -> Alcotest.fail "metrics missing"
+      | Some m ->
+        let total f = Nowa.Metrics.total m f in
+        Alcotest.(check int)
+          (R.name ^ " no lost continuations")
+          0
+          (total (fun w -> w.Nowa.Metrics.lost_continuations));
+        Alcotest.(check int)
+          (R.name ^ " no suspensions")
+          0
+          (total (fun w -> w.Nowa.Metrics.suspensions));
+        Alcotest.(check int)
+          (R.name ^ " no resumes")
+          0
+          (total (fun w -> w.Nowa.Metrics.resumes));
+        Alcotest.(check int)
+          (R.name ^ " no steals")
+          0
+          (total (fun w -> w.Nowa.Metrics.steals));
+        (* Never-forked frames take the cheap fast-sync branch; the fused
+           post-steal branch cannot trigger without a steal. *)
+        Alcotest.(check int)
+          (R.name ^ " no fused syncs without steals")
+          0
+          (total (fun w -> w.Nowa.Metrics.fused_syncs));
+        Alcotest.(check bool)
+          (R.name ^ " fast syncs taken")
+          true
+          (total (fun w -> w.Nowa.Metrics.fast_syncs) > 0))
+    engines;
+  (* The child-stealing and central engines never lose continuations by
+     construction (they do not steal continuations at all); their sync
+     legitimately helps/suspends, so only the lost-continuation half of
+     the invariant applies to those families. *)
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let rec fib n =
+        if n < 2 then n
+        else
+          R.scope (fun sc ->
+              let a = R.spawn sc (fun () -> fib (n - 1)) in
+              let b = fib (n - 2) in
+              R.sync sc;
+              R.get a + b)
+      in
+      ignore (R.run ~conf:(conf 1) (fun () -> fib 14));
+      match R.last_metrics () with
+      | None -> Alcotest.fail "metrics missing"
+      | Some m ->
+        Alcotest.(check int)
+          (R.name ^ " no lost continuations")
+          0
+          (Nowa.Metrics.total m (fun w -> w.Nowa.Metrics.lost_continuations)))
+    [
+      (module Nowa.Presets.Tbb : Nowa.RUNTIME);
+      (module Nowa.Presets.Lomp_untied);
+      (module Nowa.Presets.Lomp_tied);
+      (module Nowa.Presets.Gomp);
+    ]
+
+(* Explicit-sync conservation: every explicit sync resolves through
+   exactly one of the three branches — never-forked fast, forked-but-
+   joined fused, or published-then-resumed.  The fib shape calls sync
+   twice per scope (once in the kernel, once at scope exit), so the
+   totals must tie out exactly, on any schedule and worker count. *)
+let test_fused_sync_conservation () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      List.iter
+        (fun workers ->
+          let rec fib n =
+            if n < 2 then n
+            else
+              R.scope (fun sc ->
+                  let a = R.spawn sc (fun () -> fib (n - 1)) in
+                  let b = fib (n - 2) in
+                  R.sync sc;
+                  R.get a + b)
+          in
+          ignore (R.run ~conf:(conf workers) (fun () -> fib 20));
+          match R.last_metrics () with
+          | None -> Alcotest.fail "metrics missing"
+          | Some m ->
+            let total f = Nowa.Metrics.total m f in
+            let spawns = total (fun w -> w.Nowa.Metrics.spawns) in
+            let fast = total (fun w -> w.Nowa.Metrics.fast_syncs) in
+            let fused = total (fun w -> w.Nowa.Metrics.fused_syncs) in
+            let resumes = total (fun w -> w.Nowa.Metrics.resumes) in
+            Alcotest.(check int)
+              (Printf.sprintf "%s w=%d: fast+fused+resumes = 2*spawns"
+                 R.name workers)
+              (2 * spawns)
+              (fast + fused + resumes))
+        [ 1; 2; 4 ])
+    [
+      (module Nowa.Presets.Nowa : Nowa.RUNTIME);
+      (module Nowa.Presets.Nowa_the);
+      (module Nowa.Presets.Fibril);
+      (module Nowa.Presets.Cilk_plus);
+    ]
+
+(* A steal forces the frame's explicit sync onto one of the forked
+   branches: after the forced-steal roundtrip the run must show at least
+   one fused or resumed sync. *)
+let test_forced_steal_syncs_accounted () =
+  let module R = Nowa.Presets.Nowa in
+  let result =
+    R.run ~conf:(conf 2) (fun () ->
+        R.scope (fun sc ->
+            let continuation_ran = Atomic.make false in
+            let child =
+              R.spawn sc (fun () ->
+                  let deadline = Unix.gettimeofday () +. 20.0 in
+                  while
+                    (not (Atomic.get continuation_ran))
+                    && Unix.gettimeofday () < deadline
+                  do
+                    Unix.sleepf 1e-4
+                  done;
+                  Atomic.get continuation_ran)
+            in
+            Atomic.set continuation_ran true;
+            R.sync sc;
+            R.get child))
+  in
+  Alcotest.(check bool) "steal forced" true result;
+  match R.last_metrics () with
+  | None -> Alcotest.fail "metrics missing"
+  | Some m ->
+    let total f = Nowa.Metrics.total m f in
+    Alcotest.(check bool) "forked sync took fused or resume branch" true
+      (total (fun w -> w.Nowa.Metrics.fused_syncs)
+       + total (fun w -> w.Nowa.Metrics.resumes)
+       >= 1)
+
 (* -- idle policies -------------------------------------------------------- *)
 
 (* Every engine, every idle policy: same fib answer.  The park policy's
@@ -688,6 +855,15 @@ let () =
         [
           Alcotest.test_case "spawn counts" `Quick test_metrics_spawn_counts;
           Alcotest.test_case "steal accounting" `Slow test_metrics_steals_with_workers;
+        ] );
+      ( "fusion audit",
+        [
+          Alcotest.test_case "no-steal invariant single worker" `Quick
+            test_no_steal_invariant_single_worker;
+          Alcotest.test_case "sync branch conservation" `Slow
+            test_fused_sync_conservation;
+          Alcotest.test_case "forced steal syncs accounted" `Slow
+            test_forced_steal_syncs_accounted;
         ] );
       ( "stack pool",
         [

@@ -230,6 +230,50 @@ let test_snzi_concurrent () =
   Alcotest.(check int) "indicator never missed a surplus" 0 (Atomic.get failures);
   Alcotest.(check bool) "zero at quiescence" false (Snzi.query s)
 
+let test_snzi_batched_sequential () =
+  let s = Snzi.create ~leaves:4 () in
+  Snzi.arrive_n s ~leaf:0 0;
+  Alcotest.(check bool) "arrive_n 0 is a no-op" false (Snzi.query s);
+  Snzi.arrive_n s ~leaf:0 5;
+  Alcotest.(check bool) "non-zero after batch" true (Snzi.query s);
+  Snzi.depart_n s ~leaf:0 3;
+  Alcotest.(check bool) "partial depart keeps it set" true (Snzi.query s);
+  Snzi.depart_n s ~leaf:0 2;
+  Alcotest.(check bool) "zero after full retire" false (Snzi.query s);
+  (* A batch on an already-non-zero leaf takes the fold fast path. *)
+  Snzi.arrive s ~leaf:1;
+  Snzi.arrive_n s ~leaf:1 4;
+  Snzi.depart_n s ~leaf:1 5;
+  Alcotest.(check bool) "fold path balances" false (Snzi.query s);
+  (match Snzi.arrive_n s ~leaf:0 (-1) with
+  | () -> Alcotest.fail "negative arrive_n must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Snzi.depart_n s ~leaf:0 2 with
+  | () -> Alcotest.fail "depart_n past the surplus must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let test_snzi_batched_concurrent () =
+  let s = Snzi.create ~leaves:8 () in
+  let failures = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 1_000 do
+              let n = 1 + (i mod 7) in
+              Snzi.arrive_n s ~leaf:d n;
+              if not (Snzi.query s) then Atomic.incr failures;
+              (* Retire in two slices to cross the partial-depart path. *)
+              let k = n / 2 in
+              Snzi.depart_n s ~leaf:d k;
+              if not (Snzi.query s) then Atomic.incr failures;
+              Snzi.depart_n s ~leaf:d (n - k)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "indicator never missed a surplus" 0
+    (Atomic.get failures);
+  Alcotest.(check bool) "zero at quiescence" false (Snzi.query s)
+
 let test_snzi_unbalanced_depart_rejected () =
   let s = Snzi.create ~leaves:2 () in
   (match Snzi.depart s ~leaf:0 with
@@ -319,6 +363,10 @@ let () =
           Alcotest.test_case "sequential" `Quick test_snzi_sequential;
           QCheck_alcotest.to_alcotest prop_snzi_matches_counter;
           Alcotest.test_case "concurrent" `Slow test_snzi_concurrent;
+          Alcotest.test_case "batched sequential" `Quick
+            test_snzi_batched_sequential;
+          Alcotest.test_case "batched concurrent" `Slow
+            test_snzi_batched_concurrent;
           Alcotest.test_case "unbalanced depart rejected" `Quick
             test_snzi_unbalanced_depart_rejected;
         ] );
