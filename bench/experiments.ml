@@ -1237,6 +1237,173 @@ let hotpath ~opts () =
     if gate then exit 1
   end
 
+(* -- pipeline: staged packet flow across micropools ---------------------- *)
+
+(* The micropool showcase (ISSUE 10): a 3-stage packet pipeline where
+   each stage owns a named pool (parse -> route -> transmit) and a packet
+   hops stages with [spawn_unit_on].  Conservation is the correctness
+   bar: every injected packet must reach transmit exactly once (an
+   atomic completion count plus a payload checksum that any lost,
+   duplicated or reordered-into-the-wrong-stage packet would break).
+   Cells cover the three pool-aware engine families with spill-over
+   stealing off and on.  Emits BENCH_pipeline.json plus a pool-labelled
+   Perfetto trace of the nowa/spill-off cell. *)
+
+let pipeline ~opts () =
+  section "Pipeline: 3-stage packet flow across parse/route/transmit pools";
+  let packets =
+    match opts.real_size with
+    | Registry.Test -> 2_000
+    | Registry.Small -> 20_000
+    | Registry.Medium -> 100_000
+    | Registry.Large -> 400_000
+  in
+  let total_workers = List.fold_left max 3 opts.real_workers in
+  let per_stage = max 1 (total_workers / 3) in
+  let stages = [ "parse"; "route"; "transmit" ] in
+  (* Per-stage transform: an integer mix dense enough that a stage is
+     real work, cheap enough that the bench measures routing, not
+     arithmetic.  Deterministic, so the serial composition below is the
+     reference checksum. *)
+  let stage_mix salt x0 =
+    let x = ref (x0 + salt) in
+    for _ = 1 to 96 do
+      x := (!x * 0x9E3779B1) land 0x3FFFFFFFFFFF;
+      x := !x lxor (!x lsr 13)
+    done;
+    !x
+  in
+  let expected =
+    let sum = ref 0 in
+    for p = 0 to packets - 1 do
+      sum := !sum + stage_mix 3 (stage_mix 2 (stage_mix 1 p))
+    done;
+    !sum
+  in
+  let families =
+    [
+      (module Nowa.Presets.Nowa : Nowa.RUNTIME) (* continuation-stealing *);
+      (module Nowa.Presets.Tbb) (* child-stealing *);
+      (module Nowa.Presets.Gomp) (* central queue *);
+    ]
+  in
+  let header =
+    [ "engine"; "spill"; "w/stage"; "packets"; "lost"; "ms"; "Mpkt/s" ]
+  in
+  let out = Buffer.create 2048 in
+  Buffer.add_string out "[\n";
+  let first = ref true in
+  let rows = ref [] in
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      List.iter
+        (fun spill ->
+          let traced = R.name = "nowa" && not spill in
+          (* The root strand occupies worker 0 of the FIRST pool and
+             spends the whole run injecting and then spinning on the
+             completion counter — so it gets a dedicated 1-worker "feed"
+             pool rather than eating a stage's only worker (on a small
+             host per_stage is 1, and a stage whose single worker is the
+             busy root would deadlock the pipeline).  Park_after keeps
+             the oversubscribed stage workers off the cores while their
+             stage has no traffic. *)
+          let conf =
+            {
+              (Nowa.Config.with_workers total_workers) with
+              Nowa.Config.pools =
+                Nowa.Config.pool "feed" ~workers:1
+                :: List.map
+                     (fun s -> Nowa.Config.pool s ~workers:per_stage)
+                     stages;
+              spill_over = spill;
+              idle_policy = Nowa.Config.Park_after 256;
+              trace_capacity = (if traced then default_trace_capacity else 0);
+            }
+          in
+          let completed = Nowa_util.Padding.atomic 0 in
+          let checksum = Nowa_util.Padding.atomic 0 in
+          let elapsed_ns =
+            R.run ~conf (fun () ->
+                let route = R.pool "route" and transmit = R.pool "transmit" in
+                let parse = R.pool "parse" in
+                let t0 = Nowa_util.Clock.now_ns () in
+                for p = 0 to packets - 1 do
+                  R.spawn_unit_on parse (fun () ->
+                      let x1 = stage_mix 1 p in
+                      R.spawn_unit_on route (fun () ->
+                          let x2 = stage_mix 2 x1 in
+                          R.spawn_unit_on transmit (fun () ->
+                              let x3 = stage_mix 3 x2 in
+                              ignore (Atomic.fetch_and_add checksum x3);
+                              ignore (Atomic.fetch_and_add completed 1))))
+                done;
+                (* Routed packets are not under any scope: the completion
+                   counter is the join.  The deadline turns a lost packet
+                   into a reported failure instead of a hang. *)
+                let deadline = t0 + 120_000_000_000 in
+                while
+                  Atomic.get completed < packets
+                  && Nowa_util.Clock.now_ns () < deadline
+                do
+                  Domain.cpu_relax ()
+                done;
+                Nowa_util.Clock.now_ns () - t0)
+          in
+          let done_ = Atomic.get completed in
+          let lost = packets - done_ in
+          if lost <> 0 then
+            Printf.eprintf "pipeline: %s spill=%b LOST %d packets\n" R.name
+              spill lost;
+          if done_ = packets && Atomic.get checksum <> expected then
+            failwith
+              (Printf.sprintf "pipeline: %s spill=%b checksum mismatch" R.name
+                 spill);
+          let ms = float_of_int elapsed_ns /. 1e6 in
+          let mpps = float_of_int done_ /. (float_of_int elapsed_ns /. 1e9) /. 1e6 in
+          rows :=
+            [
+              R.name;
+              (if spill then "on" else "off");
+              string_of_int per_stage;
+              string_of_int packets;
+              string_of_int lost;
+              Printf.sprintf "%.1f" ms;
+              Printf.sprintf "%.2f" mpps;
+            ]
+            :: !rows;
+          if not !first then Buffer.add_string out ",\n";
+          first := false;
+          Printf.bprintf out
+            "  {\"engine\": %S, \"spill\": %b, \"workers_per_stage\": %d, \
+             \"packets\": %d, \"lost\": %d, \"elapsed_ms\": %.2f, \
+             \"throughput_mpps\": %.3f}"
+            R.name spill per_stage packets lost ms mpps;
+          if traced then
+            match R.last_trace () with
+            | Some tr ->
+              let label w =
+                if w = 0 then "feed/0"
+                else
+                  Printf.sprintf "%s/%d"
+                    (List.nth stages (min 2 ((w - 1) / per_stage)))
+                    ((w - 1) mod per_stage)
+              in
+              let path = Nowa_util.Artifacts.path "pipeline.trace.json" in
+              Nowa_trace.Perfetto.write_file ~worker_label:label
+                ~process_name:
+                  (Printf.sprintf "pipeline:%s/%dx%dw" R.name 3 per_stage)
+                path tr;
+              Printf.printf "wrote %s\n" path
+            | None -> Printf.eprintf "pipeline: no trace from %s\n" R.name)
+        [ false; true ])
+    families;
+  Nowa_util.Table.print ~header (List.rev !rows);
+  Buffer.add_string out "\n]\n";
+  let oc = open_out "BENCH_pipeline.json" in
+  Buffer.output_buffer oc out;
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json\n"
+
 let all ~opts () =
   table1 ~opts ();
   figure1 ~opts ();
@@ -1265,6 +1432,7 @@ let by_name =
     ("causal", causal);
     ("idle", idle);
     ("serve", serve);
+    ("pipeline", pipeline);
     ("hotpath", hotpath);
     ("all", all);
   ]

@@ -70,6 +70,10 @@ let battery =
     ( "watchdog_park_bit_only",
       Violates,
       S.watchdog_park_spec ~variant:`No_waiting_flag ~scans:3 );
+    ("spillover", Verified, S.spillover_spec ~variant:`Good);
+    ( "spillover_no_sweep",
+      Violates,
+      S.spillover_spec ~variant:`No_final_sweep );
   ]
 
 let () =

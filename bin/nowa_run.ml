@@ -156,9 +156,9 @@ let parse_idle_policy = function
    --rate, zipf-skewed keys) and print per-op-class latency
    percentiles.  Composable with --runtime/-w/--idle-policy/
    --steal-sweep/--trace/--metrics-addr/--metrics-out. *)
-let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
-    ~rate ~requests ~warmup ~records ~shards ~theta ~watchdog ~slo_us
-    ~inject_wedge =
+let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy
+    ~pools ~mix ~rate ~requests ~warmup ~records ~shards ~theta ~watchdog
+    ~slo_us ~inject_wedge =
   let (module R : Nowa.RUNTIME) = resolve_runtime runtime in
   let mix =
     match Nowa_server.Workload.find_mix mix with
@@ -191,6 +191,23 @@ let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
       steal_sweep = max 1 steal_sweep;
       watchdog_interval_ms = watchdog;
     }
+  in
+  (* --pools: carve a 1-worker injector micropool off the front (the
+     root strand lives in the first pool, so the dispatch loop runs
+     there) and serve requests from the rest, so no serve worker can
+     steal the injection continuation (see lib/server/loadgen.ml). *)
+  let serve_workers = max 1 (workers - 1) in
+  let conf =
+    if pools then
+      {
+        conf with
+        Nowa.Config.pools =
+          [
+            Nowa.Config.pool "inject" ~workers:1;
+            Nowa.Config.pool "serve" ~workers:serve_workers;
+          ];
+      }
+    else conf
   in
   let slo_ns =
     if slo_us > 0.0 then Some (int_of_float (slo_us *. 1e3)) else None
@@ -235,7 +252,11 @@ let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
       exit 1)
   | None -> ());
   let module L = Nowa_server.Loadgen.Make (R) in
-  let report = L.run ~conf ~anatomy ?slo_ns spec in
+  let report =
+    L.run ~conf ~anatomy
+      ?pools:(if pools then Some ("inject", "serve") else None)
+      ?slo_ns spec
+  in
   Nowa.Health.unregister_source ~name:"slo";
   Nowa_server.Loadgen.pp_report report;
   (match report.Nowa_server.Loadgen.anatomy with
@@ -259,7 +280,13 @@ let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
     match R.last_trace () with
     | Some tr ->
       (try
-         Nowa.Perfetto.write_file
+         let worker_label =
+           if pools then fun w ->
+             if w = 0 then "inject/0"
+             else Printf.sprintf "serve/%d" (w - 1)
+           else Nowa.Perfetto.default_worker_label
+         in
+         Nowa.Perfetto.write_file ~worker_label
            ~process_name:
              (Printf.sprintf "serve:%s:%s/%dw" R.name
                 mix.Nowa_server.Workload.mname workers)
@@ -278,8 +305,8 @@ let serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy ~mix
 
 let main list bench runtime workers runs size madvise idle_policy steal_sweep
     trace metrics_addr metrics_out verbose model ledger causal serve anatomy
-    mix rate requests warmup records shards theta watchdog slo_us inject_stall
-    inject_wedge dump_health =
+    pools mix rate requests warmup records shards theta watchdog slo_us
+    inject_stall inject_wedge dump_health =
   if list then list_benchmarks ()
   else begin
     (* Bare output filenames land in the gitignored artifacts/ dir. *)
@@ -313,8 +340,8 @@ let main list bench runtime workers runs size madvise idle_policy steal_sweep
         exit 1));
     if serve then
       serve_run ~runtime ~workers ~idle_policy ~steal_sweep ~trace ~anatomy
-        ~mix ~rate ~requests ~warmup ~records ~shards ~theta ~watchdog ~slo_us
-        ~inject_wedge
+        ~pools ~mix ~rate ~requests ~warmup ~records ~shards ~theta ~watchdog
+        ~slo_us ~inject_wedge
     else begin
     let size =
       match List.assoc_opt size sizes with
@@ -579,6 +606,18 @@ let cmd =
              the slowest sampled requests to \
              artifacts/serve-tail.trace.json.")
   in
+  let pools =
+    Arg.(
+      value & flag
+      & info [ "pools" ]
+          ~doc:
+            "With $(b,--serve): run on a two-micropool topology — a \
+             dedicated 1-worker $(i,inject) pool pinning the open-loop \
+             dispatch loop, and a $(i,serve) pool (the remaining workers) \
+             that requests are routed to with spawn_on.  Closes the \
+             injection self-throttle of continuation-stealing engines: \
+             serve workers can no longer steal the dispatch continuation.")
+  in
   let mix =
     Arg.(
       value & opt string "A"
@@ -674,6 +713,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "nowa-run" ~doc:"Run Nowa benchmarks on any runtime preset")
-    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal $ serve $ anatomy $ mix $ rate $ requests $ warmup $ records $ shards $ theta $ watchdog $ slo_us $ inject_stall $ inject_wedge $ dump_health)
+    Term.(const main $ list $ bench $ runtime $ workers $ runs $ size $ madvise $ idle_policy $ steal_sweep $ trace $ metrics_addr $ metrics_out $ verbose $ model $ ledger $ causal $ serve $ anatomy $ pools $ mix $ rate $ requests $ warmup $ records $ shards $ theta $ watchdog $ slo_us $ inject_stall $ inject_wedge $ dump_health)
 
 let () = exit (Cmd.eval cmd)

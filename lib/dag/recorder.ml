@@ -94,6 +94,31 @@ let spawn sc thunk =
 let spawn_unit sc thunk = ignore (spawn sc thunk)
 
 let get p = Promise.get ~runtime:name p
+let await p = Promise.await ~runtime:name p
+
+(* Pool routing under the recorder: like the serial elision, every name
+   resolves to this one thread and [spawn_on] runs inline — routed tasks
+   appear in the DAG as ordinary serial work on the recording strand. *)
+type pool = string
+
+let find_pool n = Some (n : pool)
+let pool n = (n : pool)
+let pool_name (p : pool) = p
+let self_pool () = "main"
+
+let spawn_on (_ : pool) thunk =
+  let p = Promise.make () in
+  (match thunk () with
+  | v -> Promise.fill p v
+  | exception e -> Promise.fill_exn p e);
+  p
+
+let spawn_unit_on (pl : pool) thunk =
+  try thunk ()
+  with e ->
+    Nowa_runtime.Runtime_log.Log.err (fun m ->
+        m "%s: spawn_unit_on %S task raised %s" name pl
+          (Printexc.to_string e))
 
 let last_metrics_ref = ref None
 let last_metrics () = !last_metrics_ref

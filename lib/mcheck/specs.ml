@@ -1289,3 +1289,111 @@ let watchdog_park_spec ?(variant = `Good) ~scans () =
     Cell.peek done_ && Cell.peek token = 0 && Cell.peek waiting = 0
   in
   (threads, invariant)
+
+(* -- cross-pool spill-over: routed roots vs the park protocol ----------
+   (ISSUE 10) A [spawn_on] producer publishes a routed root into a
+   target pool's inject queue — gate raised before the push, so a zero
+   gate proves the queue empty — then runs [wake_routed] on that pool's
+   sleeper registry.  The pool's only home worker races it through the
+   engines' idle tail (gated take, announce, unconditional pre-park
+   sweep, park); a foreign spill thief probes the same queue behind the
+   gate and retires awake, as a [Config.spill_over] worker from another
+   pool would.
+
+   Safety: the routed root executes exactly once and its remote promise
+   is filled exactly once, whichever side wins.  Liveness: the root is
+   never stranded in the queue with the home worker parked — the
+   lost-task scenario the unconditional sweep closes.  [`No_final_sweep]
+   parks on the gated check alone; with the thief's probes exhausted
+   before the push, the producer's wake finds an empty mask and the
+   checker exhibits the stranded routed root. *)
+let spillover_spec ?(variant = `Good) () =
+  let gate = Cell.make 0 in
+  let slot = Cell.make false (* the routed root, in the inject queue *) in
+  let filled = Cell.make 0 (* remote-promise fill count *) in
+  let obs = { passes = 0 } in
+  let word = Cell.make 0 (* target pool's 1-bit sleeper mask *) in
+  let token = Cell.make 0 in
+  let execute () =
+    check (Cell.fetch_add filled 1 = 0) "routed root executed twice";
+    obs.passes <- obs.passes + 1
+  in
+  let take () =
+    if Cell.read gate = 0 then false (* gate at zero proves empty *)
+    else if Cell.cas slot true false then begin
+      ignore (Cell.fetch_add gate (-1));
+      true
+    end
+    else false
+  in
+  (* Pre-park re-check: no gate skip — it must hit the queue itself. *)
+  let sweep_take () =
+    if Cell.cas slot true false then begin
+      ignore (Cell.fetch_add gate (-1));
+      true
+    end
+    else false
+  in
+  let rec set_bit () =
+    let cur = Cell.read word in
+    if not (Cell.cas word cur (cur lor 1)) then set_bit ()
+  in
+  let rec clear_bit () =
+    let cur = Cell.read word in
+    if cur land 1 = 0 then false
+    else if Cell.cas word cur (cur lxor 1) then true
+    else clear_bit ()
+  in
+  let park () =
+    ignore (Cell.await token (fun t -> t > 0));
+    ignore (Cell.fetch_add token (-1))
+  in
+  let home () =
+    let rec idle budget =
+      if budget = 0 then ()
+      else if take () then execute ()
+      else begin
+        set_bit ();
+        let swept =
+          match variant with
+          | `Good -> sweep_take ()
+          | `No_final_sweep -> false
+        in
+        if swept then begin
+          (* Cancel lost to a waker: absorb the in-flight token. *)
+          if not (clear_bit ()) then park ();
+          execute ()
+        end
+        else begin
+          park ();
+          idle (budget - 1)
+        end
+      end
+    in
+    idle 3
+  in
+  let producer () =
+    ignore (Cell.fetch_add gate 1) (* gate up before the push *);
+    Cell.write slot true;
+    (* wake_routed: one wake on the target pool's registry *)
+    let rec wake_one () =
+      let cur = Cell.read word in
+      if cur land 1 = 0 then ()
+      else if Cell.cas word cur (cur lxor 1) then
+        ignore (Cell.fetch_add token 1)
+      else wake_one ()
+    in
+    wake_one ()
+  in
+  let spill_thief () =
+    let rec probe budget =
+      if budget = 0 then ()
+      else if take () then execute ()
+      else probe (budget - 1)
+    in
+    probe 2
+  in
+  let invariant () =
+    obs.passes = 1 && Cell.peek gate = 0 && not (Cell.peek slot)
+  in
+  ([ home; producer; spill_thief ], invariant)

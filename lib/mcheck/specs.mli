@@ -168,3 +168,16 @@ val watchdog_park_spec :
     checker exhibits the false stall inside the wake window that the
     per-slot waiting flag (health.ml reads it alongside the mask)
     closes. *)
+
+val spillover_spec :
+  ?variant:[ `Good | `No_final_sweep ] ->
+  unit -> (unit -> unit) list * (unit -> bool)
+(** Cross-pool spill-over handoff (ISSUE 10): a [spawn_on] producer
+    gates and pushes a routed root into a target pool's inject queue
+    then wakes that pool's registry, racing the pool's home worker
+    (gated take, announce, unconditional pre-park sweep, park) and a
+    foreign spill thief probing behind the gate.  Invariant: the root
+    executes exactly once, its remote promise is filled exactly once,
+    and it is never stranded with the home worker parked.
+    [`No_final_sweep] parks on the gated check alone — the checker
+    exhibits the stranded routed root (lost task). *)

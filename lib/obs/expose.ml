@@ -10,21 +10,35 @@ let fnum v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
-let add_meta buf name help kind =
-  if help <> "" then
-    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
-  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+(* Labelled series ("name{pool=\"x\"}") share a metric family with
+   their unlabelled aggregate: HELP/TYPE must name the bare family,
+   once, ahead of all its samples — [last] carries the family the meta
+   was last emitted for (samples arrive name-sorted, so a family's
+   samples are adjacent). *)
+let family name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
 
-let add_sample buf (s : Registry.sample) =
+let add_meta buf ~last name help kind =
+  let fam = family name in
+  if !last <> fam then begin
+    last := fam;
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind)
+  end
+
+let add_sample buf ~last (s : Registry.sample) =
   match s.value with
   | Registry.Counter v ->
-    add_meta buf s.name s.help "counter";
+    add_meta buf ~last s.name s.help "counter";
     Buffer.add_string buf (Printf.sprintf "%s %s\n" s.name (fnum v))
   | Registry.Gauge v ->
-    add_meta buf s.name s.help "gauge";
+    add_meta buf ~last s.name s.help "gauge";
     Buffer.add_string buf (Printf.sprintf "%s %s\n" s.name (fnum v))
   | Registry.Histogram h ->
-    add_meta buf s.name s.help "histogram";
+    add_meta buf ~last s.name s.help "histogram";
     let last_nonzero = ref 0 in
     Array.iteri (fun i c -> if c > 0 then last_nonzero := i) h.counts;
     let cum = ref 0 in
@@ -41,7 +55,8 @@ let add_sample buf (s : Registry.sample) =
 
 let to_prometheus ?registry () =
   let buf = Buffer.create 4096 in
-  List.iter (add_sample buf) (Registry.snapshot ?registry ());
+  let last = ref "" in
+  List.iter (add_sample buf ~last) (Registry.snapshot ?registry ());
   Buffer.contents buf
 
 let write_channel ?registry oc = output_string oc (to_prometheus ?registry ())

@@ -1,11 +1,16 @@
 (** Central-queue scheduler engine: the structural model of GCC libgomp's
     task support.
 
-    Every spawned task goes through one global mutex-protected FIFO; every
-    idle worker and every strand waiting at a [sync] polls the same queue.
-    With fine-grained tasks all scheduling traffic serialises on the one
-    lock — which is why libgomp's speedup collapses in Figure 10 of the
-    paper, and why this engine's does too. *)
+    Every spawned task goes through one mutex-protected FIFO per pool;
+    every idle worker and every strand waiting at a [sync] polls the same
+    queue.  With fine-grained tasks all scheduling traffic serialises on
+    the one lock — which is why libgomp's speedup collapses in Figure 10
+    of the paper, and why this engine's does too.
+
+    Micropools (ISSUE 10) partition the workers into named groups, each
+    with its own central queue, SNZI indicator and sleeper registry; a
+    multi-pool topology therefore also shards the lock, which is the
+    closest thing this engine has to scalability. *)
 
 module Make (Id : sig
   val name : string
@@ -24,8 +29,35 @@ end) : Runtime_intf.S = struct
 
   type task = Task of (unit -> unit)
 
+  (* One named micropool: its own central queue doubles as the inject
+     queue for [spawn_on]-routed roots (they are ordinary tasks here). *)
+  type group = {
+    gid : int;
+    gname : string;
+    glo : int;  (* first global worker id of this pool *)
+    ghi : int;  (* one past the last *)
+    gqueue : task Nowa_deque.Central_queue.t;
+    gwork : Nowa_sync.Snzi.t;
+        (* Non-zero indicator over the queue: spawners arrive before the
+           push, poppers depart after the grab ([depart_n]: one CAS per
+           batch), so surplus >= queue length always and [query] = false
+           proves the queue is empty.  Idle workers read the padded SNZI
+           root instead of hammering the central mutex — the query-skip.
+           SNZI departs must retire units at their arrival leaf, and a
+           queued task carries no leaf memory, so the indicator runs
+           single-leaf: the leaf CAS traffic matches what a plain atomic
+           counter would cost, while the query side stays one uncontended
+           root read. *)
+    gsleepers : Sleepers.t;  (* indexed by pool-local worker id *)
+    gidle : Config.idle_policy;
+    gsweep : int;
+  }
+
+  type pool = group
+
   type worker = {
     id : int;
+    grp : group;
     m : Metrics.worker;
     tr : Ring.t;
     hb : Health.Beats.t;  (* shared heartbeat words; worker beats its slot *)
@@ -37,26 +69,15 @@ end) : Runtime_intf.S = struct
            central queue *)
   }
 
-  type pool = {
+  type cluster = {
     conf : Config.t;
-    queue : task Nowa_deque.Central_queue.t;
-    work : Nowa_sync.Snzi.t;
-        (* Non-zero indicator over the queue: spawners arrive before the
-           push, poppers depart after the grab ([depart_n]: one CAS per
-           batch), so surplus >= queue length always and [query] = false
-           proves the queue is empty.  Idle workers read the padded SNZI
-           root instead of hammering the central mutex — the query-skip.
-           SNZI departs must retire units at their arrival leaf, and a
-           queued task carries no leaf memory, so the indicator runs
-           single-leaf: the leaf CAS traffic matches what a plain atomic
-           counter would cost, while the query side stays one uncontended
-           root read. *)
-    workers : worker array;
+    workers : worker array;  (* all pools, global ids *)
+    groups : group array;
+    spill : bool;  (* cross-pool spill-over polling enabled *)
     finished : bool Atomic.t;
-    sleepers : Sleepers.t;
   }
 
-  let current : (pool * worker) option Domain.DLS.key =
+  let current : (cluster * worker) option Domain.DLS.key =
     Domain.DLS.new_key (fun () -> None)
 
   let get_current () =
@@ -78,83 +99,121 @@ end) : Runtime_intf.S = struct
     w.depth <- w.depth - 1;
     Health.Beats.beat w.hb w.id
 
-  let poll pool w =
+  (* Batched grab from one pool's queue, behind its query-skip. *)
+  let poll_group w (g : group) =
+    w.m.steal_attempts <- w.m.steal_attempts + 1;
+    Health.Beats.beat w.hb w.id;
+    Ring.emit w.tr Ev.Steal_attempt g.gid;
+    if not (Nowa_sync.Snzi.query g.gwork) then begin
+      (* Indicator at zero proves the queue is empty: skip the mutex. *)
+      Ring.emit w.tr Ev.Steal_abort g.gid;
+      None
+    end
+    else begin
+      match
+        Nowa_deque.Central_queue.pop_batch g.gqueue ~max:(max 1 g.gsweep)
+      with
+      | [] ->
+        Ring.emit w.tr Ev.Steal_abort g.gid;
+        None
+      | head :: rest ->
+        (* One batched depart retires the whole grab's units. *)
+        Nowa_sync.Snzi.depart_n g.gwork ~leaf:0 (1 + List.length rest);
+        Ring.emit w.tr Ev.Steal_commit g.gid;
+        w.stash <- rest;
+        Some head
+    end
+
+  let poll cl w =
     match w.stash with
     | t :: rest ->
       w.stash <- rest;
       Some t
-    | [] ->
-      w.m.steal_attempts <- w.m.steal_attempts + 1;
-      Health.Beats.beat w.hb w.id;
-      Ring.emit w.tr Ev.Steal_attempt 0;
-      if not (Nowa_sync.Snzi.query pool.work) then begin
-        (* Indicator at zero proves the queue is empty: skip the mutex. *)
-        Ring.emit w.tr Ev.Steal_abort 0;
-        None
-      end
-      else begin
-        match
-          Nowa_deque.Central_queue.pop_batch pool.queue
-            ~max:(max 1 pool.conf.Config.steal_sweep)
-        with
-        | [] ->
-          Ring.emit w.tr Ev.Steal_abort 0;
-          None
-        | head :: rest ->
-          (* One batched depart retires the whole grab's units. *)
-          Nowa_sync.Snzi.depart_n pool.work ~leaf:0 (1 + List.length rest);
-          Ring.emit w.tr Ev.Steal_commit 0;
-          w.stash <- rest;
-          Some head
-      end
+    | [] -> (
+      match poll_group w w.grp with
+      | Some _ as r -> r
+      | None ->
+        if not cl.spill then None
+        else begin
+          (* Spill-over: poll foreign pools round-robin from the next
+             pool over, only after the own pool proved empty. *)
+          let ng = Array.length cl.groups in
+          let rec go k =
+            if k >= ng - 1 then None
+            else
+              match poll_group w cl.groups.((w.grp.gid + 1 + k) mod ng) with
+              | Some _ as r -> r
+              | None -> go (k + 1)
+          in
+          go 0
+        end)
 
-  let wait_for pool w fr =
+  let wait_for cl w fr =
     w.m.suspensions <- w.m.suspensions + 1;
     Ring.emit w.tr Ev.Suspend 0;
     let bo = Nowa_util.Backoff.make () in
     while Atomic.get fr.pending > 0 do
-      match poll pool w with
+      match poll cl w with
       | Some t ->
         Nowa_util.Backoff.reset bo;
         run_task w t
       | None -> Nowa_util.Backoff.once bo
     done
 
-  (* Pre-park re-check: the stash is owner-local and the central pop is
-     mutex-synchronised, so this one probe is the whole-system sweep —
-     the queue is the only place work can hide. *)
-  let sweep_all pool w =
+  (* Pre-park re-check: the stash is owner-local and the central pops are
+     mutex-synchronised, so probing each pool's queue is the whole-system
+     sweep — the queues are the only places work can hide.  No
+     query-skip here: this probe is the park protocol's lost-wakeup
+     guard, so it must hit the queues themselves. *)
+  let sweep_all cl w =
+    let take (g : group) =
+      match Nowa_deque.Central_queue.pop g.gqueue with
+      | Some _ as r ->
+        Nowa_sync.Snzi.depart g.gwork ~leaf:0;
+        r
+      | None -> None
+    in
     match w.stash with
     | t :: rest ->
       w.stash <- rest;
       Some t
     | [] -> (
-      (* No query-skip here: this probe is the park protocol's lost-wakeup
-         guard, so it must hit the queue itself. *)
-      match Nowa_deque.Central_queue.pop pool.queue with
-      | Some _ as r ->
-        Nowa_sync.Snzi.depart pool.work ~leaf:0;
-        r
-      | None -> None)
+      match take w.grp with
+      | Some _ as r -> r
+      | None ->
+        if not cl.spill then None
+        else begin
+          let ng = Array.length cl.groups in
+          let rec go k =
+            if k >= ng - 1 then None
+            else
+              match take cl.groups.((w.grp.gid + 1 + k) mod ng) with
+              | Some _ as r -> r
+              | None -> go (k + 1)
+          in
+          go 0
+        end)
 
-  let park_round pool w =
+  let park_round cl w =
     Health.Beats.beat w.hb w.id;
-    ignore (Sleepers.announce pool.sleepers ~worker:w.id);
+    let sleepers = w.grp.gsleepers in
+    let lid = w.id - w.grp.glo in
+    ignore (Sleepers.announce sleepers ~worker:lid);
     let cancel () =
-      if not (Sleepers.cancel pool.sleepers ~worker:w.id) then
+      if not (Sleepers.cancel sleepers ~worker:lid) then
         w.m.wake_retries <- w.m.wake_retries + 1
     in
-    match sweep_all pool w with
+    match sweep_all cl w with
     | Some _ as r ->
       cancel ();
       r
     | None ->
-      if Atomic.get pool.finished then cancel ()
+      if Atomic.get cl.finished then cancel ()
       else begin
         w.m.parks <- w.m.parks + 1;
         Ring.emit w.tr Ev.Park 0;
         let t0 = Nowa_util.Clock.now_ns () in
-        Sleepers.park pool.sleepers ~worker:w.id;
+        Sleepers.park sleepers ~worker:lid;
         Health.Beats.beat w.hb w.id;
         w.m.parked_ns <- w.m.parked_ns + (Nowa_util.Clock.now_ns () - t0);
         Ring.emit w.tr Ev.Unpark 0
@@ -162,21 +221,21 @@ end) : Runtime_intf.S = struct
       None
 
   (* Three-phase elastic idle path (spin, yield, park), as in the
-     work-stealing engines. *)
-  let worker_loop pool w =
+     work-stealing engines.  No mask-width guard needed: [Topology]
+     rejects pools wider than the sleeper registry. *)
+  let worker_loop cl w =
     let bo = Nowa_util.Backoff.make () in
     let spin_budget, can_park =
-      match pool.conf.Config.idle_policy with
+      match w.grp.gidle with
       | Config.Spin -> (max_int, false)
       | Config.Yield_after n -> (max 1 n, false)
       | Config.Park_after n -> (max 1 n, true)
     in
-    let can_park = can_park && w.id < Sleepers.mask_bits in
     let rounds = ref 0 in
     let rec go () =
-      if Atomic.get pool.finished then ()
+      if Atomic.get cl.finished then ()
       else
-        match poll pool w with
+        match poll cl w with
         | Some t ->
           Nowa_util.Backoff.reset bo;
           rounds := 0;
@@ -193,7 +252,7 @@ end) : Runtime_intf.S = struct
             go ()
           end
           else begin
-            (match park_round pool w with
+            (match park_round cl w with
             | Some t ->
               Nowa_util.Backoff.reset bo;
               run_task w t
@@ -212,10 +271,14 @@ end) : Runtime_intf.S = struct
 
   let run ?conf main =
     let conf = match conf with Some c -> c | None -> Config.default () in
-    let nw = max 1 conf.Config.workers in
+    (* Validate the pool topology before entering the runtime guard so a
+       bad configuration raises without leaking guard state. *)
+    let specs = Topology.of_config conf in
+    let nw = Topology.total specs in
     let conf = { conf with Config.workers = nw } in
     Runtime_guard.enter name;
-    Runtime_log.Log.debug (fun m -> m "%s: starting %d workers" name nw);
+    Runtime_log.Log.debug (fun m ->
+        m "%s: starting %d workers in %d pool(s)" name nw (Array.length specs));
     let trace =
       if conf.Config.trace_capacity > 0 then
         Some
@@ -230,18 +293,35 @@ end) : Runtime_intf.S = struct
       if conf.Config.heartbeats then Health.Beats.create ~workers:nw
       else Health.Beats.disabled
     in
-    let pool =
+    let groups =
+      Array.mapi
+        (fun gi (s : Topology.spec) ->
+          {
+            gid = gi;
+            gname = s.Topology.name;
+            glo = s.Topology.lo;
+            ghi = s.Topology.hi;
+            gqueue = Nowa_deque.Central_queue.create ();
+            gwork = Nowa_sync.Snzi.create ~leaves:1 ();
+            gsleepers = Sleepers.create ~workers:(s.Topology.hi - s.Topology.lo);
+            gidle = s.Topology.idle;
+            gsweep = s.Topology.sweep;
+          })
+        specs
+    in
+    let cl =
       {
         conf;
-        queue = Nowa_deque.Central_queue.create ();
-        work = Nowa_sync.Snzi.create ~leaves:1 ();
+        groups;
+        spill = conf.Config.spill_over;
         finished = Atomic.make false;
-        sleepers = Sleepers.create ~workers:nw;
         workers =
           Array.init nw (fun i ->
+              let g = groups.(Topology.group_of specs i) in
               {
                 id = i;
-                m = Metrics.make_worker i;
+                grp = g;
+                m = Metrics.make_worker ~pool:g.gname i;
                 tr = ring_for i;
                 hb;
                 depth = 0;
@@ -249,7 +329,7 @@ end) : Runtime_intf.S = struct
               });
       }
     in
-    Metrics.publish (Array.map (fun w -> w.m) pool.workers);
+    Metrics.publish (Array.map (fun w -> w.m) cl.workers);
     (match trace with
     | Some t ->
       Health.Recorder.register ~name:"trace" (fun ~dir ->
@@ -260,18 +340,35 @@ end) : Runtime_intf.S = struct
     | None -> Health.Recorder.unregister ~name:"trace");
     if conf.Config.watchdog_interval_ms > 0 then
       Runtime_guard.start_monitor (fun () ->
+          (* Pool-aware probe (ISSUE 10): accessors translate global ids
+             through the worker's group so two pools' worker 0s cannot
+             alias. *)
+          let grp i = cl.workers.(i).grp in
+          let lid i = i - (grp i).glo in
           let probe =
             {
               Health.engine = name;
               workers = nw;
+              pool_of = (fun i -> ((grp i).gname, lid i));
               beat_of = (fun i -> Health.Beats.read hb i);
-              announced = (fun i -> Sleepers.announced pool.sleepers ~worker:i);
-              waiting = (fun i -> Sleepers.waiting pool.sleepers ~worker:i);
+              announced =
+                (fun i -> Sleepers.announced (grp i).gsleepers ~worker:(lid i));
+              waiting =
+                (fun i -> Sleepers.waiting (grp i).gsleepers ~worker:(lid i));
               wake_stamp =
-                (fun i -> Sleepers.wake_stamp pool.sleepers ~worker:i);
-              ready = (fun () -> Nowa_deque.Central_queue.size pool.queue);
-              sleepers = (fun () -> Sleepers.sleepers pool.sleepers);
-              draining = (fun () -> Atomic.get pool.finished);
+                (fun i ->
+                  Sleepers.wake_stamp (grp i).gsleepers ~worker:(lid i));
+              ready =
+                (fun () ->
+                  Array.fold_left
+                    (fun acc g -> acc + Nowa_deque.Central_queue.size g.gqueue)
+                    0 cl.groups);
+              sleepers =
+                (fun () ->
+                  Array.fold_left
+                    (fun acc g -> acc + Sleepers.sleepers g.gsleepers)
+                    0 cl.groups);
+              draining = (fun () -> Atomic.get cl.finished);
             }
           in
           let h =
@@ -282,49 +379,52 @@ end) : Runtime_intf.S = struct
           in
           fun () -> Health.Monitor.stop h);
     let result = ref None in
+    let wake_everyone () =
+      Array.iter (fun g -> Sleepers.wake_all g.gsleepers) cl.groups
+    in
     let root =
       Task
         (fun () ->
           (match main () with
           | v -> result := Some (Ok v)
           | exception e -> result := Some (Error e));
-          Atomic.set pool.finished true;
-          Sleepers.wake_all pool.sleepers)
+          Atomic.set cl.finished true;
+          wake_everyone ())
     in
     let t0 = Unix.gettimeofday () in
     let domains =
       List.init (nw - 1) (fun i ->
-          let w = pool.workers.(i + 1) in
+          let w = cl.workers.(i + 1) in
           Domain.spawn (fun () ->
-              Domain.DLS.set current (Some (pool, w));
+              Domain.DLS.set current (Some (cl, w));
               Nowa_trace.Current.set ~worker:w.id w.tr;
               Fun.protect
                 ~finally:(fun () ->
                   Domain.DLS.set current None;
                   Nowa_trace.Current.clear ())
-                (fun () -> worker_loop pool w)))
+                (fun () -> worker_loop cl w)))
     in
-    let w0 = pool.workers.(0) in
-    Domain.DLS.set current (Some (pool, w0));
+    let w0 = cl.workers.(0) in
+    Domain.DLS.set current (Some (cl, w0));
     Nowa_trace.Current.set ~worker:w0.id w0.tr;
     let teardown () =
       Domain.DLS.set current None;
       Nowa_trace.Current.clear ();
-      Atomic.set pool.finished true;
-      Sleepers.wake_all pool.sleepers;
+      Atomic.set cl.finished true;
+      wake_everyone ();
       List.iter Domain.join domains;
       Runtime_guard.exit ()
     in
     Fun.protect ~finally:teardown (fun () ->
         run_task w0 root;
-        worker_loop pool w0;
+        worker_loop cl w0;
         let elapsed = Unix.gettimeofday () -. t0 in
         last_trace_ref := trace;
         if conf.Config.collect_metrics then
           last_metrics_ref :=
             Some
               (Metrics.make
-                 (Array.map (fun w -> w.m) pool.workers)
+                 (Array.map (fun w -> w.m) cl.workers)
                  ~elapsed_s:elapsed));
     match !result with
     | Some (Ok v) -> v
@@ -332,8 +432,8 @@ end) : Runtime_intf.S = struct
     | None -> assert false
 
   let scope_finish fr =
-    let pool, w = get_current () in
-    if Atomic.get fr.pending > 0 then wait_for pool w fr
+    let cl, w = get_current () in
+    if Atomic.get fr.pending > 0 then wait_for cl w fr
     else w.m.fast_syncs <- w.m.fast_syncs + 1;
     match Atomic.exchange fr.exn_slot None with
     | Some e -> raise e
@@ -352,8 +452,16 @@ end) : Runtime_intf.S = struct
 
   let sync = scope_finish
 
+  (* Arrive before push: a task in the queue always has a visible unit
+     behind it, so a zero indicator proves the queue is empty. *)
+  let push_task w (g : group) t =
+    Nowa_sync.Snzi.arrive g.gwork ~leaf:0;
+    Nowa_deque.Central_queue.push g.gqueue t;
+    (* One load when nobody sleeps; CAS + signal only for a sleeper. *)
+    if Sleepers.wake_one g.gsleepers then w.m.wakeups <- w.m.wakeups + 1
+
   let spawn fr thunk =
-    let pool, w = get_current () in
+    let _, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
     Health.Beats.beat w.hb w.id;
     Ring.emit w.tr Ev.Spawn 0;
@@ -367,16 +475,11 @@ end) : Runtime_intf.S = struct
         note_exn fr e);
       ignore (Atomic.fetch_and_add fr.pending (-1))
     in
-    (* Arrive before push: a task in the queue always has a visible unit
-       behind it, so a zero indicator proves the queue is empty. *)
-    Nowa_sync.Snzi.arrive pool.work ~leaf:0;
-    Nowa_deque.Central_queue.push pool.queue (Task body);
-    (* One load when nobody sleeps; CAS + signal only for a sleeper. *)
-    if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1;
+    push_task w w.grp (Task body);
     p
 
   let spawn_unit fr thunk =
-    let pool, w = get_current () in
+    let _, w = get_current () in
     w.m.spawns <- w.m.spawns + 1;
     Health.Beats.beat w.hb w.id;
     Ring.emit w.tr Ev.Spawn 0;
@@ -385,9 +488,68 @@ end) : Runtime_intf.S = struct
       (match thunk () with () -> () | exception e -> note_exn fr e);
       ignore (Atomic.fetch_and_add fr.pending (-1))
     in
-    Nowa_sync.Snzi.arrive pool.work ~leaf:0;
-    Nowa_deque.Central_queue.push pool.queue (Task body);
-    if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1
+    push_task w w.grp (Task body)
 
   let get p = Promise.get ~runtime:name p
+  let await p = Promise.await ~runtime:name p
+
+  (* -- pool routing (ISSUE 10) ------------------------------------------ *)
+
+  let find_pool pname =
+    let cl, _ = get_current () in
+    Array.find_opt (fun g -> String.equal g.gname pname) cl.groups
+
+  let pool pname =
+    match find_pool pname with
+    | Some g -> g
+    | None ->
+      invalid_arg
+        (Printf.sprintf "%s: unknown pool %S (configure it in Config.pools)"
+           name pname)
+
+  let pool_name (g : pool) = g.gname
+
+  let self_pool () =
+    let _, w = get_current () in
+    w.grp.gname
+
+  (* Wake path for a routed root: the target pool's registry first; with
+     spill-over on and no local sleeper, any foreign sleeper will do —
+     the spill poll covers foreign queues. *)
+  let wake_routed cl w (g : group) =
+    if Sleepers.wake_one g.gsleepers then w.m.wakeups <- w.m.wakeups + 1
+    else if cl.spill then begin
+      let ng = Array.length cl.groups in
+      let rec go k =
+        if k >= ng - 1 then ()
+        else if Sleepers.wake_one cl.groups.((g.gid + 1 + k) mod ng).gsleepers
+        then w.m.wakeups <- w.m.wakeups + 1
+        else go (k + 1)
+      in
+      go 0
+    end
+
+  let enqueue_routed (g : pool) body =
+    let cl, w = get_current () in
+    Nowa_sync.Snzi.arrive g.gwork ~leaf:0;
+    Nowa_deque.Central_queue.push g.gqueue (Task body);
+    wake_routed cl w g
+
+  (* Routed roots are plain closures here — spawns inside the task open
+     their own scopes as usual. *)
+  let spawn_on (type a) (g : pool) (thunk : unit -> a) : a promise =
+    let p : a promise = Promise.make_remote () in
+    enqueue_routed g (fun () ->
+        match thunk () with
+        | v -> Promise.fill_remote p v
+        | exception e -> Promise.fill_remote_exn p e);
+    p
+
+  let spawn_unit_on (g : pool) thunk =
+    enqueue_routed g (fun () ->
+        try thunk ()
+        with e ->
+          Runtime_log.Log.err (fun m ->
+              m "%s: spawn_unit_on %S task raised %s" name g.gname
+                (Printexc.to_string e)))
 end

@@ -2,6 +2,14 @@ type victim_policy = Random | Round_robin
 type madvise_mode = Madv_free | Madv_dontneed
 type idle_policy = Spin | Yield_after of int | Park_after of int
 
+type pool_conf = {
+  pc_name : string;
+  pc_workers : int;
+  pc_idle_policy : idle_policy option;
+  pc_steal_sweep : int option;
+  pc_deque_capacity : int option;
+}
+
 type t = {
   workers : int;
   deque_capacity : int;
@@ -23,11 +31,17 @@ type t = {
   watchdog_interval_ms : int;
   watchdog_stall_scans : int;
   watchdog_dump : bool;
+  pools : pool_conf list;
+  spill_over : bool;
 }
 
 let default () =
   {
-    workers = Nowa_util.Cpu.default_workers ();
+    (* Clamped to the sleeper registry's bitmask width: a pool larger
+       than [Sleepers.mask_bits] is rejected loudly at construction, and
+       the implicit single pool built from the default must stay valid
+       on very wide hosts. *)
+    workers = min (Nowa_util.Cpu.default_workers ()) Sleepers.mask_bits;
     deque_capacity = 256;
     steal_attempts = 4;
     victim_policy = Random;
@@ -47,6 +61,17 @@ let default () =
     watchdog_interval_ms = 0;
     watchdog_stall_scans = 2;
     watchdog_dump = true;
+    pools = [];
+    spill_over = false;
   }
 
 let with_workers n = { (default ()) with workers = max 1 n }
+
+let pool ?idle_policy ?steal_sweep ?deque_capacity name ~workers =
+  {
+    pc_name = name;
+    pc_workers = workers;
+    pc_idle_policy = idle_policy;
+    pc_steal_sweep = steal_sweep;
+    pc_deque_capacity = deque_capacity;
+  }

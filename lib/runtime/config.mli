@@ -26,10 +26,31 @@ type madvise_mode =
           shrunk stack is next used — the variant Yang & Mellor-Crummey
           evaluated *)
 
+type pool_conf = {
+  pc_name : string;  (** Pool name, the routing key for [spawn_on]. *)
+  pc_workers : int;
+      (** Workers in this pool (at most [Sleepers.mask_bits]; validated
+          loudly at pool construction). *)
+  pc_idle_policy : idle_policy option;
+      (** Per-pool idle policy; [None] inherits the top-level
+          {!t.idle_policy}. *)
+  pc_steal_sweep : int option;
+      (** Per-pool steal sweep width; [None] inherits
+          {!t.steal_sweep}. *)
+  pc_deque_capacity : int option;
+      (** Per-pool initial deque capacity; [None] inherits
+          {!t.deque_capacity}. *)
+}
+(** One named worker pool (a {e micropool}).  Each pool gets its own
+    instances of the engine's deque and counter families, its own
+    sleeper registry, and its own idle policy; workers steal only from
+    pool-mates unless {!t.spill_over} is set. *)
+
 type t = {
   workers : int;
       (** Number of workers (the calling domain is worker 0; [workers − 1]
-          further domains are spawned). *)
+          further domains are spawned).  Ignored when {!t.pools} is
+          non-empty — the pool sizes then determine the worker count. *)
   deque_capacity : int;  (** Initial per-worker deque capacity. *)
   steal_attempts : int;
       (** Failed steal attempts before one backoff step is taken. *)
@@ -92,10 +113,36 @@ type t = {
       (** Whether a watchdog verdict triggers a flight-recorder
           postmortem bundle under [artifacts/] (on by default; verdicts
           are still recorded and exported when off). *)
+  pools : pool_conf list;
+      (** Named worker pools.  Empty (the default) means one implicit
+          pool called ["main"] with {!t.workers} workers — the flat
+          pre-micropool behaviour, with an unchanged hot path.  When
+          non-empty, the first pool hosts the root computation (and is
+          where [run]'s main thunk executes); pool names must be
+          distinct and non-empty, and each pool's worker count must be
+          in [1, Sleepers.mask_bits] or [run] raises
+          [Invalid_argument]. *)
+  spill_over : bool;
+      (** Cross-pool spill-over stealing: an idle worker sweeps foreign
+          pools' deques and inject queues only after exhausting its own
+          pool's victims, just before parking would otherwise win.  Off
+          by default — pools are then fully isolated and a task routed
+          with [spawn_on] never executes outside its pool. *)
 }
 
 val default : unit -> t
-(** One worker per available core, madvise off, metrics on. *)
+(** One worker per available core (clamped to [Sleepers.mask_bits]),
+    madvise off, metrics on, single implicit pool. *)
 
 val with_workers : int -> t
 (** [default ()] with the given worker count. *)
+
+val pool :
+  ?idle_policy:idle_policy ->
+  ?steal_sweep:int ->
+  ?deque_capacity:int ->
+  string ->
+  workers:int ->
+  pool_conf
+(** [pool name ~workers] builds one {!pool_conf} entry, inheriting any
+    unspecified knob from the top-level configuration. *)

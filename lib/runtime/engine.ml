@@ -101,8 +101,32 @@ module Make
     let dummy = dummy_task
   end)
 
+  (* One named micropool (ISSUE 10): a contiguous slice of the global
+     worker array with its own sleeper registry (local ids), its own
+     inject queue for [spawn_on]-routed roots, and its own idle/steal
+     knobs.  The single-pool topology builds exactly one of these, and
+     the spawn/sync hot path pays only the [w.grp] indirection. *)
+  type group = {
+    gid : int;
+    gname : string;
+    glo : int;  (* first global worker id of this pool *)
+    ghi : int;  (* one past the last *)
+    gsleepers : Sleepers.t;  (* indexed by pool-local worker id *)
+    ginject : task Nowa_deque.Central_queue.t;
+        (* [spawn_on] roots; FIFO per target pool *)
+    ggate : int Atomic.t;
+        (* conservative inject count: raised before a push, lowered
+           after a pop, so 0 proves the queue empty and idle workers
+           skip the queue lock entirely *)
+    gidle : Config.idle_policy;
+    gsweep : int;
+  }
+
+  type pool = group
+
   type worker = {
     id : int;
+    grp : group;
     deque : Q.t;
     rng : Nowa_util.Xoshiro.t;
     m : Metrics.worker;
@@ -118,12 +142,13 @@ module Make
     mutable nframes : int;
   }
 
-  type pool = {
+  type cluster = {
     conf : Config.t;
-    workers : worker array;
+    workers : worker array;  (* all pools, global ids *)
+    groups : group array;
+    spill : bool;  (* cross-pool spill-over stealing enabled *)
     stacks : Stack_pool.t;
     finished : bool Atomic.t;
-    sleepers : Sleepers.t;
     hb : Health.Beats.t;  (* per-worker heartbeat words; watchdog input *)
   }
 
@@ -140,7 +165,7 @@ module Make
      physical inequality in [child_body]). *)
   let dummy_promise : Obj.t Promise.t = Promise.make ()
 
-  let current : (pool * worker) option Domain.DLS.key =
+  let current : (cluster * worker) option Domain.DLS.key =
     Domain.DLS.new_key (fun () -> None)
 
   let get_current () =
@@ -273,8 +298,10 @@ module Make
     in
     Q.push_bottom w.deque t;
     (* One atomic load when nobody sleeps — the spawn path stays
-       wait-free; the CAS + signal run only against an actual sleeper. *)
-    if Sleepers.wake_one pool.sleepers then w.m.wakeups <- w.m.wakeups + 1;
+       wait-free; the CAS + signal run only against an actual sleeper.
+       Only the spawner's own pool is woken: foreign pools find spilled
+       work through their pre-park sweep when spill-over is on. *)
+    if Sleepers.wake_one w.grp.gsleepers then w.m.wakeups <- w.m.wakeups + 1;
     exec_child w fr thunk p
 
   and handle_sync : frame -> cont -> unit =
@@ -369,11 +396,24 @@ module Make
 
   let on_commit t = if t.kind == kind_stolen then C.note_steal t.tfr.counter
 
-  let try_steal pool w =
-    let n = Array.length pool.workers in
+  (* Take one routed root from a pool's inject queue.  The gate read
+     keeps the common empty case lock-free: the gate is raised before
+     the push, so 0 proves emptiness. *)
+  let try_inject (g : group) =
+    if Atomic.get g.ggate = 0 then None
+    else
+      match Nowa_deque.Central_queue.pop g.ginject with
+      | Some _ as r ->
+        Atomic.decr g.ggate;
+        r
+      | None -> None
+
+  let try_steal cl w =
+    let g = w.grp in
+    let n = g.ghi - g.glo in
     let attempt victim =
       w.m.steal_attempts <- w.m.steal_attempts + 1;
-      Health.Beats.beat pool.hb w.id;
+      Health.Beats.beat cl.hb w.id;
       Ring.emit w.tr Ev.Steal_attempt victim.id;
       match Q.steal victim.deque ~on_commit with
       | Some _ as r ->
@@ -388,38 +428,89 @@ module Make
        full steal protocol) is both legal and necessary for progress. *)
     match attempt w with
     | Some t -> Some t
-    | None ->
-      if n = 1 then None
-      else begin
-        (* Sweep up to [steal_sweep] distinct victims before counting the
-           round as failed.  Victims are addressed as offsets in
-           [0, n-2] rotated past the thief's own id, so the sweep never
-           probes itself and never repeats a victim. *)
-        let sweep = min (max 1 pool.conf.Config.steal_sweep) (n - 1) in
-        let start =
-          match pool.conf.Config.victim_policy with
-          | Config.Random -> Nowa_util.Xoshiro.int w.rng (n - 1)
-          | Config.Round_robin ->
-            let v = w.next_victim mod (n - 1) in
-            w.next_victim <- v + sweep;
-            v
-        in
-        let rec probe i =
-          if i >= sweep then begin
-            Nowa_obs.Histogram.observe Metrics.sweep_length sweep;
-            None
-          end
-          else begin
-            let v = (w.id + 1 + ((start + i) mod (n - 1))) mod n in
-            match attempt pool.workers.(v) with
-            | Some _ as r ->
-              Nowa_obs.Histogram.observe Metrics.sweep_length (i + 1);
-              r
-            | None -> probe (i + 1)
-          end
-        in
-        probe 0
-      end
+    | None -> (
+      (* Routed roots next: they are this pool's responsibility and have
+         no other worker to run them. *)
+      match try_inject g with
+      | Some _ as r -> r
+      | None ->
+        if n = 1 then None
+        else begin
+          (* Sweep up to [steal_sweep] distinct pool-mates before
+             counting the round as failed.  Victims are addressed as
+             offsets in [0, n-2] rotated past the thief's own local id,
+             so the sweep never probes itself and never repeats a
+             victim; stealing stays inside the pool (spill-over runs
+             later, from the idle loop). *)
+          let sweep = min (max 1 g.gsweep) (n - 1) in
+          let lid = w.id - g.glo in
+          let start =
+            match cl.conf.Config.victim_policy with
+            | Config.Random -> Nowa_util.Xoshiro.int w.rng (n - 1)
+            | Config.Round_robin ->
+              let v = w.next_victim mod (n - 1) in
+              w.next_victim <- v + sweep;
+              v
+          in
+          let rec probe i =
+            if i >= sweep then begin
+              Nowa_obs.Histogram.observe Metrics.sweep_length sweep;
+              None
+            end
+            else begin
+              let v = g.glo + ((lid + 1 + ((start + i) mod (n - 1))) mod n) in
+              match attempt cl.workers.(v) with
+              | Some _ as r ->
+                Nowa_obs.Histogram.observe Metrics.sweep_length (i + 1);
+                r
+              | None -> probe (i + 1)
+            end
+          in
+          probe 0
+        end)
+
+  (* Cross-pool spill-over (ISSUE 10, behind [Config.spill_over]): only
+     reached when the worker's own pool — deque, inject queue and every
+     pool-mate — came up empty, so the ordering argument holds: local
+     work always wins over foreign work.  Foreign pools are scanned
+     round-robin from the next pool over; within each, the inject queue
+     first (routed roots have no other runner) then up to [gsweep]
+     random victims. *)
+  let try_spill cl w =
+    let ng = Array.length cl.groups in
+    if ng <= 1 then None
+    else begin
+      let attempt victim =
+        w.m.steal_attempts <- w.m.steal_attempts + 1;
+        Ring.emit w.tr Ev.Steal_attempt victim.id;
+        match Q.steal victim.deque ~on_commit with
+        | Some _ as r ->
+          Ring.emit w.tr Ev.Steal_commit victim.id;
+          r
+        | None -> None
+      in
+      let rec groups k =
+        if k >= ng - 1 then None
+        else begin
+          let g = cl.groups.((w.grp.gid + 1 + k) mod ng) in
+          match try_inject g with
+          | Some _ as r -> r
+          | None ->
+            let n = g.ghi - g.glo in
+            let sweep = min (max 1 w.grp.gsweep) n in
+            let start = Nowa_util.Xoshiro.int w.rng n in
+            let rec probe i =
+              if i >= sweep then None
+              else
+                match attempt cl.workers.(g.glo + ((start + i) mod n)) with
+                | Some _ as r -> r
+                | None -> probe (i + 1)
+            in
+            (match probe 0 with Some _ as r -> r | None -> groups (k + 1))
+        end
+      in
+      groups 0
+    end
 
   let execute pool w (t : task) =
     w.m.tasks <- w.m.tasks + 1;
@@ -452,12 +543,13 @@ module Make
      sleeper bit, sequential consistency gives: any task pushed before
      the spawner's registry load is visible to this sweep, or was taken
      by a racing thief that is itself awake and holding work. *)
-  let sweep_all pool w =
-    let n = Array.length pool.workers in
+  let sweep_group cl w (g : group) =
+    let n = g.ghi - g.glo in
+    let off = if w.id >= g.glo && w.id < g.ghi then w.id - g.glo else 0 in
     let rec go i =
-      if i >= n then None
+      if i >= n then try_inject g
       else begin
-        let victim = pool.workers.((w.id + i) mod n) in
+        let victim = cl.workers.(g.glo + ((off + i) mod n)) in
         w.m.steal_attempts <- w.m.steal_attempts + 1;
         match Q.steal victim.deque ~on_commit with
         | Some _ as r ->
@@ -468,30 +560,55 @@ module Make
     in
     go 0
 
+  let sweep_all cl w =
+    match sweep_group cl w w.grp with
+    | Some _ as r -> r
+    | None ->
+      if not cl.spill then None
+      else begin
+        (* With spill-over on, this worker may be the last one awake
+           that could ever run a foreign pool's pending work, so the
+           pre-park sweep must cover the foreign pools too — same
+           lost-wakeup argument, registry per pool. *)
+        let ng = Array.length cl.groups in
+        let rec go k =
+          if k >= ng - 1 then None
+          else
+            match
+              sweep_group cl w cl.groups.((w.grp.gid + 1 + k) mod ng)
+            with
+            | Some _ as r -> r
+            | None -> go (k + 1)
+        in
+        go 0
+      end
+
   (* One park round: announce, re-check everything, then either run what
      the re-check found, bail out on shutdown, or block until a spawner
      posts a token.  Returns work if the re-check produced any. *)
-  let park_round pool w =
-    Health.Beats.beat pool.hb w.id;
-    ignore (Sleepers.announce pool.sleepers ~worker:w.id);
+  let park_round cl w =
+    Health.Beats.beat cl.hb w.id;
+    let sleepers = w.grp.gsleepers in
+    let lid = w.id - w.grp.glo in
+    ignore (Sleepers.announce sleepers ~worker:lid);
     let cancel () =
-      if not (Sleepers.cancel pool.sleepers ~worker:w.id) then
+      if not (Sleepers.cancel sleepers ~worker:lid) then
         (* A waker claimed our bit first: its token is in flight and the
            next park will consume it immediately. *)
         w.m.wake_retries <- w.m.wake_retries + 1
     in
-    match sweep_all pool w with
+    match sweep_all cl w with
     | Some _ as r ->
       cancel ();
       r
     | None ->
-      if Atomic.get pool.finished then cancel ()
+      if Atomic.get cl.finished then cancel ()
       else begin
         w.m.parks <- w.m.parks + 1;
         Ring.emit w.tr Ev.Park 0;
         let t0 = Nowa_util.Clock.now_ns () in
-        Sleepers.park pool.sleepers ~worker:w.id;
-        Health.Beats.beat pool.hb w.id;
+        Sleepers.park sleepers ~worker:lid;
+        Health.Beats.beat cl.hb w.id;
         w.m.parked_ns <- w.m.parked_ns + (Nowa_util.Clock.now_ns () - t0);
         Ring.emit w.tr Ev.Unpark 0
       end;
@@ -502,30 +619,36 @@ module Make
      yielding the OS timeslice each round, then parking.  [finished] is
      checked on every iteration of every phase, and shutdown wakes all
      parked workers, so exit is prompt in all phases. *)
-  let worker_loop pool w =
+  let worker_loop cl w =
     let bo = Nowa_util.Backoff.make () in
     let spin_budget, can_park =
-      match pool.conf.Config.idle_policy with
+      match w.grp.gidle with
       | Config.Spin -> (max_int, false)
       | Config.Yield_after n -> (max 1 n, false)
       | Config.Park_after n -> (max 1 n, true)
     in
-    (* Workers beyond the registry's bitmask width degrade to yield. *)
-    let can_park = can_park && w.id < Sleepers.mask_bits in
+    (* No mask-width guard needed: [Topology.of_config] (backed by
+       [Sleepers.create]) rejects pools wider than the registry, so
+       every local id can park. *)
     let rounds = ref 0 in
+    let take () =
+      match try_steal cl w with
+      | Some _ as r -> r
+      | None -> if cl.spill then try_spill cl w else None
+    in
     let rec go () =
-      if Atomic.get pool.finished then ()
+      if Atomic.get cl.finished then ()
       else
-        match try_steal pool w with
+        match take () with
         | Some t ->
           Nowa_util.Backoff.reset bo;
           rounds := 0;
-          execute pool w t;
+          execute cl w t;
           go ()
         | None ->
           incr rounds;
           if !rounds <= spin_budget then begin
-            if !rounds mod pool.conf.Config.steal_attempts = 0 then
+            if !rounds mod cl.conf.Config.steal_attempts = 0 then
               Nowa_util.Backoff.once bo;
             go ()
           end
@@ -534,10 +657,10 @@ module Make
             go ()
           end
           else begin
-            (match park_round pool w with
+            (match park_round cl w with
             | Some t ->
               Nowa_util.Backoff.reset bo;
-              execute pool w t
+              execute cl w t
             | None -> ());
             (* Fresh spin phase after an unpark (work just appeared) or
                a shutdown wake (the [finished] check above exits). *)
@@ -560,10 +683,14 @@ module Make
 
   let run ?conf main =
     let conf = match conf with Some c -> c | None -> Config.default () in
-    let nw = max 1 conf.Config.workers in
+    (* Validate the pool topology before entering the runtime guard so a
+       bad configuration raises without leaking guard state. *)
+    let specs = Topology.of_config conf in
+    let nw = Topology.total specs in
     let conf = { conf with Config.workers = nw } in
     Runtime_guard.enter name;
-    Runtime_log.Log.debug (fun m -> m "%s: starting %d workers" name nw);
+    Runtime_log.Log.debug (fun m ->
+        m "%s: starting %d workers in %d pool(s)" name nw (Array.length specs));
     let trace =
       if conf.Config.trace_capacity > 0 then
         Some
@@ -574,12 +701,29 @@ module Make
     let ring_for i =
       match trace with Some t -> Nowa_trace.Trace.worker t i | None -> Ring.disabled
     in
-    let pool =
+    let groups =
+      Array.mapi
+        (fun gi (s : Topology.spec) ->
+          {
+            gid = gi;
+            gname = s.Topology.name;
+            glo = s.Topology.lo;
+            ghi = s.Topology.hi;
+            gsleepers = Sleepers.create ~workers:(s.Topology.hi - s.Topology.lo);
+            ginject = Nowa_deque.Central_queue.create ();
+            ggate = Nowa_util.Padding.atomic 0;
+            gidle = s.Topology.idle;
+            gsweep = s.Topology.sweep;
+          })
+        specs
+    in
+    let cl =
       {
         conf;
+        groups;
+        spill = conf.Config.spill_over;
         stacks = Stack_pool.create conf;
         finished = Atomic.make false;
-        sleepers = Sleepers.create ~workers:nw;
         hb =
           (if conf.Config.heartbeats then Health.Beats.create ~workers:nw
            else Health.Beats.disabled);
@@ -587,14 +731,17 @@ module Make
           (* Worker records hold hot mutable fields (spare slot, stack,
              frame-list cursor); isolate each record's birth cache line. *)
           Array.init nw (fun i ->
+              let g = groups.(Topology.group_of specs i) in
               Nowa_util.Padding.isolate (fun () ->
                   {
                     id = i;
-                    deque = Q.create ~capacity:conf.Config.deque_capacity ();
+                    grp = g;
+                    deque =
+                      Q.create ~capacity:specs.(g.gid).Topology.capacity ();
                     rng =
                       Nowa_util.Xoshiro.make
                         ~seed:(conf.Config.seed + (i * 7919) + 1);
-                    m = Metrics.make_worker i;
+                    m = Metrics.make_worker ~pool:g.gname i;
                     tr = ring_for i;
                     stack = None;
                     next_victim = i + 1;
@@ -610,15 +757,15 @@ module Make
        and pool getters while the computation runs. *)
     let stack_stats () =
       {
-        Metrics.allocated_stacks = Stack_pool.allocated_stacks pool.stacks;
-        live_stacks = Stack_pool.live_stacks pool.stacks;
-        max_rss_pages = Stack_pool.max_rss_pages pool.stacks;
-        madvise_calls = Stack_pool.madvise_calls pool.stacks;
-        pool_hits = Stack_pool.global_pool_hits pool.stacks;
+        Metrics.allocated_stacks = Stack_pool.allocated_stacks cl.stacks;
+        live_stacks = Stack_pool.live_stacks cl.stacks;
+        max_rss_pages = Stack_pool.max_rss_pages cl.stacks;
+        madvise_calls = Stack_pool.madvise_calls cl.stacks;
+        pool_hits = Stack_pool.global_pool_hits cl.stacks;
       }
     in
     Metrics.publish ~stacks:stack_stats
-      (Array.map (fun w -> w.m) pool.workers);
+      (Array.map (fun w -> w.m) cl.workers);
     (* Flight-recorder contributor: freeze the live rings' most recent
        window into a Perfetto file inside the bundle.  Registered even
        though the watchdog may be off — an explicit dump wants it too. *)
@@ -632,22 +779,40 @@ module Make
     | None -> Health.Recorder.unregister ~name:"trace");
     if conf.Config.watchdog_interval_ms > 0 then
       Runtime_guard.start_monitor (fun () ->
+          (* Pool-aware probe (ISSUE 10): sleeper registries are per
+             pool and keyed by local ids, so every accessor translates
+             the global index through the worker's group — two pools'
+             worker 0s can no longer alias into one sleeper slot or one
+             verdict row. *)
+          let grp i = cl.workers.(i).grp in
+          let lid i = i - (grp i).glo in
           let probe =
             {
               Health.engine = name;
               workers = nw;
-              beat_of = (fun i -> Health.Beats.read pool.hb i);
-              announced = (fun i -> Sleepers.announced pool.sleepers ~worker:i);
-              waiting = (fun i -> Sleepers.waiting pool.sleepers ~worker:i);
+              pool_of = (fun i -> ((grp i).gname, lid i));
+              beat_of = (fun i -> Health.Beats.read cl.hb i);
+              announced =
+                (fun i -> Sleepers.announced (grp i).gsleepers ~worker:(lid i));
+              waiting =
+                (fun i -> Sleepers.waiting (grp i).gsleepers ~worker:(lid i));
               wake_stamp =
-                (fun i -> Sleepers.wake_stamp pool.sleepers ~worker:i);
+                (fun i ->
+                  Sleepers.wake_stamp (grp i).gsleepers ~worker:(lid i));
               ready =
                 (fun () ->
                   Array.fold_left
                     (fun acc w -> acc + Q.size w.deque)
-                    0 pool.workers);
-              sleepers = (fun () -> Sleepers.sleepers pool.sleepers);
-              draining = (fun () -> Atomic.get pool.finished);
+                    0 cl.workers
+                  + Array.fold_left
+                      (fun acc g -> acc + Atomic.get g.ggate)
+                      0 cl.groups);
+              sleepers =
+                (fun () ->
+                  Array.fold_left
+                    (fun acc g -> acc + Sleepers.sleepers g.gsleepers)
+                    0 cl.groups);
+              draining = (fun () -> Atomic.get cl.finished);
             }
           in
           let h =
@@ -658,6 +823,9 @@ module Make
           in
           fun () -> Health.Monitor.stop h);
     let result = ref None in
+    let wake_everyone () =
+      Array.iter (fun g -> Sleepers.wake_all g.gsleepers) cl.groups
+    in
     let root =
       {
         kind = kind_root;
@@ -669,13 +837,13 @@ module Make
                 retc =
                   (fun v ->
                     result := Some (Ok v);
-                    Atomic.set pool.finished true;
-                    Sleepers.wake_all pool.sleepers);
+                    Atomic.set cl.finished true;
+                    wake_everyone ());
                 exnc =
                   (fun e ->
                     result := Some (Error e);
-                    Atomic.set pool.finished true;
-                    Sleepers.wake_all pool.sleepers);
+                    Atomic.set cl.finished true;
+                    wake_everyone ());
                 effc;
               });
         tfr = dummy_frame;
@@ -684,18 +852,18 @@ module Make
     let t0 = Unix.gettimeofday () in
     let domains =
       List.init (nw - 1) (fun i ->
-          let w = pool.workers.(i + 1) in
+          let w = cl.workers.(i + 1) in
           Domain.spawn (fun () ->
-              Domain.DLS.set current (Some (pool, w));
+              Domain.DLS.set current (Some (cl, w));
               Nowa_trace.Current.set ~worker:w.id w.tr;
               Fun.protect
                 ~finally:(fun () ->
                   Domain.DLS.set current None;
                   Nowa_trace.Current.clear ())
-                (fun () -> worker_loop pool w)))
+                (fun () -> worker_loop cl w)))
     in
-    let w0 = pool.workers.(0) in
-    Domain.DLS.set current (Some (pool, w0));
+    let w0 = cl.workers.(0) in
+    Domain.DLS.set current (Some (cl, w0));
     Nowa_trace.Current.set ~worker:w0.id w0.tr;
     let joined = ref false in
     let join_all () =
@@ -703,8 +871,8 @@ module Make
         joined := true;
         (* Make sure helper domains can terminate even if worker 0 died
            on a scheduler bug; parked workers need the explicit wake. *)
-        Atomic.set pool.finished true;
-        Sleepers.wake_all pool.sleepers;
+        Atomic.set cl.finished true;
+        wake_everyone ();
         List.iter Domain.join domains
       end
     in
@@ -715,17 +883,17 @@ module Make
       Runtime_guard.exit ()
     in
     Fun.protect ~finally:teardown (fun () ->
-        execute pool w0 root;
-        worker_loop pool w0;
+        execute cl w0 root;
+        worker_loop cl w0;
         join_all ();
         (* Fold the pages still held by quiescent workers into the RSS
            watermark before reporting it. *)
         Array.iter
           (fun w ->
             match w.stack with
-            | Some s -> Stack_pool.sync_rss pool.stacks s
+            | Some s -> Stack_pool.sync_rss cl.stacks s
             | None -> ())
-          pool.workers;
+          cl.workers;
         let elapsed = Unix.gettimeofday () -. t0 in
         Runtime_log.Log.debug (fun m ->
             m "%s: computation finished in %.6f s" name elapsed);
@@ -737,7 +905,7 @@ module Make
           last_metrics_ref :=
             Some
               (Metrics.make ~stacks
-                 (Array.map (fun w -> w.m) pool.workers)
+                 (Array.map (fun w -> w.m) cl.workers)
                  ~elapsed_s:elapsed)
         end);
     match !result with
@@ -802,4 +970,77 @@ module Make
       (Spawn (fr, (Obj.magic thunk : unit -> Obj.t), dummy_promise))
 
   let get p = Promise.get ~runtime:name p
+  let await p = Promise.await ~runtime:name p
+
+  (* -- pool routing (ISSUE 10) ------------------------------------------ *)
+
+  let find_pool pname =
+    let cl, _ = get_current () in
+    Array.find_opt (fun g -> String.equal g.gname pname) cl.groups
+
+  let pool pname =
+    match find_pool pname with
+    | Some g -> g
+    | None ->
+      invalid_arg
+        (Printf.sprintf "%s: unknown pool %S (configure it in Config.pools)"
+           name pname)
+
+  let pool_name (g : pool) = g.gname
+
+  let self_pool () =
+    let _, w = get_current () in
+    w.grp.gname
+
+  (* Wake path for a routed root: the target pool's registry first; with
+     spill-over on and no local sleeper, any foreign sleeper will do —
+     the pre-park sweep covers foreign inject queues, and this closes
+     the window where every potential runner is already parked. *)
+  let wake_routed cl w (g : group) =
+    if Sleepers.wake_one g.gsleepers then w.m.wakeups <- w.m.wakeups + 1
+    else if cl.spill then begin
+      let ng = Array.length cl.groups in
+      let rec go k =
+        if k >= ng - 1 then ()
+        else if Sleepers.wake_one cl.groups.((g.gid + 1 + k) mod ng).gsleepers
+        then w.m.wakeups <- w.m.wakeups + 1
+        else go (k + 1)
+      in
+      go 0
+    end
+
+  let enqueue_routed (g : pool) tfn =
+    let cl, w = get_current () in
+    let t = { kind = kind_root; tk = dummy_cont; tfn; tfr = dummy_frame } in
+    (* Gate up before the push so a zero gate proves an empty queue. *)
+    Atomic.incr g.ggate;
+    Nowa_deque.Central_queue.push g.ginject t;
+    wake_routed cl w g
+
+  (* Handler under which a routed root runs: spawn/sync effects from the
+     task's scopes resolve here, exactly as under [run]'s root. *)
+  let routed_handler : (unit, unit) Effect.Deep.handler =
+    { retc = ignore; exnc = raise; effc }
+
+  let spawn_on (type a) (g : pool) (thunk : unit -> a) : a promise =
+    let p : a promise = Promise.make_remote () in
+    enqueue_routed g (fun () ->
+        Effect.Deep.match_with
+          (fun () ->
+            match thunk () with
+            | v -> Promise.fill_remote p v
+            | exception e -> Promise.fill_remote_exn p e)
+          () routed_handler);
+    p
+
+  let spawn_unit_on (g : pool) thunk =
+    enqueue_routed g (fun () ->
+        Effect.Deep.match_with
+          (fun () ->
+            try thunk ()
+            with e ->
+              Runtime_log.Log.err (fun m ->
+                  m "%s: spawn_unit_on %S task raised %s" name g.gname
+                    (Printexc.to_string e)))
+          () routed_handler)
 end

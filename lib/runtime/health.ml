@@ -113,9 +113,12 @@ end
 (* --- verdicts ------------------------------------------------------------ *)
 
 type verdict =
-  | Worker_stalled of { worker : int; scans : int }
+  | Worker_stalled of { pool : string; worker : int; scans : int }
       (** No heartbeat motion, no wake activity, not parked, for that
-          many consecutive scans. *)
+          many consecutive scans.  [worker] is the pool-local id —
+          together with [pool] it names the worker uniquely in a
+          multi-pool topology (ISSUE 10: two pools' worker 0s must not
+          alias). *)
   | Starvation of { ready : int; scans : int }
       (** Ready work visible (deque/central-queue depth) but no worker
           progressed while at least one slept — a lost wakeup. *)
@@ -135,9 +138,10 @@ let verdict_kind = function
   | Slo_burn _ -> "slo_burn"
 
 let verdict_to_json = function
-  | Worker_stalled { worker; scans } ->
-    Printf.sprintf "{\"kind\":\"worker_stalled\",\"worker\":%d,\"scans\":%d}"
-      worker scans
+  | Worker_stalled { pool; worker; scans } ->
+    Printf.sprintf
+      "{\"kind\":\"worker_stalled\",\"pool\":%S,\"worker\":%d,\"scans\":%d}"
+      pool worker scans
   | Starvation { ready; scans } ->
     Printf.sprintf "{\"kind\":\"starvation\",\"ready\":%d,\"scans\":%d}" ready
       scans
@@ -151,9 +155,9 @@ let verdict_to_json = function
       long_s short_s long_burn short_burn
 
 let verdict_to_string = function
-  | Worker_stalled { worker; scans } ->
-    Printf.sprintf "worker %d stalled (%d scans, unparked, no heartbeat)"
-      worker scans
+  | Worker_stalled { pool; worker; scans } ->
+    Printf.sprintf "worker %s/%d stalled (%d scans, unparked, no heartbeat)"
+      pool worker scans
   | Starvation { ready; scans } ->
     Printf.sprintf "starvation: %d task(s) visible, no progress for %d scans"
       ready scans
@@ -170,6 +174,11 @@ let verdict_to_string = function
 type probe = {
   engine : string;
   workers : int;
+  pool_of : int -> string * int;
+      (** Global worker index → (pool name, pool-local id).  Heartbeat
+          and sleeper accessors below still take the global index; this
+          mapping keys rows and verdicts by [(pool, worker)] so
+          multi-pool topologies never alias two workers into one row. *)
   beat_of : int -> int;
   announced : int -> bool;
   waiting : int -> bool;
@@ -188,6 +197,7 @@ let static_probe ~engine ~workers ~beats =
   {
     engine;
     workers;
+    pool_of = (fun w -> ("main", w));
     beat_of = (fun w -> Beats.read beats w);
     announced = (fun _ -> false);
     waiting = (fun _ -> false);
@@ -229,7 +239,14 @@ let wstate_name = function
   | Parked -> "parked"
   | Stalled -> "stalled"
 
-type row = { worker : int; state : wstate; beats : int; quiet_scans : int }
+type row = {
+  pool : string;  (* owning pool; rows are keyed by (pool, worker) *)
+  worker : int;  (* pool-local worker id *)
+  gworker : int;  (* global worker index (trace/metrics key) *)
+  state : wstate;
+  beats : int;
+  quiet_scans : int;
+}
 
 type status = {
   engine : string;
@@ -325,9 +342,10 @@ module Recorder = struct
         (fun i r ->
           Buffer.add_string b
             (Printf.sprintf
-               "    {\"id\": %d, \"state\": \"%s\", \"beats\": %d, \
-                \"quiet_scans\": %d}%s\n"
-               r.worker (wstate_name r.state) r.beats r.quiet_scans
+               "    {\"id\": %d, \"pool\": %S, \"worker\": %d, \"state\": \
+                \"%s\", \"beats\": %d, \"quiet_scans\": %d}%s\n"
+               r.gworker r.pool r.worker (wstate_name r.state) r.beats
+               r.quiet_scans
                (if i = Array.length st.rows - 1 then "" else ",")))
         st.rows;
       Buffer.add_string b "  ],\n");
@@ -432,7 +450,9 @@ module Monitor = struct
               if quiet.(w) >= stall_scans then Stalled else Active
             end
           in
-          { worker = w; state; beats = b; quiet_scans = quiet.(w) })
+          let pool, lw = try probe.pool_of w with _ -> ("main", w) in
+          { pool; worker = lw; gworker = w; state; beats = b;
+            quiet_scans = quiet.(w) })
     in
     (* Worker stall verdicts fire once, on the scan that crosses the
        threshold; the row keeps saying Stalled until progress resumes. *)
@@ -440,7 +460,10 @@ module Monitor = struct
       Array.to_list rows
       |> List.filter_map (fun r ->
              if r.state = Stalled && r.quiet_scans = stall_scans then
-               Some (Worker_stalled { worker = r.worker; scans = r.quiet_scans })
+               Some
+                 (Worker_stalled
+                    { pool = r.pool; worker = r.worker;
+                      scans = r.quiet_scans })
              else None)
     in
     let ready = try probe.ready () with _ -> 0 in
@@ -582,11 +605,11 @@ let statusz () =
     Buffer.add_string b
       (Printf.sprintf "watchdog: engine=%s scan=%d interval=%dms monitors=%d\n"
          st.engine st.scan st.interval_ms (Monitor.live ()));
-    Buffer.add_string b "worker  state    beats      quiet_scans\n";
+    Buffer.add_string b "pool        worker  state    beats      quiet_scans\n";
     Array.iter
       (fun r ->
         Buffer.add_string b
-          (Printf.sprintf "%-7d %-8s %-10d %d\n" r.worker
+          (Printf.sprintf "%-11s %-7d %-8s %-10d %d\n" r.pool r.worker
              (wstate_name r.state) r.beats r.quiet_scans))
       st.rows);
   Mutex.lock log_mu;

@@ -43,7 +43,9 @@ module Inject : sig
 end
 
 type verdict =
-  | Worker_stalled of { worker : int; scans : int }
+  | Worker_stalled of { pool : string; worker : int; scans : int }
+      (** [worker] is the pool-local id; [(pool, worker)] names the
+          worker uniquely across a multi-pool topology. *)
   | Starvation of { ready : int; scans : int }
   | Convoy of { shard : int; depth : int; held_ms : float }
   | Slo_burn of {
@@ -62,6 +64,10 @@ val verdict_to_string : verdict -> string
 type probe = {
   engine : string;
   workers : int;
+  pool_of : int -> string * int;
+      (** Global worker index → (pool name, pool-local id); keys every
+          row and stall verdict by [(pool, worker)] so two pools'
+          worker 0s cannot alias (ISSUE 10). *)
   beat_of : int -> int;
   announced : int -> bool;
   waiting : int -> bool;
@@ -90,7 +96,14 @@ type wstate = Active | Parked | Stalled
 
 val wstate_name : wstate -> string
 
-type row = { worker : int; state : wstate; beats : int; quiet_scans : int }
+type row = {
+  pool : string;
+  worker : int;  (** pool-local id *)
+  gworker : int;  (** global worker index *)
+  state : wstate;
+  beats : int;
+  quiet_scans : int;
+}
 
 type status = {
   engine : string;

@@ -1,5 +1,6 @@
 type worker = {
   id : int;
+  pool : string;  (* owning micropool's name; "main" in flat topologies *)
   mutable spawns : int;
   mutable steals : int;
   mutable steal_attempts : int;
@@ -34,10 +35,11 @@ type t = {
 (* Worker records are written on every spawn/steal/sync by their owning
    worker; isolating each record's birth cache line keeps one worker's
    counter stores from invalidating a neighbour's line. *)
-let make_worker id =
+let make_worker ?(pool = "main") id =
   Nowa_util.Padding.isolate (fun () ->
       {
         id;
+        pool;
         spawns = 0;
         steals = 0;
         steal_attempts = 0;
@@ -138,6 +140,56 @@ let collect () =
         value = Nowa_obs.Registry.Gauge (float_of_int v);
       }
     in
+    (* Per-pool labelled series (ISSUE 10): emitted only when the
+       published run has more than one pool, as name-embedded labels —
+       the registry's samples are flat name/value pairs and Prometheus
+       exposition treats the brace suffix as a label set.  The
+       unlabelled aggregates above keep their exact names either way. *)
+    let pools =
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun w -> if not (Hashtbl.mem seen w.pool) then
+            Hashtbl.add seen w.pool ())
+        src_workers;
+      Hashtbl.fold (fun k () acc -> k :: acc) seen []
+      |> List.sort compare
+    in
+    let per_pool =
+      if List.length pools <= 1 then []
+      else
+        List.concat_map
+          (fun p ->
+            let sump f =
+              Array.fold_left
+                (fun acc w -> if String.equal w.pool p then acc + f w else acc)
+                0 src_workers
+            in
+            let labelled name help f =
+              {
+                Nowa_obs.Registry.name =
+                  Printf.sprintf "%s{pool=%S}" name p;
+                help;
+                value = Nowa_obs.Registry.Counter (float_of_int (sump f));
+              }
+            in
+            [
+              labelled "nowa_scheduler_spawns_total"
+                "Spawn points executed (per pool)." (fun w -> w.spawns);
+              labelled "nowa_scheduler_steals_total"
+                "Successful steals committed (per pool)." (fun w -> w.steals);
+              labelled "nowa_scheduler_tasks_total"
+                "Tasks executed from the scheduler loop (per pool)."
+                (fun w -> w.tasks);
+              labelled "nowa_scheduler_parks_total"
+                "Times an idle worker blocked on its condition variable \
+                 (per pool)."
+                (fun w -> w.parks);
+              labelled "nowa_scheduler_suspensions_total"
+                "Explicit syncs that had to suspend (per pool)."
+                (fun w -> w.suspensions);
+            ])
+          pools
+    in
     let scheduler =
       [
         gauge "nowa_scheduler_workers" "Workers in the current/last run."
@@ -207,6 +259,6 @@ let collect () =
             s.pool_hits;
         ]
     in
-    scheduler @ stacks
+    scheduler @ per_pool @ stacks
 
 let () = Nowa_obs.Registry.register_collector collect

@@ -3,7 +3,13 @@
     domains have been joined. *)
 
 type worker = {
-  id : int;
+  id : int;  (** global worker index *)
+  pool : string;
+      (** owning micropool's name; ["main"] in flat topologies.  When a
+          run has several pools the collector additionally emits
+          pool-labelled variants of the key [nowa_scheduler_*] series
+          ([...{pool="name"}]); the unlabelled aggregates are always
+          present with unchanged names. *)
   mutable spawns : int;  (** spawn points executed *)
   mutable steals : int;  (** successful steals committed *)
   mutable steal_attempts : int;  (** steal attempts including failures *)
@@ -43,7 +49,7 @@ type t = {
           cactus stacks *)
 }
 
-val make_worker : int -> worker
+val make_worker : ?pool:string -> int -> worker
 val make : ?stacks:stack_stats -> worker array -> elapsed_s:float -> t
 
 val sweep_length : Nowa_obs.Histogram.t

@@ -22,6 +22,11 @@ module type S = sig
   type 'a promise
   (** The result cell of a spawned child. *)
 
+  type pool
+  (** Handle to one named worker pool (micropool) of the running
+      topology — see {!Config.t.pools}.  With an empty pool list the
+      runtime has a single implicit pool called ["main"]. *)
+
   val run : ?conf:Config.t -> (unit -> 'a) -> 'a
   (** Start the runtime system, execute the computation to completion on
       the configured workers and tear the workers down.  Exceptions from
@@ -51,6 +56,43 @@ module type S = sig
   val get : 'a promise -> 'a
   (** Read a joined child's result.  Raises [Invalid_argument] if the
       child has not been synced yet (a fully-strictness violation). *)
+
+  val pool : string -> pool
+  (** Resolve a pool by name.  Must be called from within [run]; raises
+      [Invalid_argument] on an unknown name. *)
+
+  val find_pool : string -> pool option
+  (** Like {!pool} but total over the name. *)
+
+  val pool_name : pool -> string
+
+  val self_pool : unit -> string
+  (** Name of the pool owning the worker executing the caller.  Routed
+      tasks observe the pool they actually run on — their home pool
+      unless spill-over stealing moved them. *)
+
+  val spawn_on : pool -> (unit -> 'a) -> 'a promise
+  (** Route a task to a named pool: the thunk is enqueued on that
+      pool's inject queue and executed by one of its workers (or, with
+      {!Config.t.spill_over}, possibly by a foreign idle worker).
+      Unlike {!spawn} this is {e not} tied to the caller's scope — the
+      task is an independent root on the target pool and its promise is
+      a cross-pool cell read with {!get} (non-blocking, after
+      completion is known) or {!await} (blocking).  Tasks routed to the
+      same pool execute in FIFO injection order. *)
+
+  val spawn_unit_on : pool -> (unit -> unit) -> unit
+  (** Promise-free {!spawn_on} for request-shaped work.  The task's
+      exception (if any) is logged and dropped — there is no joining
+      scope to re-raise it in. *)
+
+  val await : 'a promise -> 'a
+  (** Block the calling thread until a {!spawn_on} promise is filled,
+      then return the result or re-raise.  Blocks the OS thread — meant
+      for orchestration strands (a pipeline driver waiting on another
+      pool), not for the spawn/sync hot path.  On a same-pool promise:
+      returns immediately if filled, raises [Invalid_argument]
+      otherwise (join those through [sync]). *)
 
   val last_metrics : unit -> Metrics.t option
   (** Metrics of the most recently completed [run], if collected. *)

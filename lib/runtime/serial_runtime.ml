@@ -68,3 +68,34 @@ let spawn_unit () thunk =
 
 let sync () = ()
 let get p = Promise.get ~runtime:name p
+let await p = Promise.await ~runtime:name p
+
+(* Pool routing under the elision: every pool the configuration names
+   exists, but all of them are this one thread — [spawn_on] runs the
+   task inline, preserving the serial-elision semantics. *)
+type pool = string
+
+(* The elision does not retain the run's config, so any name resolves —
+   the engines are where a bad topology fails; serial has no scheduler
+   to get it wrong on. *)
+let find_pool n = Some (n : pool)
+let pool n = (n : pool)
+
+let pool_name (p : pool) = p
+let self_pool () = "main"
+
+let spawn_on (_ : pool) thunk =
+  let p = Promise.make () in
+  (match thunk () with
+  | v -> Promise.fill p v
+  | exception e -> Promise.fill_exn p e);
+  Health.Beats.beat !hb 0;
+  p
+
+let spawn_unit_on (pl : pool) thunk =
+  (try thunk ()
+   with e ->
+     Runtime_log.Log.err (fun m ->
+         m "%s: spawn_unit_on %S task raised %s" name pl
+           (Printexc.to_string e)));
+  Health.Beats.beat !hb 0

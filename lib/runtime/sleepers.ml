@@ -33,6 +33,17 @@ type slot = {
 type t = { word : int Atomic.t; slots : slot array }
 
 let create ~workers =
+  (* Loud validation at pool construction (ISSUE 10): a registry wider
+     than the bitmask used to degrade [Park_after] into spin-forever for
+     workers >= mask_bits, with skewed wake accounting.  Per-pool
+     registries keep practical pool sizes well under the limit, so an
+     oversized request is a configuration bug, not a mode. *)
+  if workers > mask_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Sleepers.create: %d workers exceed the registry's %d-bit mask; \
+          split the configuration into pools of at most %d workers"
+         workers mask_bits mask_bits);
   {
     (* Every spawn loads this word (the wake-one fast path); isolate it
        so sleeper announcements don't share a line with neighbours. *)
@@ -49,17 +60,21 @@ let create ~workers =
   }
 
 let announce t ~worker =
-  if worker >= mask_bits then false
-  else begin
-    let bit = 1 lsl worker in
-    let rec go () =
-      let cur = Atomic.get t.word in
-      if Atomic.compare_and_set t.word cur (cur lor bit) then ()
-      else go ()
-    in
-    go ();
-    true
-  end
+  (* [create] rejects oversized registries, so an out-of-range id here
+     is a caller bug — fail loudly instead of silently refusing to park
+     (the old behaviour degraded Park_after to spin-forever). *)
+  if worker < 0 || worker >= Array.length t.slots then
+    invalid_arg
+      (Printf.sprintf "Sleepers.announce: worker %d outside registry of %d"
+         worker (Array.length t.slots));
+  let bit = 1 lsl worker in
+  let rec go () =
+    let cur = Atomic.get t.word in
+    if Atomic.compare_and_set t.word cur (cur lor bit) then ()
+    else go ()
+  in
+  go ();
+  true
 
 let cancel t ~worker =
   let bit = 1 lsl worker in

@@ -33,16 +33,22 @@
 type t
 
 val mask_bits : int
-(** Number of workers the bitmask can register (48).  Workers with ids
-    beyond this cannot park ([announce] refuses) and stay on the
-    spin/yield path; wake-up correctness is unaffected. *)
+(** Number of workers the bitmask can register (48).  {!create} rejects
+    wider registries loudly, so every constructed registry can park all
+    of its workers — a >48-worker configuration must be split into
+    pools of at most this size. *)
 
 val create : workers:int -> t
+(** Build a registry for [workers] workers.  Raises [Invalid_argument]
+    if [workers > mask_bits]: the old behaviour silently degraded
+    oversized workers' [Park_after] to spin-forever with skewed wake
+    accounting (ISSUE 10 bugfix). *)
 
 val announce : t -> worker:int -> bool
 (** Set this worker's sleeper bit.  Must be called {e before} the final
-    emptiness re-check that precedes {!park}.  Returns [false] (and does
-    nothing) if [worker >= mask_bits]. *)
+    emptiness re-check that precedes {!park}.  Always returns [true];
+    raises [Invalid_argument] on an id outside the registry (impossible
+    from the engines — {!create} already validated the pool size). *)
 
 val cancel : t -> worker:int -> bool
 (** Clear this worker's bit after deciding not to park (work appeared,

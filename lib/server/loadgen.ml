@@ -11,11 +11,16 @@
    Latency is measured from the request's scheduled arrival time, so a
    request that sat behind a backlog is charged its queueing delay even
    though the dispatch loop issued it late (no coordinated omission).
-   One honest caveat, documented in DESIGN.md: under a
-   continuation-stealing engine the dispatch loop's continuation is
-   what gets stolen, so at saturation injection itself lags — the
-   schedule stays open-loop, but the instantaneous offered rate
-   self-throttles where a child-stealing engine would keep injecting. *)
+
+   There used to be an honest caveat here: under a continuation-stealing
+   engine the dispatch loop's continuation is what gets stolen, so at
+   saturation injection itself lagged and the instantaneous offered rate
+   self-throttled.  [?pools:(injector, serve)] closes it (ISSUE 10): the
+   dispatch loop runs on a dedicated injector micropool and requests are
+   routed to the serve pool with [spawn_unit_on], so no serve worker can
+   ever steal — and thereby stall — the injection continuation.  Routed
+   requests are not covered by the scope's structured sync, so the drain
+   becomes an explicit spin on the admission ledger instead. *)
 
 type class_stats = {
   cls : Workload.op_class option;  (* [None] for the all-classes total *)
@@ -72,7 +77,8 @@ let stats_of_hist cls h =
   }
 
 module Make (R : Nowa_runtime.Runtime_intf.S) = struct
-  let run ?conf ?(anatomy = false) ?slo_ns (spec : Workload.spec) : report =
+  let run ?conf ?(anatomy = false) ?pools ?slo_ns (spec : Workload.spec) :
+      report =
     let events = Workload.generate spec in
     (* One rid per scheduled event (warmup included, flagged unmeasured)
        so the allocation order — and hence every rid — is the schedule
@@ -119,55 +125,79 @@ module Make (R : Nowa_runtime.Runtime_intf.S) = struct
         for k = 0 to spec.records - 1 do
           ignore (Kv.exec kv (Kv.Put (k, k)))
         done;
-        R.scope (fun sc ->
-            t0 := Nowa_util.Clock.now_ns ();
-            let base = !t0 in
-            Array.iteri
-              (fun i (ev : Workload.event) ->
-                let target = base + ev.at_ns in
-                while Nowa_util.Clock.now_ns () < target do
-                  Domain.cpu_relax ()
-                done;
-                let record = i >= spec.warmup in
-                let lf = i / admit_chunk mod 8 in
-                if i mod admit_chunk = 0 then
-                  Nowa_sync.Snzi.arrive_n inflight ~leaf:lf
-                    (min admit_chunk (Array.length events - i));
-                let rid =
-                  Nowa_trace.Span.alloc span ~cls:(class_idx ev.cls)
-                    ~measured:record ~sched_ns:target
-                in
-                R.spawn_unit sc (fun () ->
-                    (match Kv.exec ~rid kv ev.op with
-                    | Kv.Dropped -> () (* counted at the store *)
-                    | _ ->
-                      (* One clock read for both the histogram sample and
-                         the span's Reply close, so the conservation law
-                         ties the ledger to this exact latency. *)
-                      let now = Nowa_util.Clock.now_ns () in
-                      Nowa_trace.Span.finish span rid ~ts:now;
-                      Nowa_trace.Current.emit Nowa_trace.Event.Req_done
-                        ~arg:0 ~arg2:rid;
-                      if record then begin
-                        let lat = now - target in
-                        Nowa_obs.Histogram.observe hists.(class_idx ev.cls) lat;
-                        Nowa_obs.Histogram.observe total_hist lat;
-                        Serve_metrics.observe ev.cls lat;
-                        Nowa_obs.Counter.incr Serve_metrics.requests;
-                        (* Deadline tag: charged against the scheduled
-                           arrival, same no-coordinated-omission clock
-                           as the latency sample itself. *)
-                        (match slo_ns with
-                        | Some slo when lat > slo ->
-                          Nowa_obs.Counter.incr Serve_metrics.deadline_misses;
-                          ignore (Atomic.fetch_and_add misses 1)
-                        | _ -> ());
-                        ignore (Atomic.fetch_and_add completed 1)
-                      end);
-                    Nowa_sync.Snzi.depart inflight ~leaf:lf))
-              events);
-        (* Scope exit synced: every request has completed. *)
-        t_done := Nowa_util.Clock.now_ns ());
+        (* The schedule replay, parameterised over how a request closure
+           reaches the workers: scoped spawns in the classic single-pool
+           path, [spawn_unit_on] routing in the pooled path. *)
+        let dispatch spawn_request =
+          t0 := Nowa_util.Clock.now_ns ();
+          let base = !t0 in
+          Array.iteri
+            (fun i (ev : Workload.event) ->
+              let target = base + ev.at_ns in
+              while Nowa_util.Clock.now_ns () < target do
+                Domain.cpu_relax ()
+              done;
+              let record = i >= spec.warmup in
+              let lf = i / admit_chunk mod 8 in
+              if i mod admit_chunk = 0 then
+                Nowa_sync.Snzi.arrive_n inflight ~leaf:lf
+                  (min admit_chunk (Array.length events - i));
+              let rid =
+                Nowa_trace.Span.alloc span ~cls:(class_idx ev.cls)
+                  ~measured:record ~sched_ns:target
+              in
+              spawn_request (fun () ->
+                  (match Kv.exec ~rid kv ev.op with
+                  | Kv.Dropped -> () (* counted at the store *)
+                  | _ ->
+                    (* One clock read for both the histogram sample and
+                       the span's Reply close, so the conservation law
+                       ties the ledger to this exact latency. *)
+                    let now = Nowa_util.Clock.now_ns () in
+                    Nowa_trace.Span.finish span rid ~ts:now;
+                    Nowa_trace.Current.emit Nowa_trace.Event.Req_done
+                      ~arg:0 ~arg2:rid;
+                    if record then begin
+                      let lat = now - target in
+                      Nowa_obs.Histogram.observe hists.(class_idx ev.cls) lat;
+                      Nowa_obs.Histogram.observe total_hist lat;
+                      Serve_metrics.observe ev.cls lat;
+                      Nowa_obs.Counter.incr Serve_metrics.requests;
+                      (* Deadline tag: charged against the scheduled
+                         arrival, same no-coordinated-omission clock
+                         as the latency sample itself. *)
+                      (match slo_ns with
+                      | Some slo when lat > slo ->
+                        Nowa_obs.Counter.incr Serve_metrics.deadline_misses;
+                        ignore (Atomic.fetch_and_add misses 1)
+                      | _ -> ());
+                      ignore (Atomic.fetch_and_add completed 1)
+                    end);
+                  Nowa_sync.Snzi.depart inflight ~leaf:lf)
+            )
+            events
+        in
+        match pools with
+        | None ->
+          R.scope (fun sc -> dispatch (fun f -> R.spawn_unit sc f));
+          (* Scope exit synced: every request has completed. *)
+          t_done := Nowa_util.Clock.now_ns ()
+        | Some (inject_name, serve_name) ->
+          let serve = R.pool serve_name in
+          let issue () = dispatch (fun f -> R.spawn_unit_on serve f) in
+          (* Run the replay loop on the injector pool.  The root strand
+             already lives in the first configured pool; routing through
+             spawn_on only when the names differ avoids a self-deadlock
+             (awaiting a task routed to the very pool whose one worker is
+             blocked in the await). *)
+          if String.equal (R.self_pool ()) inject_name then issue ()
+          else R.await (R.spawn_on (R.pool inject_name) issue);
+          (* Routed requests bypass the scope, so structured sync cannot
+             drain them; the admission ledger is the join. *)
+          while Nowa_sync.Snzi.query inflight do
+            Domain.cpu_relax ()
+          done;
+          t_done := Nowa_util.Clock.now_ns ());
     if Nowa_sync.Snzi.query inflight then
       failwith "loadgen: admission ledger non-zero after drain";
     Nowa_runtime.Health.unregister_source ~name:"kv-convoy";

@@ -77,11 +77,22 @@ let test_wake_one_round_robin () =
   Alcotest.(check int) "three wakes hit three distinct workers" 3
     (Hashtbl.length woken)
 
+(* Regression (ISSUE 10 satellite): a registry wider than the mask used
+   to be constructible, and [announce] silently returned [false] for
+   workers >= mask_bits — those workers could never park and spun
+   forever.  Both paths must now refuse loudly at construction /
+   announcement instead of degrading. *)
 let test_oversized_worker_cannot_park () =
-  let s = Sleepers.create ~workers:(Sleepers.mask_bits + 4) in
-  Alcotest.(check bool) "beyond the mask: refused" false
-    (Sleepers.announce s ~worker:Sleepers.mask_bits);
-  Alcotest.(check int) "not registered" 0 (Sleepers.sleepers s);
+  (match Sleepers.create ~workers:(Sleepers.mask_bits + 4) with
+  | (_ : Sleepers.t) ->
+    Alcotest.fail "create accepted more workers than the mask holds"
+  | exception Invalid_argument _ -> ());
+  let s = Sleepers.create ~workers:Sleepers.mask_bits in
+  (match Sleepers.announce s ~worker:Sleepers.mask_bits with
+  | (_ : bool) -> Alcotest.fail "announce accepted an out-of-range worker"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "nothing registered by the refusals" 0
+    (Sleepers.sleepers s);
   Alcotest.(check bool) "last in-mask id works" true
     (Sleepers.announce s ~worker:(Sleepers.mask_bits - 1))
 

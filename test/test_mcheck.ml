@@ -286,6 +286,16 @@ let test_sleeper_shutdown () =
   expect_exhaustive "wake_all at shutdown"
     (M.explore (S.sleeper_shutdown_spec ~workers:2))
 
+(* -- cross-pool spill-over (ISSUE 10) -------------------------------------- *)
+
+let test_spillover_handoff () =
+  expect_exhaustive "spillover inject handoff"
+    (M.explore ~max_executions:500_000 (S.spillover_spec ~variant:`Good))
+
+let test_spillover_no_sweep_strands_the_root () =
+  expect_violation "park without the final sweep"
+    (M.explore (S.spillover_spec ~variant:`No_final_sweep))
+
 (* -- SNZI and barrier ----------------------------------------------------- *)
 
 let test_snzi_arrive_depart () =
@@ -428,6 +438,9 @@ let () =
             test_sleeper_check_before_announce_loses_wakeups;
           Alcotest.test_case "wake vs cancel" `Quick test_sleeper_wake_cancel;
           Alcotest.test_case "shutdown wake_all" `Slow test_sleeper_shutdown;
+          Alcotest.test_case "spillover handoff" `Slow test_spillover_handoff;
+          Alcotest.test_case "spillover needs the final sweep" `Quick
+            test_spillover_no_sweep_strands_the_root;
         ] );
       ( "snzi and barrier",
         [

@@ -820,6 +820,145 @@ let test_preset_sets () =
   Alcotest.(check int) "figure 7 set" 4 (List.length Nowa.Presets.figure7_set);
   Alcotest.(check int) "figure 10 set" 5 (List.length Nowa.Presets.figure10_set)
 
+(* -- micropools (ISSUE 10) -------------------------------------------- *)
+
+let pools_conf ?(spill = false) pools =
+  { (Nowa.Config.default ()) with Nowa.Config.pools; spill_over = spill }
+
+let two_pools ?spill () =
+  pools_conf ?spill
+    [ Nowa.Config.pool "main" ~workers:2; Nowa.Config.pool "aux" ~workers:2 ]
+
+let test_pool_lookup () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      R.run ~conf:(two_pools ()) (fun () ->
+          Alcotest.(check string) (R.name ^ ": root runs in first pool") "main"
+            (R.self_pool ());
+          Alcotest.(check string) (R.name ^ ": aux resolves") "aux"
+            (R.pool_name (R.pool "aux"));
+          (match R.find_pool "nope" with
+          | None -> ()
+          | Some _ -> Alcotest.failf "%s: phantom pool resolved" R.name);
+          match R.pool "nope" with
+          | (_ : R.pool) -> Alcotest.failf "%s: pool did not raise" R.name
+          | exception Invalid_argument _ -> ()))
+    presets
+
+let test_bad_topology_rejected () =
+  let module R = Nowa.Presets.Nowa in
+  let rejects what pools =
+    match R.run ~conf:(pools_conf pools) (fun () -> ()) with
+    | () -> Alcotest.failf "accepted %s" what
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "an oversized pool"
+    [ Nowa.Config.pool "huge" ~workers:(Nowa_runtime.Sleepers.mask_bits + 1) ];
+  rejects "a zero-worker pool" [ Nowa.Config.pool "empty" ~workers:0 ];
+  rejects "duplicate pool names"
+    [ Nowa.Config.pool "dup" ~workers:1; Nowa.Config.pool "dup" ~workers:1 ];
+  rejects "a nameless pool" [ Nowa.Config.pool "" ~workers:1 ];
+  (* A bad topology must not leak guard state: a good run still works. *)
+  Alcotest.(check int) "clean run after rejection" 3
+    (R.run ~conf:(two_pools ()) (fun () -> 3))
+
+(* With spill-over off, a task routed to pool "aux" must only ever run
+   on an "aux" worker — strict isolation is the default. *)
+let test_spawn_on_routing_isolation () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      R.run ~conf:(two_pools ()) (fun () ->
+          let aux = R.pool "aux" in
+          let ps =
+            List.init 64 (fun i -> R.spawn_on aux (fun () -> (i, R.self_pool ())))
+          in
+          List.iteri
+            (fun i p ->
+              let j, where = R.await p in
+              Alcotest.(check int) "payload intact" i j;
+              Alcotest.(check string) (R.name ^ ": routed task stays put")
+                "aux" where)
+            ps))
+    presets
+
+(* Routed tasks may open scopes and spawn; the nested work stays in the
+   target pool when spill is off. *)
+let test_spawn_on_nested_spawns () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let r =
+        R.run ~conf:(two_pools ()) (fun () ->
+            R.await
+              (R.spawn_on (R.pool "aux") (fun () ->
+                   R.scope (fun sc ->
+                       let a = R.spawn sc (fun () -> fib_ref 10) in
+                       let b = fib_ref 9 in
+                       R.sync sc;
+                       R.get a + b))))
+      in
+      Alcotest.(check int) (R.name ^ ": nested result") (fib_ref 11) r)
+    presets
+
+let test_spawn_on_exception_via_await () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      R.run ~conf:(two_pools ()) (fun () ->
+          let p = R.spawn_on (R.pool "aux") (fun () -> failwith "routed boom") in
+          match R.await p with
+          | (_ : unit) -> Alcotest.failf "%s: exception swallowed" R.name
+          | exception Failure m ->
+            Alcotest.(check string) "exact exception" "routed boom" m))
+    presets
+
+(* Spill-over liveness: wedge pool "busy"'s only worker on a flag, then
+   route a second task there.  With spill on, an idle "main" worker must
+   pick it up — the await below would otherwise hang until the wedge's
+   escape timer fires and the check fails. *)
+let test_spill_over_completion () =
+  List.iter
+    (fun (module R : Nowa.RUNTIME) ->
+      let wedged = Atomic.make false in
+      let release = Atomic.make false in
+      let escaped = ref false in
+      R.run
+        ~conf:
+          (pools_conf ~spill:true
+             [ Nowa.Config.pool "main" ~workers:2;
+               Nowa.Config.pool "busy" ~workers:1 ])
+        (fun () ->
+          let busy = R.pool "busy" in
+          R.spawn_unit_on busy (fun () ->
+              Atomic.set wedged true;
+              let t0 = Unix.gettimeofday () in
+              while
+                (not (Atomic.get release))
+                && Unix.gettimeofday () -. t0 < 10.0
+              do
+                Domain.cpu_relax ()
+              done;
+              if not (Atomic.get release) then escaped := true);
+          while not (Atomic.get wedged) do
+            Domain.cpu_relax ()
+          done;
+          let p = R.spawn_on busy (fun () -> R.self_pool ()) in
+          let (_ : string) = R.await p in
+          Atomic.set release true);
+      Alcotest.(check bool)
+        (R.name ^ ": spilled task completed before the wedge escape") false
+        !escaped)
+    presets
+
+let test_pool_api_serial_elision () =
+  let module S = Nowa_runtime.Serial_runtime in
+  S.run (fun () ->
+      Alcotest.(check string) "self" "main" (S.self_pool ());
+      (* any name resolves under the elision *)
+      let p = S.spawn_on (S.pool "anything") (fun () -> 41 + 1) in
+      Alcotest.(check int) "inline spawn_on" 42 (S.await p);
+      let hit = ref false in
+      S.spawn_unit_on (S.pool "other") (fun () -> hit := true);
+      Alcotest.(check bool) "inline spawn_unit_on" true !hit)
+
 let () =
   Alcotest.run "nowa_runtime"
     [
@@ -901,5 +1040,21 @@ let () =
         [
           Alcotest.test_case "find" `Quick test_presets_find;
           Alcotest.test_case "figure sets" `Quick test_preset_sets;
+        ] );
+      ( "micropools",
+        [
+          Alcotest.test_case "pool lookup" `Quick test_pool_lookup;
+          Alcotest.test_case "bad topology rejected" `Quick
+            test_bad_topology_rejected;
+          Alcotest.test_case "spawn_on isolation (spill off)" `Slow
+            test_spawn_on_routing_isolation;
+          Alcotest.test_case "nested spawns in routed task" `Slow
+            test_spawn_on_nested_spawns;
+          Alcotest.test_case "exception via await" `Quick
+            test_spawn_on_exception_via_await;
+          Alcotest.test_case "spill-over completion" `Slow
+            test_spill_over_completion;
+          Alcotest.test_case "serial elision pool api" `Quick
+            test_pool_api_serial_elision;
         ] );
     ]
